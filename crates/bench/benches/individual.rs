@@ -1,0 +1,73 @@
+//! Individual (function-centric) optimization hot path: probability
+//! estimation over growing histories, and the per-invocation schedule
+//! construction — PULSE's per-invocation overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pulse_core::individual::IndividualOptimizer;
+use pulse_core::interarrival::InterArrivalModel;
+use pulse_core::thresholds::SchemeT1;
+
+fn history(n: usize) -> InterArrivalModel {
+    let mut m = InterArrivalModel::new();
+    let mut t = 0u64;
+    for i in 0..n {
+        t += 1 + (i % 9) as u64;
+        m.record(t);
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interarrival_probabilities");
+    for &n in &[100usize, 1000, 10_000] {
+        let m = history(n);
+        let now = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.probabilities(now, 60, 10))
+        });
+    }
+    group.finish();
+
+    c.bench_function("schedule_after_invocation", |b| {
+        let m = history(1000);
+        let probs = m.probabilities(1_000_000, 60, 10);
+        let opt = IndividualOptimizer::new(10);
+        b.iter(|| opt.schedule(123, &probs, 3, &SchemeT1))
+    });
+
+    c.bench_function("record_invocation", |b| {
+        b.iter_batched(
+            || history(1000),
+            |mut m| m.record(10_000_000),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // The incremental model vs the reference: one record + one probability
+    // query on a long history (the reference rescans; the online model is
+    // O(window)).
+    let mut group = c.benchmark_group("probabilities_reference_vs_online");
+    for &n in &[1000usize, 10_000] {
+        group.bench_with_input(criterion::BenchmarkId::new("reference", n), &n, |b, &n| {
+            let m = history(n);
+            b.iter(|| m.probabilities(10_000_000, 60, 10))
+        });
+        group.bench_with_input(criterion::BenchmarkId::new("online", n), &n, |b, &n| {
+            let mut m = pulse_core::online::OnlineInterArrival::new(10, 60);
+            let mut t = 0u64;
+            for i in 0..n {
+                t += 1 + (i % 9) as u64;
+                m.record(t);
+            }
+            b.iter(|| m.probabilities(10_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 9a: per-peak decision overhead — PULSE's greedy downgrade loop vs
+//! the exact branch-and-bound MILP on identical peak instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pulse_core::global::{flatten_peak, AliveModel};
+use pulse_core::priority::PriorityStructure;
+use pulse_milp::MilpDowngrader;
+use pulse_models::{zoo, ModelFamily};
+
+fn peak_instance(n_models: usize) -> (Vec<ModelFamily>, Vec<AliveModel>, f64) {
+    let z = zoo::standard();
+    let fams: Vec<ModelFamily> = (0..n_models).map(|i| z[i % z.len()].clone()).collect();
+    let alive: Vec<AliveModel> = fams
+        .iter()
+        .enumerate()
+        .map(|(func, f)| AliveModel {
+            func,
+            variant: f.highest_id(),
+            invocation_probability: (func as f64 * 0.37) % 1.0,
+        })
+        .collect();
+    let total: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    (fams, alive, total)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_peak_decision");
+    for &n in &[4usize, 8, 12, 24] {
+        let (fams, alive, total) = peak_instance(n);
+        let target = total * 0.5;
+        group.bench_with_input(BenchmarkId::new("pulse_greedy", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = alive.clone();
+                let mut pr = PriorityStructure::new(n);
+                flatten_peak(&mut a, &fams, &mut pr, total, target)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("milp_branch_bound", n), &n, |b, _| {
+            let pr = PriorityStructure::new(n);
+            b.iter(|| MilpDowngrader.solve(&alive, &fams, &pr, target))
+        });
+        group.bench_with_input(BenchmarkId::new("milp_dp", n), &n, |b, _| {
+            let pr = PriorityStructure::new(n);
+            b.iter(|| MilpDowngrader.solve_dp(&alive, &fams, &pr, target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

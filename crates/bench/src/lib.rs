@@ -1,0 +1,13 @@
+//! Criterion benchmark crate for the PULSE reproduction.
+//!
+//! Benches live under `benches/` (run with `cargo bench`):
+//!
+//! * `policy_overhead` — Figure 9a: greedy flatten vs MILP per peak;
+//! * `fft` — the radix-2 FFT vs the naive DFT oracle, and the IceBreaker
+//!   forecaster;
+//! * `simulator` — engine throughput per policy (trace-minutes/second);
+//! * `individual` — the per-invocation probability/schedule hot path;
+//! * `trace_analysis` — workload generation, gap analysis, peak finding,
+//!   CSV round trips;
+//! * `milp` — the simplex and branch-and-bound substrates in isolation;
+//! * `end_to_end` — one simulated-day units of each experiment family.

@@ -1,0 +1,343 @@
+//! Cross-function (global) optimization — the paper's Algorithm 2.
+//!
+//! When Algorithm 1 flags a minute as a peak, PULSE repeatedly downgrades
+//! the kept-alive model with the lowest utility value `Uv = Ai + Pr + Ip`
+//! until the keep-alive memory no longer exceeds the flatten target
+//! (`prior × (1 + KM_T)`). A downgrade moves a model one rung down its
+//! quality ladder; a model already at its lowest variant is evicted entirely
+//! ("warm starts with models having lower accuracy, or even cold starts").
+//! Every downgrade bumps the model's priority counter, which shields it from
+//! future downgrades via the normalized `Pr` component.
+
+use crate::priority::PriorityStructure;
+use crate::types::FuncId;
+use crate::utility::utility_value;
+use pulse_models::{ModelFamily, VariantId};
+use serde::{Deserialize, Serialize};
+
+/// One model currently kept alive at the peak minute, as seen by the global
+/// optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AliveModel {
+    /// Which function's container this is (indexes the priority structure
+    /// and the family assignment).
+    pub func: FuncId,
+    /// The variant currently kept alive.
+    pub variant: VariantId,
+    /// `Ip`: the probability that this function is invoked at this minute,
+    /// from the individual optimization.
+    pub invocation_probability: f64,
+}
+
+/// One step taken by the downgrade loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DowngradeAction {
+    /// Replace the kept-alive variant `from` with the next-lower `to`.
+    Downgrade {
+        /// Affected function.
+        func: FuncId,
+        /// Variant before the downgrade.
+        from: VariantId,
+        /// Variant after the downgrade (`from - 1`).
+        to: VariantId,
+    },
+    /// The model was already at its lowest variant: evict the container
+    /// (the next invocation will cold-start).
+    Evict {
+        /// Affected function.
+        func: FuncId,
+        /// Variant that was evicted (always 0).
+        from: VariantId,
+    },
+}
+
+impl DowngradeAction {
+    /// The function this action applies to.
+    pub fn func(&self) -> FuncId {
+        match *self {
+            DowngradeAction::Downgrade { func, .. } | DowngradeAction::Evict { func, .. } => func,
+        }
+    }
+}
+
+/// Result of one flattening pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlattenOutcome {
+    /// Actions taken, in order.
+    pub actions: Vec<DowngradeAction>,
+    /// Keep-alive memory after the pass, MB.
+    pub final_kam_mb: f64,
+    /// Whether the memory reached the target (false only when every container
+    /// was evicted and memory still exceeds the target — impossible when the
+    /// target is non-negative, kept for defensive completeness).
+    pub flattened: bool,
+}
+
+/// Algorithm 2: flatten a peak by utility-ordered downgrades.
+///
+/// * `alive` — the kept-alive models at this minute; mutated in place
+///   (variants lowered, evicted entries removed).
+/// * `families` — family assignment, indexed by `FuncId`.
+/// * `priority` — the downgrade-count structure, bumped per action.
+/// * `current_kam_mb` — keep-alive memory at this minute **including** the
+///   models in `alive` (the caller computes it; this function only subtracts
+///   freed memory from it).
+/// * `target_kam_mb` — the flatten target from
+///   [`crate::peak::PeakDetector::flatten_target`].
+pub fn flatten_peak(
+    alive: &mut Vec<AliveModel>,
+    families: &[ModelFamily],
+    priority: &mut PriorityStructure,
+    current_kam_mb: f64,
+    target_kam_mb: f64,
+) -> FlattenOutcome {
+    flatten_peak_with(
+        alive,
+        families,
+        priority,
+        current_kam_mb,
+        target_kam_mb,
+        |m, fam, pr| {
+            utility_value(
+                fam.accuracy_improvement(m.variant),
+                pr,
+                m.invocation_probability.clamp(0.0, 1.0),
+            )
+        },
+    )
+}
+
+/// [`flatten_peak`] with a caller-supplied victim-scoring function — the
+/// model with the **lowest** score is downgraded first. `score` receives
+/// the alive entry, its family, and its normalized priority. Used by the
+/// ablation experiments to isolate the contribution of each `Uv` component
+/// (Ai-only, Ai+Ip, full Uv, …); production callers should use
+/// [`flatten_peak`].
+pub fn flatten_peak_with(
+    alive: &mut Vec<AliveModel>,
+    families: &[ModelFamily],
+    priority: &mut PriorityStructure,
+    current_kam_mb: f64,
+    target_kam_mb: f64,
+    score: impl Fn(&AliveModel, &ModelFamily, f64) -> f64,
+) -> FlattenOutcome {
+    let mut kam = current_kam_mb;
+    let mut actions = Vec::new();
+
+    while kam > target_kam_mb && !alive.is_empty() {
+        // "Normalise the priority structure" — once per loop iteration.
+        let pr = priority.normalized();
+
+        // "For every model that is kept-alive in t: compute Ai and Pr;
+        //  Uv ← Ai + Pr + Ip" — then downgrade the minimum.
+        let (idx, _) = alive
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, score(m, &families[m.func], pr[m.func])))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("Uv is finite"))
+            .expect("alive is non-empty in loop");
+
+        let func = alive[idx].func;
+        let from = alive[idx].variant;
+        let fam = &families[func];
+        if from > 0 {
+            let freed = fam.variant(from).memory_mb - fam.variant(from - 1).memory_mb;
+            alive[idx].variant = from - 1;
+            kam -= freed;
+            actions.push(DowngradeAction::Downgrade {
+                func,
+                from,
+                to: from - 1,
+            });
+        } else {
+            kam -= fam.variant(0).memory_mb;
+            alive.swap_remove(idx);
+            actions.push(DowngradeAction::Evict { func, from });
+        }
+        // "Update Priority Structure with +1 for m".
+        priority.bump(func);
+    }
+
+    FlattenOutcome {
+        actions,
+        final_kam_mb: kam,
+        flattened: kam <= target_kam_mb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_models::zoo;
+
+    fn families() -> Vec<ModelFamily> {
+        vec![zoo::gpt(), zoo::yolo(), zoo::bert()]
+    }
+
+    fn alive_all_highest(fams: &[ModelFamily]) -> Vec<AliveModel> {
+        fams.iter()
+            .enumerate()
+            .map(|(func, f)| AliveModel {
+                func,
+                variant: f.highest_id(),
+                invocation_probability: 0.0,
+            })
+            .collect()
+    }
+
+    fn total_mem(alive: &[AliveModel], fams: &[ModelFamily]) -> f64 {
+        alive
+            .iter()
+            .map(|m| fams[m.func].variant(m.variant).memory_mb)
+            .sum()
+    }
+
+    #[test]
+    fn no_peak_means_no_action() {
+        let fams = families();
+        let mut alive = alive_all_highest(&fams);
+        let mut pr = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive, &fams);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, kam + 1.0);
+        assert!(out.actions.is_empty());
+        assert!(out.flattened);
+        assert_eq!(out.final_kam_mb, kam);
+    }
+
+    #[test]
+    fn flattening_reaches_target() {
+        let fams = families();
+        let mut alive = alive_all_highest(&fams);
+        let mut pr = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive, &fams);
+        let target = kam * 0.6;
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, target);
+        assert!(out.flattened);
+        assert!(out.final_kam_mb <= target);
+        assert!(!out.actions.is_empty());
+        // Bookkeeping agrees with recomputing memory from scratch.
+        assert!((out.final_kam_mb - total_mem(&alive, &fams)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowest_utility_goes_first() {
+        let fams = families();
+        // YOLO's Ai at the top rung (65.7−63.5 = 0.022) vs GPT's (0.011) vs
+        // BERT's (0.025); all Ip equal → GPT-Large is downgraded first.
+        let mut alive = alive_all_highest(&fams);
+        let mut pr = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive, &fams);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, kam - 1.0);
+        assert_eq!(
+            out.actions[0].func(),
+            0,
+            "GPT (func 0) first: {:?}",
+            out.actions
+        );
+    }
+
+    #[test]
+    fn high_invocation_probability_shields_a_model() {
+        let fams = families();
+        let mut alive = alive_all_highest(&fams);
+        alive[0].invocation_probability = 1.0; // GPT about to be invoked
+        let mut pr = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive, &fams);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, kam - 1.0);
+        assert_ne!(out.actions[0].func(), 0);
+    }
+
+    #[test]
+    fn priority_prevents_repeated_victimization() {
+        let fams = families();
+        let mut pr = PriorityStructure::new(fams.len());
+        // First peak: GPT (func 0) is the natural victim (smallest Ai).
+        let mut alive = alive_all_highest(&fams);
+        let kam = total_mem(&alive, &fams);
+        flatten_peak(&mut alive, &fams, &mut pr, kam, kam - 1.0);
+        assert!(pr.count(0) >= 1);
+
+        // Second peak from a fresh all-highest state: with func 0's priority
+        // now at 1 (normalized max), someone else is downgraded first.
+        let mut alive = alive_all_highest(&fams);
+        let kam = total_mem(&alive, &fams);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, kam - 1.0);
+        assert_ne!(out.actions[0].func(), 0, "{:?}", out.actions);
+    }
+
+    #[test]
+    fn exhausting_ladder_evicts() {
+        let fams = vec![zoo::bert()];
+        let mut alive = vec![AliveModel {
+            func: 0,
+            variant: 1,
+            invocation_probability: 0.0,
+        }];
+        let mut pr = PriorityStructure::new(1);
+        let kam = total_mem(&alive, &fams);
+        // Target 0: must downgrade 1→0 and then evict.
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, 0.0);
+        assert!(out.flattened);
+        assert!(alive.is_empty());
+        assert_eq!(out.actions.len(), 2);
+        assert!(matches!(
+            out.actions[1],
+            DowngradeAction::Evict { func: 0, from: 0 }
+        ));
+        assert!(out.final_kam_mb.abs() < 1e-9);
+        assert_eq!(pr.count(0), 2);
+    }
+
+    #[test]
+    fn downgrades_never_increase_memory() {
+        let fams = families();
+        let mut alive = alive_all_highest(&fams);
+        let mut pr = PriorityStructure::new(fams.len());
+        let mut kam = total_mem(&alive, &fams);
+        let target = kam * 0.3;
+        // Step the loop manually by calling with progressively tighter targets
+        // and check monotonicity at every stage.
+        for frac in [0.9, 0.7, 0.5, 0.3] {
+            let t = (total_mem(&alive_all_highest(&fams), &fams)) * frac;
+            let out = flatten_peak(&mut alive, &fams, &mut pr, kam, t.max(target));
+            assert!(out.final_kam_mb <= kam + 1e-9);
+            kam = out.final_kam_mb;
+        }
+    }
+
+    #[test]
+    fn empty_alive_set_terminates_immediately() {
+        let fams = families();
+        let mut alive: Vec<AliveModel> = Vec::new();
+        let mut pr = PriorityStructure::new(fams.len());
+        let out = flatten_peak(&mut alive, &fams, &mut pr, 0.0, 100.0);
+        assert!(out.actions.is_empty());
+        assert!(out.flattened);
+    }
+
+    #[test]
+    fn unsatisfiable_target_evicts_everything() {
+        let fams = families();
+        let mut alive = alive_all_highest(&fams);
+        let mut pr = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive, &fams);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, -1.0);
+        assert!(alive.is_empty());
+        assert!(!out.flattened); // memory is 0 but target is negative
+        assert!(out.final_kam_mb.abs() < 1e-9);
+    }
+
+    #[test]
+    fn actions_are_single_rung_steps() {
+        let fams = families();
+        let mut alive = alive_all_highest(&fams);
+        let mut pr = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive, &fams);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, kam, kam * 0.4);
+        for a in &out.actions {
+            if let DowngradeAction::Downgrade { from, to, .. } = a {
+                assert_eq!(*to + 1, *from);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Individual (function-centric) optimization (Section III-A).
+//!
+//! After every invocation, PULSE plans the next `keepalive_minutes` minutes
+//! for that function: for each minute offset `m`, the estimated probability
+//! of an inter-arrival gap of exactly `m` minutes is pushed through the
+//! threshold scheme to pick the quality variant to keep alive during that
+//! minute. Two properties the paper relies on:
+//!
+//! * there is *always* a container alive during the window — "PULSE ensures
+//!   that at least the container with low-quality model is kept alive every
+//!   10 minutes after an invocation, preventing cold starts" — so an
+//!   uninformed probability simply yields variant 0;
+//! * higher probability minutes get higher-accuracy variants (the monotone
+//!   threshold principle).
+
+use crate::interarrival::GapProbabilities;
+use crate::thresholds::ThresholdScheme;
+use crate::types::Minute;
+use pulse_models::VariantId;
+use serde::{Deserialize, Serialize};
+
+/// The per-minute variant plan for one keep-alive window following an
+/// invocation at [`Self::invoked_at`]. Offset `m` (1-based) covers the
+/// wall-clock minute `invoked_at + m`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeepAliveSchedule {
+    /// Minute of the invocation this schedule follows.
+    pub invoked_at: Minute,
+    /// `plan[m-1]` is the variant kept alive during minute `invoked_at + m`.
+    plan: Vec<VariantId>,
+}
+
+impl KeepAliveSchedule {
+    /// Build from an explicit plan (offset 1 first).
+    pub fn new(invoked_at: Minute, plan: Vec<VariantId>) -> Self {
+        Self { invoked_at, plan }
+    }
+
+    /// Schedule that keeps `variant` alive for the whole window — the shape
+    /// of the fixed OpenWhisk policy and of the all-low/all-high baselines.
+    pub fn constant(invoked_at: Minute, variant: VariantId, window: u32) -> Self {
+        Self {
+            invoked_at,
+            plan: vec![variant; window as usize],
+        }
+    }
+
+    /// Window length in minutes.
+    pub fn window(&self) -> u32 {
+        self.plan.len() as u32
+    }
+
+    /// Variant kept alive at minute-offset `m` (1-based), `None` outside the
+    /// window.
+    pub fn variant_at_offset(&self, m: u64) -> Option<VariantId> {
+        if m == 0 {
+            return None;
+        }
+        self.plan.get(m as usize - 1).copied()
+    }
+
+    /// Variant kept alive at absolute minute `t`, `None` outside the window.
+    pub fn variant_at(&self, t: Minute) -> Option<VariantId> {
+        t.checked_sub(self.invoked_at)
+            .and_then(|m| self.variant_at_offset(m))
+    }
+
+    /// Last minute covered by the window.
+    pub fn expires_at(&self) -> Minute {
+        self.invoked_at + self.plan.len() as u64
+    }
+
+    /// Iterate `(absolute minute, variant)` pairs of the plan.
+    pub fn iter(&self) -> impl Iterator<Item = (Minute, VariantId)> + '_ {
+        self.plan
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.invoked_at + 1 + i as u64, v))
+    }
+
+    /// Mutable access for the global optimizer's downgrades: replace the
+    /// variant at absolute minute `t` (no-op outside the window).
+    pub fn set_variant_at(&mut self, t: Minute, v: VariantId) {
+        if let Some(m) = t.checked_sub(self.invoked_at) {
+            if m >= 1 && (m as usize) <= self.plan.len() {
+                self.plan[m as usize - 1] = v;
+            }
+        }
+    }
+}
+
+/// The function-centric optimizer: probabilities → per-minute variant plan.
+#[derive(Debug, Clone, Copy)]
+pub struct IndividualOptimizer {
+    /// Keep-alive window length, minutes.
+    pub window: u32,
+}
+
+impl IndividualOptimizer {
+    /// Optimizer for a `window`-minute keep-alive period.
+    pub fn new(window: u32) -> Self {
+        assert!(window >= 1);
+        Self { window }
+    }
+
+    /// Plan the window after an invocation at `invoked_at`, given the gap
+    /// probabilities and the family's variant count.
+    pub fn schedule(
+        &self,
+        invoked_at: Minute,
+        probs: &GapProbabilities,
+        n_variants: usize,
+        scheme: &dyn ThresholdScheme,
+    ) -> KeepAliveSchedule {
+        let plan = (1..=self.window as u64)
+            .map(|m| scheme.select(probs.at(m).clamp(0.0, 1.0), n_variants))
+            .collect();
+        KeepAliveSchedule::new(invoked_at, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interarrival::InterArrivalModel;
+    use crate::thresholds::{SchemeT1, SchemeT2};
+
+    fn probs_for(arrivals: &[Minute], now: Minute) -> GapProbabilities {
+        let mut m = InterArrivalModel::new();
+        for &t in arrivals {
+            m.record(t);
+        }
+        m.probabilities(now, 60, 10)
+    }
+
+    #[test]
+    fn tight_cadence_warms_high_variant_at_the_right_minute() {
+        let probs = probs_for(&[0, 2, 4, 6, 8, 10], 10);
+        let opt = IndividualOptimizer::new(10);
+        let s = opt.schedule(10, &probs, 3, &SchemeT1);
+        // P(gap=2)=1 → highest variant at offset 2; all other offsets have
+        // probability 0 → lowest variant (but still alive).
+        assert_eq!(s.variant_at_offset(2), Some(2));
+        for m in [1u64, 3, 4, 5, 6, 7, 8, 9, 10] {
+            assert_eq!(s.variant_at_offset(m), Some(0), "offset {m}");
+        }
+    }
+
+    #[test]
+    fn uninformed_history_keeps_lowest_variant_alive_everywhere() {
+        let probs = GapProbabilities::zeros(10);
+        let s = IndividualOptimizer::new(10).schedule(50, &probs, 3, &SchemeT1);
+        for m in 1..=10u64 {
+            assert_eq!(s.variant_at_offset(m), Some(0));
+        }
+        assert_eq!(s.window(), 10);
+    }
+
+    #[test]
+    fn absolute_minute_lookup() {
+        let probs = GapProbabilities::zeros(10);
+        let s = IndividualOptimizer::new(10).schedule(100, &probs, 2, &SchemeT1);
+        assert_eq!(s.variant_at(100), None); // invocation minute itself
+        assert_eq!(s.variant_at(101), Some(0));
+        assert_eq!(s.variant_at(110), Some(0));
+        assert_eq!(s.variant_at(111), None);
+        assert_eq!(s.variant_at(99), None);
+        assert_eq!(s.expires_at(), 110);
+    }
+
+    #[test]
+    fn mixed_probabilities_produce_mixed_plan() {
+        // Gaps {3,100,3,100,3}: P(3)=0.6. Evaluated at now=400, the local
+        // window is empty, so the global distribution is used alone.
+        let probs = probs_for(&[0, 3, 103, 106, 206, 209], 400);
+        let s = IndividualOptimizer::new(10).schedule(400, &probs, 3, &SchemeT1);
+        // P(3) = 0.6 → middle variant at offset 3 (band [1/3, 2/3)).
+        assert_eq!(s.variant_at_offset(3), Some(1));
+        assert_eq!(s.variant_at_offset(1), Some(0));
+    }
+
+    #[test]
+    fn t2_uninformed_also_keeps_lowest() {
+        let probs = GapProbabilities::zeros(10);
+        let s = IndividualOptimizer::new(10).schedule(0, &probs, 3, &SchemeT2);
+        for m in 1..=10u64 {
+            assert_eq!(s.variant_at_offset(m), Some(0));
+        }
+    }
+
+    #[test]
+    fn constant_schedule_matches_fixed_policy_shape() {
+        let s = KeepAliveSchedule::constant(7, 2, 10);
+        assert_eq!(s.window(), 10);
+        for m in 1..=10u64 {
+            assert_eq!(s.variant_at_offset(m), Some(2));
+        }
+        assert_eq!(s.iter().count(), 10);
+    }
+
+    #[test]
+    fn set_variant_at_mutates_only_in_window() {
+        let mut s = KeepAliveSchedule::constant(10, 2, 5);
+        s.set_variant_at(12, 0);
+        assert_eq!(s.variant_at(12), Some(0));
+        assert_eq!(s.variant_at(13), Some(2));
+        // Out-of-window writes are ignored.
+        s.set_variant_at(10, 0);
+        s.set_variant_at(16, 0);
+        s.set_variant_at(3, 0);
+        assert_eq!(s.variant_at(11), Some(2));
+    }
+
+    #[test]
+    fn iter_yields_absolute_minutes() {
+        let s = KeepAliveSchedule::new(20, vec![0, 1, 2]);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(21, 0), (22, 1), (23, 2)]);
+    }
+
+    #[test]
+    fn window_of_one_minute() {
+        let probs = GapProbabilities::zeros(1);
+        let s = IndividualOptimizer::new(1).schedule(0, &probs, 3, &SchemeT1);
+        assert_eq!(s.window(), 1);
+        assert_eq!(s.variant_at_offset(1), Some(0));
+        assert_eq!(s.variant_at_offset(2), None);
+    }
+}

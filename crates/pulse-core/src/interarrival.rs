@@ -1,0 +1,325 @@
+//! Inter-arrival probability model (Section III-A).
+//!
+//! For each function PULSE keeps the invocation history and estimates, at
+//! minute resolution, the probability that the next invocation arrives `k`
+//! minutes after the previous one, for `k` within the keep-alive window.
+//! Because inter-arrival behaviour drifts over time (Figure 2), the estimate
+//! averages two empirical distributions: one over a sliding *local window*
+//! of the immediate past, and one over the entire operational history.
+//! Following the paper's worked example ("when the inter-arrival time of 2
+//! appears 10 times, we compute the probability of 2 as 10 divided by the
+//! total number of inter-arrival times"), each distribution divides the count
+//! of gap `k` by the total number of gaps — including gaps longer than the
+//! window — so the in-window probabilities need not sum to 1.
+
+use crate::types::Minute;
+use serde::{Deserialize, Serialize};
+
+/// Estimated probability of each inter-arrival gap within the keep-alive
+/// window. `probs[k]` is the probability of a gap of exactly `k` minutes;
+/// index 0 is unused (a same-minute re-invocation is already warm by
+/// construction) and always 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapProbabilities {
+    probs: Vec<f64>,
+}
+
+impl GapProbabilities {
+    /// All-zero distribution over a window of `w` minutes (no history).
+    pub fn zeros(w: u32) -> Self {
+        Self {
+            probs: vec![0.0; w as usize + 1],
+        }
+    }
+
+    fn from_probs(probs: Vec<f64>) -> Self {
+        Self { probs }
+    }
+
+    /// Build from raw per-gap probabilities (crate-internal; used by the
+    /// incremental model, which derives them from its own counters).
+    pub(crate) fn from_probs_unchecked(probs: Vec<f64>) -> Self {
+        Self { probs }
+    }
+
+    /// The paper's combination rule shared by the reference and incremental
+    /// models: element-wise average of the local and global distributions,
+    /// falling back to whichever side is informed when the other is not.
+    pub(crate) fn combine(local: &Self, global: &Self, window: u32) -> Self {
+        match (local.is_uninformed(), global.is_uninformed()) {
+            (true, true) => GapProbabilities::zeros(window),
+            (true, false) => global.clone(),
+            (false, true) => local.clone(),
+            (false, false) => GapProbabilities::from_probs(
+                local
+                    .probs
+                    .iter()
+                    .zip(global.probs.iter())
+                    .map(|(&l, &g)| (l + g) / 2.0)
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Probability of a gap of exactly `k` minutes (0 when out of window).
+    #[inline]
+    pub fn at(&self, k: u64) -> f64 {
+        self.probs.get(k as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Window length (max representable gap).
+    #[inline]
+    pub fn window(&self) -> u64 {
+        (self.probs.len() - 1) as u64
+    }
+
+    /// Total in-window probability mass (≤ 1).
+    pub fn mass(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// True when no history informed this estimate.
+    pub fn is_uninformed(&self) -> bool {
+        self.probs.iter().all(|&p| p == 0.0)
+    }
+}
+
+/// Per-function invocation history with gap-probability estimation.
+///
+/// Timestamps must be recorded in non-decreasing order; multiple invocations
+/// within the same minute are collapsed (a second invocation in the same
+/// minute hits an already-warm container and carries no inter-arrival
+/// information at minute resolution).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InterArrivalModel {
+    /// Distinct invocation minutes, ascending.
+    arrivals: Vec<Minute>,
+}
+
+impl InterArrivalModel {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an invocation at minute `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the most recent recorded invocation — the
+    /// policy is driven by a forward-moving clock.
+    pub fn record(&mut self, t: Minute) {
+        if let Some(&last) = self.arrivals.last() {
+            assert!(t >= last, "invocations must be recorded in time order");
+            if t == last {
+                return; // same-minute duplicate carries no gap information
+            }
+        }
+        self.arrivals.push(t);
+    }
+
+    /// Number of distinct invocation minutes recorded.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when no invocation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Minute of the most recent invocation, if any.
+    pub fn last_arrival(&self) -> Option<Minute> {
+        self.arrivals.last().copied()
+    }
+
+    /// Empirical gap distribution over arrivals in `[from, to]` (inclusive),
+    /// for gaps up to `window` minutes. Denominator is the total number of
+    /// gaps in the range, including gaps longer than `window`.
+    fn distribution_in(&self, from: Minute, to: Minute, window: u32) -> GapProbabilities {
+        let mut counts = vec![0u64; window as usize + 1];
+        let mut total = 0u64;
+        let mut prev: Option<Minute> = None;
+        for &a in &self.arrivals {
+            if a < from {
+                continue;
+            }
+            if a > to {
+                break;
+            }
+            if let Some(p) = prev {
+                let gap = a - p;
+                total += 1;
+                if gap <= window as u64 {
+                    counts[gap as usize] += 1;
+                }
+            }
+            prev = Some(a);
+        }
+        if total == 0 {
+            return GapProbabilities::zeros(window);
+        }
+        GapProbabilities::from_probs(counts.iter().map(|&c| c as f64 / total as f64).collect())
+    }
+
+    /// Empirical gap distribution over the full history.
+    pub fn global_distribution(&self, window: u32) -> GapProbabilities {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(&a), Some(&b)) => self.distribution_in(a, b, window),
+            _ => GapProbabilities::zeros(window),
+        }
+    }
+
+    /// Empirical gap distribution over arrivals within the trailing
+    /// `local_window` minutes ending at `now`.
+    pub fn local_distribution(
+        &self,
+        now: Minute,
+        local_window: u32,
+        window: u32,
+    ) -> GapProbabilities {
+        let from = now.saturating_sub(local_window as u64);
+        self.distribution_in(from, now, window)
+    }
+
+    /// The paper's combined estimate at time `now`: the element-wise average
+    /// of the local-window distribution and the full-history distribution.
+    /// When one of the two is uninformed (no gaps in range), the other is
+    /// used alone, so sparse functions still get a usable estimate.
+    pub fn probabilities(&self, now: Minute, local_window: u32, window: u32) -> GapProbabilities {
+        let local = self.local_distribution(now, local_window, window);
+        let global = self.global_distribution(window);
+        GapProbabilities::combine(&local, &global, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_with(arrivals: &[Minute]) -> InterArrivalModel {
+        let mut m = InterArrivalModel::new();
+        for &t in arrivals {
+            m.record(t);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_model_is_uninformed() {
+        let m = InterArrivalModel::new();
+        assert!(m.probabilities(100, 60, 10).is_uninformed());
+        assert!(m.is_empty());
+        assert_eq!(m.last_arrival(), None);
+    }
+
+    #[test]
+    fn single_arrival_has_no_gaps() {
+        let m = model_with(&[5]);
+        assert!(m.probabilities(100, 60, 10).is_uninformed());
+    }
+
+    #[test]
+    fn uniform_cadence_concentrates_probability() {
+        // Invocations every 2 minutes: P(gap=2) = 1.
+        let m = model_with(&[0, 2, 4, 6, 8, 10]);
+        let p = m.probabilities(10, 60, 10);
+        assert!((p.at(2) - 1.0).abs() < 1e-12);
+        for k in [1u64, 3, 4, 5, 10] {
+            assert_eq!(p.at(k), 0.0);
+        }
+        assert!((p.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // Gap of 2 appearing 10 times among 20 total gaps → P(2) = 0.5.
+        let mut arrivals = vec![0u64];
+        let mut t = 0u64;
+        for _ in 0..10 {
+            t += 2;
+            arrivals.push(t);
+        }
+        for _ in 0..10 {
+            t += 30; // out-of-window gaps still count in the denominator
+            arrivals.push(t);
+        }
+        let m = model_with(&arrivals);
+        let g = m.global_distribution(10);
+        assert!((g.at(2) - 0.5).abs() < 1e-12);
+        assert!((g.mass() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_window_gaps_dilute_mass() {
+        let m = model_with(&[0, 5, 100]); // gaps 5 and 95
+        let g = m.global_distribution(10);
+        assert!((g.at(5) - 0.5).abs() < 1e-12);
+        assert!(g.mass() < 1.0);
+    }
+
+    #[test]
+    fn local_and_global_are_averaged() {
+        // History: early phase gap 3, recent phase gap 5.
+        // Arrivals: 0,3,6,9 then 100,105,110 (now=110, local window 20).
+        let m = model_with(&[0, 3, 6, 9, 100, 105, 110]);
+        let p = m.probabilities(110, 20, 10);
+        // Local window [90,110]: arrivals 100,105,110 → gaps {5,5} → P(5)=1.
+        // Global: gaps {3,3,3,91,5,5} → P(5)=2/6, P(3)=3/6.
+        assert!((p.at(5) - (1.0 + 2.0 / 6.0) / 2.0).abs() < 1e-12);
+        assert!((p.at(3) - (0.0 + 3.0 / 6.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uninformed_local_falls_back_to_global() {
+        let m = model_with(&[0, 2, 4, 6]);
+        // now = 1000: local window is empty → use global alone.
+        let p = m.probabilities(1000, 60, 10);
+        assert!((p.at(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_minute_duplicates_collapse() {
+        let mut m = InterArrivalModel::new();
+        m.record(5);
+        m.record(5);
+        m.record(5);
+        m.record(7);
+        assert_eq!(m.len(), 2);
+        let g = m.global_distribution(10);
+        assert!((g.at(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_rejected() {
+        let mut m = InterArrivalModel::new();
+        m.record(10);
+        m.record(9);
+    }
+
+    #[test]
+    fn gap_index_zero_is_always_zero() {
+        let m = model_with(&[0, 1, 2, 3]);
+        assert_eq!(m.global_distribution(10).at(0), 0.0);
+    }
+
+    #[test]
+    fn window_bounds_respected() {
+        let m = model_with(&[0, 10]);
+        let g = m.global_distribution(10);
+        assert!((g.at(10) - 1.0).abs() < 1e-12);
+        assert_eq!(g.at(11), 0.0); // out of range lookup is 0, not a panic
+        assert_eq!(g.window(), 10);
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution_over_window() {
+        let m = model_with(&[0, 1, 3, 6, 10, 15, 21, 28, 36, 45]);
+        let p = m.probabilities(45, 60, 10);
+        for k in 0..=10 {
+            let v = p.at(k);
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert!(p.mass() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! # pulse-core — the PULSE keep-alive policy
+//!
+//! This crate implements the paper's primary contribution: a dynamic
+//! 10-minute keep-alive mechanism that mixes *quality variants* of ML models
+//! to balance keep-alive cost, accuracy and service time, in two layers:
+//!
+//! 1. **Individual (function-centric) optimization** ([`individual`],
+//!    [`interarrival`], [`thresholds`]): per function, the probability of each
+//!    inter-arrival gap (1–10 minutes) is estimated over a sliding *local
+//!    window* and over the full history, averaged, and mapped through greedy
+//!    probability thresholds to a per-minute variant schedule for the
+//!    keep-alive window. High invocation probability ⇒ keep the
+//!    high-accuracy variant warm; low probability ⇒ the cheap variant.
+//!
+//! 2. **Cross-function (global) optimization** ([`peak`], [`priority`],
+//!    [`utility`], [`global`]): every minute, Algorithm 1 compares current
+//!    keep-alive memory against a *prior* keep-alive memory (robust to
+//!    periods of inactivity); when a peak is detected, Algorithm 2 repeatedly
+//!    downgrades the kept-alive model with the lowest utility value
+//!    `Uv = Ai + Pr + Ip` — accuracy improvement, normalized downgrade
+//!    priority (Equation 1), invocation probability — until the peak is
+//!    flattened.
+//!
+//! The [`engine::PulseEngine`] ties both layers together behind a small API
+//! that the `pulse-sim` simulator (or a real platform shim) drives:
+//! `on_invocation` returns a variant schedule, `flatten_peak` returns the
+//! downgrade actions for the current minute.
+//!
+//! ```
+//! use pulse_core::{engine::PulseEngine, PulseConfig};
+//! use pulse_models::zoo;
+//!
+//! // Two functions, each assigned a model family.
+//! let mut engine = PulseEngine::new(vec![zoo::gpt(), zoo::bert()], PulseConfig::default());
+//!
+//! // A function with a tight 2-minute cadence...
+//! for t in [0u64, 2, 4, 6, 8, 10] {
+//!     engine.record_invocation(0, t);
+//! }
+//! let schedule = engine.schedule_after_invocation(0, 10);
+//! // ...gets its high-accuracy variant warmed at the 2-minute mark.
+//! assert!(schedule.variant_at_offset(2).unwrap() > 0);
+//! ```
+
+pub mod engine;
+pub mod global;
+pub mod individual;
+pub mod interarrival;
+pub mod online;
+pub mod peak;
+pub mod priority;
+pub mod thresholds;
+pub mod types;
+pub mod utility;
+
+pub use engine::PulseEngine;
+pub use individual::{IndividualOptimizer, KeepAliveSchedule};
+pub use interarrival::{GapProbabilities, InterArrivalModel};
+pub use online::OnlineInterArrival;
+pub use peak::PeakDetector;
+pub use priority::PriorityStructure;
+pub use thresholds::{SchemeT1, SchemeT2, ThresholdScheme};
+pub use types::{FuncId, Minute, PulseConfig};
+pub use utility::utility_value;

@@ -1,0 +1,270 @@
+//! An incremental inter-arrival model with O(1) amortized updates.
+//!
+//! [`crate::interarrival::InterArrivalModel`] recomputes both gap
+//! distributions from the raw arrival log on every query — O(history) per
+//! invocation, which dominates PULSE's per-invocation overhead on
+//! long-running functions (see the `individual` Criterion bench). This
+//! module maintains the same two distributions incrementally:
+//!
+//! * the **global** gap counts grow monotonically — O(1) per arrival;
+//! * the **local-window** counts follow a sliding window over a deque of
+//!   recent arrivals — O(1) amortized per arrival + eviction, provided the
+//!   clock only moves forward (which simulation and production both
+//!   guarantee).
+//!
+//! The observable behaviour is bit-identical to the reference model; the
+//! `prop` test suite and the unit tests below enforce the equivalence.
+
+use crate::interarrival::GapProbabilities;
+use crate::types::Minute;
+use std::collections::VecDeque;
+
+/// Gap-count accumulator over a bounded support plus an out-of-window total.
+#[derive(Debug, Clone, Default)]
+struct GapCounts {
+    /// `counts[g]` for gaps `g ≤ window`; index 0 unused.
+    counts: Vec<u64>,
+    /// Total gaps including those beyond the window (the probability
+    /// denominator).
+    total: u64,
+}
+
+impl GapCounts {
+    fn new(window: u32) -> Self {
+        Self {
+            counts: vec![0; window as usize + 1],
+            total: 0,
+        }
+    }
+
+    fn add(&mut self, gap: u64) {
+        self.total += 1;
+        if let Some(c) = self.counts.get_mut(gap as usize) {
+            *c += 1;
+        }
+    }
+
+    fn remove(&mut self, gap: u64) {
+        debug_assert!(self.total > 0);
+        self.total -= 1;
+        if let Some(c) = self.counts.get_mut(gap as usize) {
+            debug_assert!(*c > 0);
+            *c -= 1;
+        }
+    }
+
+    fn probabilities(&self, window: u32) -> GapProbabilities {
+        if self.total == 0 {
+            return GapProbabilities::zeros(window);
+        }
+        GapProbabilities::from_probs_unchecked(
+            self.counts
+                .iter()
+                .map(|&c| c as f64 / self.total as f64)
+                .collect(),
+        )
+    }
+}
+
+/// Incremental equivalent of [`crate::interarrival::InterArrivalModel`].
+#[derive(Debug, Clone)]
+pub struct OnlineInterArrival {
+    /// Keep-alive window (max representable gap), minutes.
+    window: u32,
+    /// Sliding local-window length, minutes.
+    local_window: u32,
+    global: GapCounts,
+    local: GapCounts,
+    /// Arrivals currently inside the local window, ascending.
+    recent: VecDeque<Minute>,
+    last_arrival: Option<Minute>,
+    /// High-water mark of the clock (queries/evictions must be monotone).
+    now: Minute,
+}
+
+impl OnlineInterArrival {
+    /// New model for a `window`-minute keep-alive period and a
+    /// `local_window`-minute sliding window.
+    pub fn new(window: u32, local_window: u32) -> Self {
+        assert!(window >= 1 && local_window >= 1);
+        Self {
+            window,
+            local_window,
+            global: GapCounts::new(window),
+            local: GapCounts::new(window),
+            recent: VecDeque::new(),
+            last_arrival: None,
+            now: 0,
+        }
+    }
+
+    /// Number of distinct arrival minutes recorded (global).
+    pub fn arrivals(&self) -> u64 {
+        self.global.total + u64::from(self.last_arrival.is_some())
+    }
+
+    /// Most recent arrival.
+    pub fn last_arrival(&self) -> Option<Minute> {
+        self.last_arrival
+    }
+
+    /// Record an arrival at minute `t` (monotone, duplicates collapse).
+    pub fn record(&mut self, t: Minute) {
+        if let Some(last) = self.last_arrival {
+            assert!(t >= last, "arrivals must be recorded in time order");
+            if t == last {
+                return;
+            }
+            let gap = t - last;
+            self.global.add(gap);
+        }
+        self.advance_to(t);
+        // Local gap: between the new arrival and the previous one, counted
+        // only when the previous arrival is still inside the window at the
+        // *current* clock — eviction handles the rest lazily.
+        if let Some(&prev) = self.recent.back() {
+            self.local.add(t - prev);
+        }
+        self.recent.push_back(t);
+        self.last_arrival = Some(t);
+    }
+
+    /// Advance the clock, evicting arrivals (and their leading gaps) that
+    /// fell out of the local window `[now − local_window, now]`.
+    pub fn advance_to(&mut self, now: Minute) {
+        assert!(now >= self.now, "the clock only moves forward");
+        self.now = now;
+        let from = now.saturating_sub(self.local_window as u64);
+        while let Some(&oldest) = self.recent.front() {
+            if oldest >= from {
+                break;
+            }
+            self.recent.pop_front();
+            if let Some(&next) = self.recent.front() {
+                self.local.remove(next - oldest);
+            }
+        }
+    }
+
+    /// The combined estimate at minute `now`: average of the local-window
+    /// and global distributions, with single-sided fallback — exactly
+    /// [`crate::interarrival::InterArrivalModel::probabilities`].
+    pub fn probabilities(&mut self, now: Minute) -> GapProbabilities {
+        self.advance_to(now);
+        let local = self.local.probabilities(self.window);
+        let global = self.global.probabilities(self.window);
+        GapProbabilities::combine(&local, &global, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interarrival::InterArrivalModel;
+
+    fn both(arrivals: &[Minute], local_window: u32) -> (OnlineInterArrival, InterArrivalModel) {
+        let mut online = OnlineInterArrival::new(10, local_window);
+        let mut reference = InterArrivalModel::new();
+        for &t in arrivals {
+            online.record(t);
+            reference.record(t);
+        }
+        (online, reference)
+    }
+
+    fn assert_equivalent(arrivals: &[Minute], local_window: u32, now: Minute) {
+        let (mut online, reference) = both(arrivals, local_window);
+        let a = online.probabilities(now);
+        let b = reference.probabilities(now, local_window, 10);
+        for k in 0..=10u64 {
+            assert!(
+                (a.at(k) - b.at(k)).abs() < 1e-12,
+                "gap {k}: online {} vs reference {} (arrivals {arrivals:?}, lw {local_window}, now {now})",
+                a.at(k),
+                b.at(k)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_steady_cadence() {
+        let arrivals: Vec<Minute> = (0..50).map(|i| i * 4).collect();
+        assert_equivalent(&arrivals, 60, 196);
+    }
+
+    #[test]
+    fn matches_reference_on_regime_change() {
+        // Gap 3 early, gap 7 late: the local window must forget the early
+        // regime as `now` advances.
+        let mut arrivals = vec![0u64];
+        let mut t = 0;
+        for _ in 0..20 {
+            t += 3;
+            arrivals.push(t);
+        }
+        for _ in 0..20 {
+            t += 7;
+            arrivals.push(t);
+        }
+        for now in [t, t + 30, t + 200] {
+            assert_equivalent(&arrivals, 40, now);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_sparse_history() {
+        assert_equivalent(&[5], 60, 100);
+        assert_equivalent(&[], 60, 100);
+        assert_equivalent(&[0, 500], 60, 600);
+    }
+
+    #[test]
+    fn matches_reference_with_tiny_window() {
+        let arrivals: Vec<Minute> = vec![0, 2, 4, 9, 11, 12, 20, 21, 30];
+        for lw in [1u32, 2, 5, 9] {
+            assert_equivalent(&arrivals, lw, 30);
+            assert_equivalent(&arrivals, lw, 35);
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse_like_reference() {
+        let (mut online, reference) = both(&[3, 3, 3, 8, 8, 12], 60);
+        let a = online.probabilities(12);
+        let b = reference.probabilities(12, 60, 10);
+        for k in 0..=10u64 {
+            assert!((a.at(k) - b.at(k)).abs() < 1e-12);
+        }
+        assert_eq!(online.last_arrival(), Some(12));
+    }
+
+    #[test]
+    fn queries_are_monotone_safe() {
+        let mut m = OnlineInterArrival::new(10, 20);
+        for t in [0u64, 5, 10, 15] {
+            m.record(t);
+        }
+        let _ = m.probabilities(20);
+        let _ = m.probabilities(50);
+        // After everything left the window, only the global term remains.
+        let p = m.probabilities(500);
+        assert!((p.at(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock only moves forward")]
+    fn clock_rewind_rejected() {
+        let mut m = OnlineInterArrival::new(10, 20);
+        m.record(50);
+        let _ = m.probabilities(60);
+        let _ = m.probabilities(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_arrival_rejected() {
+        let mut m = OnlineInterArrival::new(10, 20);
+        m.record(50);
+        m.record(10);
+    }
+}

@@ -1,0 +1,222 @@
+//! Peak determination — the paper's Algorithm 1 (Section III-B).
+//!
+//! A minute is a *peak* when its keep-alive memory exceeds a *prior*
+//! keep-alive memory by more than the tunable threshold fraction `KM_T`:
+//!
+//! ```text
+//! is_peak(C_KaM, P_KaM) = C_KaM > P_KaM + KM_T × P_KaM
+//! ```
+//!
+//! The subtlety Algorithm 1 addresses is choosing `P_KaM` for the *first*
+//! minute after activity resumes. Functions may be nocturnal/diurnal or have
+//! long inactive stretches; taking the immediately-preceding minute's memory
+//! (zero after inactivity) would flag every wake-up as a peak and cause mass
+//! downgrades → cold starts. So:
+//!
+//! * continuous operation (system has run ≥ 2 local windows and the trailing
+//!   local-window average is non-zero) → prior = that average;
+//! * otherwise → prior = the most recent *non-zero* keep-alive memory in
+//!   history, or ∞ if there has never been one (∞ ⇒ never a peak);
+//! * for every later minute of a keep-alive period → prior = the previous
+//!   minute's memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Algorithm 1: peak detection over the keep-alive memory series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakDetector {
+    /// The keep-alive memory threshold `KM_T` (fraction, e.g. 0.10 for M2).
+    pub km_threshold: f64,
+    /// Sliding local-window length, minutes.
+    pub local_window: usize,
+}
+
+impl PeakDetector {
+    /// New detector. Panics on invalid parameters.
+    pub fn new(km_threshold: f64, local_window: usize) -> Self {
+        assert!(
+            km_threshold.is_finite() && km_threshold >= 0.0,
+            "KM_T must be finite and non-negative"
+        );
+        assert!(local_window >= 1, "local window must be >= 1 minute");
+        Self {
+            km_threshold,
+            local_window,
+        }
+    }
+
+    /// The `ISPEAK` predicate of Algorithm 1.
+    #[inline]
+    pub fn is_peak(&self, current_kam: f64, prior_kam: f64) -> bool {
+        current_kam > prior_kam + self.km_threshold * prior_kam
+    }
+
+    /// Compute the prior keep-alive memory `P_KaM` for the minute *after*
+    /// `history` (the per-minute keep-alive memory series so far, oldest
+    /// first), per Algorithm 1.
+    ///
+    /// `first_minute_of_period` distinguishes the `t == 1` branch (first
+    /// minute of a keep-alive period, i.e. activity just resumed) from the
+    /// `t > 1` branch (prior = previous minute's memory).
+    pub fn prior_kam(&self, history: &[f64], first_minute_of_period: bool) -> f64 {
+        if history.is_empty() {
+            return f64::INFINITY;
+        }
+        if !first_minute_of_period {
+            return history[history.len() - 1];
+        }
+        // t == 1 branch.
+        let w = self.local_window.min(history.len());
+        let tail = &history[history.len() - w..];
+        let avg = tail.iter().sum::<f64>() / w as f64;
+        if history.len() >= 2 * self.local_window && avg > 0.0 {
+            avg
+        } else {
+            // Last non-zero keep-alive memory anywhere in history, else ∞.
+            history
+                .iter()
+                .rev()
+                .copied()
+                .find(|&q| q > 0.0)
+                .unwrap_or(f64::INFINITY)
+        }
+    }
+
+    /// Convenience: prior + predicate in one call for the minute after
+    /// `history` with current memory `current_kam`.
+    pub fn detect(&self, history: &[f64], first_minute_of_period: bool, current_kam: f64) -> bool {
+        self.is_peak(current_kam, self.prior_kam(history, first_minute_of_period))
+    }
+
+    /// The memory level a peak must be flattened down to: the largest current
+    /// memory that is *not* a peak relative to `prior_kam`.
+    #[inline]
+    pub fn flatten_target(&self, prior_kam: f64) -> f64 {
+        // Same expression as `is_peak`, so the target itself is never a peak
+        // (floating-point identical, not just algebraically equal).
+        prior_kam + self.km_threshold * prior_kam
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> PeakDetector {
+        PeakDetector::new(0.10, 5)
+    }
+
+    #[test]
+    fn ispeak_threshold_boundary() {
+        let d = det();
+        assert!(!d.is_peak(110.0, 100.0)); // exactly at threshold: not a peak
+        assert!(d.is_peak(110.0 + 1e-9, 100.0));
+        assert!(!d.is_peak(90.0, 100.0));
+    }
+
+    #[test]
+    fn continuing_period_uses_previous_minute() {
+        let d = det();
+        let history = vec![50.0, 60.0, 70.0];
+        assert_eq!(d.prior_kam(&history, false), 70.0);
+    }
+
+    #[test]
+    fn steady_operation_uses_local_window_average() {
+        let d = det();
+        // 10 minutes of history (≥ 2 × window of 5), trailing window avg 100.
+        let history = vec![0.0, 0.0, 0.0, 0.0, 0.0, 100.0, 100.0, 100.0, 100.0, 100.0];
+        assert_eq!(d.prior_kam(&history, true), 100.0);
+    }
+
+    #[test]
+    fn wakeup_after_inactivity_uses_last_nonzero() {
+        let d = det();
+        // Trailing window is all zeros (inactive) → avg 0 → fall back to the
+        // last non-zero value (80), even though the system is old enough.
+        let history = vec![70.0, 75.0, 80.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(d.prior_kam(&history, true), 80.0);
+    }
+
+    #[test]
+    fn young_system_uses_last_nonzero() {
+        let d = det();
+        // Only 4 minutes of history (< 2 × 5): bypass the average branch.
+        let history = vec![30.0, 40.0, 0.0, 0.0];
+        assert_eq!(d.prior_kam(&history, true), 40.0);
+    }
+
+    #[test]
+    fn never_active_system_has_infinite_prior() {
+        let d = det();
+        let history = vec![0.0; 20];
+        assert_eq!(d.prior_kam(&history, true), f64::INFINITY);
+        // ∞ prior ⇒ no current memory can be a peak.
+        assert!(!d.is_peak(1e12, f64::INFINITY));
+    }
+
+    #[test]
+    fn empty_history_has_infinite_prior() {
+        let d = det();
+        assert_eq!(d.prior_kam(&[], true), f64::INFINITY);
+        assert_eq!(d.prior_kam(&[], false), f64::INFINITY);
+    }
+
+    #[test]
+    fn detect_combines_prior_and_predicate() {
+        let d = det();
+        let history = vec![100.0; 10];
+        // Steady at 100, current jumps to 150: 150 > 110 → peak.
+        assert!(d.detect(&history, false, 150.0));
+        assert!(!d.detect(&history, false, 105.0));
+    }
+
+    #[test]
+    fn wakeup_is_not_a_peak_when_memory_resumes_at_prior_level() {
+        let d = det();
+        // The design goal: waking from inactivity at yesterday's level must
+        // not fire the detector (else wake-ups cause mass cold starts).
+        let mut history = vec![100.0; 10];
+        history.extend(vec![0.0; 8]);
+        assert!(!d.detect(&history, true, 105.0));
+        // ...but a 2× jump over the remembered level still fires.
+        assert!(d.detect(&history, true, 220.0));
+    }
+
+    #[test]
+    fn flatten_target_is_threshold_level() {
+        let d = det();
+        assert!((d.flatten_target(100.0) - 110.0).abs() < 1e-12);
+        assert!(!d.is_peak(d.flatten_target(100.0), 100.0));
+    }
+
+    #[test]
+    fn zero_threshold_flags_any_increase() {
+        let d = PeakDetector::new(0.0, 5);
+        assert!(d.is_peak(100.0 + 1e-9, 100.0));
+        assert!(!d.is_peak(100.0, 100.0));
+    }
+
+    #[test]
+    fn non_increasing_memory_never_peaks() {
+        let d = det();
+        let series = [100.0, 90.0, 80.0, 80.0, 60.0, 10.0];
+        let mut history: Vec<f64> = vec![100.0];
+        for &m in &series[1..] {
+            assert!(!d.detect(&history, false, m));
+            history.push(m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "KM_T")]
+    fn negative_threshold_rejected() {
+        PeakDetector::new(-0.1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "local window")]
+    fn zero_window_rejected() {
+        PeakDetector::new(0.1, 0);
+    }
+}

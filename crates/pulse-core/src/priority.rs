@@ -1,0 +1,132 @@
+//! The priority structure (Section III-B).
+//!
+//! PULSE counts how many times each model has been downgraded during peaks.
+//! Before every utility computation the counts are normalized with the
+//! paper's Equation 1 (min–max, with the degenerate `X_max == X_min` case
+//! mapping to all zeros). A model that has absorbed many downgrades gets a
+//! *high* normalized priority, which raises its utility value `Uv` and
+//! shields it from further downgrades — the unbiasedness mechanism that stops
+//! one model (e.g. a low-accuracy YOLO) from always paying for peaks.
+//! "To minimize memory overhead, the priority structure is implemented as an
+//! array."
+
+use pulse_models::stats::normalize_min_max;
+use serde::{Deserialize, Serialize};
+
+/// Downgrade-count array with Equation 1 normalization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityStructure {
+    counts: Vec<u64>,
+}
+
+impl PriorityStructure {
+    /// Zero-initialized structure for `n_models` models ("this initialization
+    /// occurs immediately after the system has started").
+    pub fn new(n_models: usize) -> Self {
+        Self {
+            counts: vec![0; n_models],
+        }
+    }
+
+    /// Number of models tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when tracking no models.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Raw downgrade count of model `m`.
+    pub fn count(&self, m: usize) -> u64 {
+        self.counts[m]
+    }
+
+    /// Record one downgrade of model `m` ("update priority structure with +1
+    /// for m").
+    pub fn bump(&mut self, m: usize) {
+        self.counts[m] += 1;
+    }
+
+    /// Equation 1 normalization of the whole structure: values in `[0, 1]`,
+    /// the most-downgraded model at 1, with the all-equal case yielding all
+    /// zeros.
+    pub fn normalized(&self) -> Vec<f64> {
+        let xs: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        normalize_min_max(&xs)
+    }
+
+    /// Normalized priority of a single model (recomputes the whole
+    /// normalization — callers in the downgrade loop should use
+    /// [`Self::normalized`] once per iteration instead).
+    pub fn normalized_of(&self, m: usize) -> f64 {
+        self.normalized()[m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_zero() {
+        let p = PriorityStructure::new(4);
+        assert_eq!(p.normalized(), vec![0.0; 4]);
+        assert_eq!(p.count(2), 0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn most_downgraded_normalizes_to_one() {
+        let mut p = PriorityStructure::new(3);
+        p.bump(0);
+        p.bump(0);
+        p.bump(1);
+        let n = p.normalized();
+        assert_eq!(n[0], 1.0);
+        assert_eq!(n[1], 0.5);
+        assert_eq!(n[2], 0.0);
+    }
+
+    #[test]
+    fn all_equal_counts_normalize_to_zero() {
+        let mut p = PriorityStructure::new(3);
+        for m in 0..3 {
+            p.bump(m);
+        }
+        assert_eq!(p.normalized(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn normalized_values_stay_in_unit_interval() {
+        let mut p = PriorityStructure::new(5);
+        for (m, k) in [(0, 7), (1, 3), (2, 0), (3, 11), (4, 11)] {
+            for _ in 0..k {
+                p.bump(m);
+            }
+        }
+        for v in p.normalized() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(p.normalized_of(3), 1.0);
+        assert_eq!(p.normalized_of(2), 0.0);
+    }
+
+    #[test]
+    fn empty_structure_is_fine() {
+        let p = PriorityStructure::new(0);
+        assert!(p.is_empty());
+        assert!(p.normalized().is_empty());
+    }
+
+    #[test]
+    fn bump_accumulates() {
+        let mut p = PriorityStructure::new(2);
+        for _ in 0..10 {
+            p.bump(1);
+        }
+        assert_eq!(p.count(1), 10);
+        assert_eq!(p.count(0), 0);
+    }
+}

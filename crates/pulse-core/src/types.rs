@@ -1,0 +1,111 @@
+//! Shared types and tunables of the PULSE policy.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation/policy time in minutes since the start of the trace. The paper
+/// works at minute resolution throughout ("the time resolution used for
+/// inter-arrival time is in minutes").
+pub type Minute = u64;
+
+/// Identifier of a serverless function within a deployment (dense index).
+pub type FuncId = usize;
+
+/// Probability-threshold scheme selector (Figure 10's T1 vs T2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// T1: divide the probability space `[0, 1]` into `N` equal areas
+    /// (`N − 1` thresholds at `1/N, 2/N, …`), lowest area → lowest variant.
+    T1,
+    /// T2: reserve the lowest-accuracy variant for probability exactly 0 and
+    /// divide `(0, 1]` into `N − 1` areas (`N − 2` thresholds).
+    T2,
+}
+
+/// All tunables of PULSE, with the paper's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PulseConfig {
+    /// Length of the keep-alive window after an invocation, minutes.
+    /// The paper (and every major provider it cites) uses 10; Section V notes
+    /// the design "can be adapted to different keep-alive durations".
+    pub keepalive_minutes: u32,
+    /// Sliding local-window length for the immediate-past inter-arrival
+    /// distribution and for Algorithm 1's averaged prior memory, minutes.
+    /// Figure 12 sweeps {10, 60, 120}; we default to 60.
+    pub local_window: u32,
+    /// Keep-alive memory threshold `KM_T` of Algorithm 1: a minute is a peak
+    /// when current memory exceeds prior memory by more than this fraction.
+    /// Figure 11 sweeps {0.05, 0.10, 0.15} (M1–M3); the paper's discussion
+    /// default (M2) is 0.10.
+    pub km_threshold: f64,
+    /// Which probability-threshold scheme the individual optimizer uses.
+    pub scheme: SchemeKind,
+}
+
+impl Default for PulseConfig {
+    fn default() -> Self {
+        Self {
+            keepalive_minutes: 10,
+            local_window: 60,
+            km_threshold: 0.10,
+            scheme: SchemeKind::T1,
+        }
+    }
+}
+
+impl PulseConfig {
+    /// Validate tunables; the engine calls this on construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.keepalive_minutes == 0 {
+            return Err("keepalive_minutes must be >= 1".into());
+        }
+        if self.local_window == 0 {
+            return Err("local_window must be >= 1".into());
+        }
+        if !self.km_threshold.is_finite() || self.km_threshold < 0.0 {
+            return Err("km_threshold must be finite and >= 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PulseConfig::default();
+        assert_eq!(c.keepalive_minutes, 10);
+        assert_eq!(c.local_window, 60);
+        assert!((c.km_threshold - 0.10).abs() < 1e-12);
+        assert_eq!(c.scheme, SchemeKind::T1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let c = PulseConfig {
+            local_window: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_keepalive_rejected() {
+        let c = PulseConfig {
+            keepalive_minutes: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn negative_threshold_rejected() {
+        let c = PulseConfig {
+            km_threshold: -0.1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

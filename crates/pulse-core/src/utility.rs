@@ -1,0 +1,95 @@
+//! Utility value of a keep-alive decision (Section III-B, Equation 2).
+//!
+//! During a peak, every model currently kept alive is scored:
+//!
+//! ```text
+//! Uv = Ai + Pr + Ip
+//! ```
+//!
+//! * `Ai` — accuracy improvement of the chosen variant over the next-lower
+//!   variant (or, at the lowest variant, that variant's accuracy in decimal
+//!   form), see [`pulse_models::ModelFamily::accuracy_improvement`];
+//! * `Pr` — the model's normalized downgrade priority (Equation 1);
+//! * `Ip` — the probability of invocation derived in the individual
+//!   optimization.
+//!
+//! Each component lies in `[0, 1]` and they are *equally weighted* "to ensure
+//! a balanced assessment and prevent bias". The model with the lowest `Uv`
+//! is downgraded first.
+
+use pulse_models::{ModelFamily, VariantId};
+
+/// Equation 2: `Uv = Ai + Pr + Ip`.
+///
+/// Debug-asserts each component is in `[0, 1]` (the paper's stated ranges).
+#[inline]
+pub fn utility_value(ai: f64, pr: f64, ip: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&ai), "Ai out of range: {ai}");
+    debug_assert!((0.0..=1.0).contains(&pr), "Pr out of range: {pr}");
+    debug_assert!((0.0..=1.0).contains(&ip), "Ip out of range: {ip}");
+    ai + pr + ip
+}
+
+/// Convenience: compute `Uv` for keeping `variant` of `family` alive, given
+/// the normalized priority and invocation probability.
+pub fn utility_for(family: &ModelFamily, variant: VariantId, pr: f64, ip: f64) -> f64 {
+    utility_value(family.accuracy_improvement(variant), pr, ip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_models::zoo;
+
+    #[test]
+    fn utility_is_sum_of_components() {
+        assert!((utility_value(0.2, 0.3, 0.4) - 0.9).abs() < 1e-12);
+        assert_eq!(utility_value(0.0, 0.0, 0.0), 0.0);
+        assert_eq!(utility_value(1.0, 1.0, 1.0), 3.0);
+    }
+
+    #[test]
+    fn utility_range_is_zero_to_three() {
+        for ai in [0.0, 0.5, 1.0] {
+            for pr in [0.0, 0.5, 1.0] {
+                for ip in [0.0, 0.5, 1.0] {
+                    let uv = utility_value(ai, pr, ip);
+                    assert!((0.0..=3.0).contains(&uv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_variant_uses_own_accuracy_as_ai() {
+        // The paper's YOLO example: lowest variant accuracy 56.8 % ⇒ Ai = 0.568.
+        let yolo = zoo::yolo();
+        let uv = utility_for(&yolo, 0, 0.0, 0.0);
+        assert!((uv - 0.568).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpt_bias_without_priority_component() {
+        // The motivating bias: GPT's lowest accuracy (87.65 %) beats YOLO's
+        // (56.8 %) on Ai alone, so GPT would never be downgraded first...
+        let gpt = zoo::gpt();
+        let yolo = zoo::yolo();
+        assert!(utility_for(&gpt, 0, 0.0, 0.0) > utility_for(&yolo, 0, 0.0, 0.0));
+        // ...until the priority structure compensates.
+        assert!(utility_for(&gpt, 0, 0.0, 0.0) < utility_for(&yolo, 0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn interior_variant_ai_is_step_gain() {
+        let gpt = zoo::gpt();
+        // GPT-Large over GPT-Medium: 93.45 − 92.35 = 1.10 points = 0.011.
+        let uv = utility_for(&gpt, 2, 0.0, 0.0);
+        assert!((uv - 0.011).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_invocation_probability_protects_model() {
+        let bert = zoo::bert();
+        assert!(utility_for(&bert, 1, 0.0, 0.9) > utility_for(&bert, 1, 0.0, 0.1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared experiment plumbing: workload/zoo construction, multi-run
+//! campaigns, and improvement arithmetic.
+
+use pulse_models::{zoo, ModelFamily};
+use pulse_sim::metrics::Aggregate;
+use pulse_sim::runner::{self, MultiRunConfig, PolicyFactory};
+use pulse_trace::{synth, Trace};
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Trace seed.
+    pub seed: u64,
+    /// Horizon in minutes.
+    pub horizon: usize,
+    /// Runs per policy in multi-run campaigns.
+    pub n_runs: usize,
+}
+
+impl ExpConfig {
+    /// Fast configuration: 4 days, 30 runs — minutes of wall clock.
+    pub fn quick() -> Self {
+        Self {
+            seed: 42,
+            horizon: 4 * pulse_trace::MINUTES_PER_DAY,
+            n_runs: 30,
+        }
+    }
+
+    /// Paper-scale configuration: 14 days, 1000 runs.
+    pub fn full() -> Self {
+        Self {
+            seed: 42,
+            horizon: pulse_trace::TWO_WEEKS_MINUTES,
+            n_runs: 1000,
+        }
+    }
+
+    /// The standard 12-function workload at this configuration's horizon.
+    pub fn trace(&self) -> Trace {
+        synth::azure_like_12_with_horizon(self.seed, self.horizon)
+    }
+
+    /// The standard model zoo.
+    pub fn zoo(&self) -> Vec<ModelFamily> {
+        zoo::standard()
+    }
+
+    /// Run a multi-run campaign for one policy and aggregate.
+    pub fn campaign(&self, trace: &Trace, name: &str, factory: &PolicyFactory<'_>) -> Aggregate {
+        let cfg = MultiRunConfig {
+            n_runs: self.n_runs,
+            base_seed: self.seed,
+            threads: None,
+        };
+        let z = self.zoo();
+        let runs = runner::run_many(trace, &z, &cfg, factory);
+        runner::aggregate(name, &runs)
+    }
+}
+
+/// Percentage improvement of `ours` over `baseline` for lower-is-better
+/// quantities (positive = we're cheaper/faster).
+pub fn improvement_lower_better(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline * 100.0
+    }
+}
+
+/// Percentage improvement for higher-is-better quantities (accuracy):
+/// positive = we're more accurate.
+pub fn improvement_higher_better(ours: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (ours - baseline) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_have_expected_scales() {
+        let q = ExpConfig::quick();
+        let f = ExpConfig::full();
+        assert!(q.horizon < f.horizon);
+        assert!(q.n_runs < f.n_runs);
+        assert_eq!(f.horizon, 20160);
+        assert_eq!(f.n_runs, 1000);
+    }
+
+    #[test]
+    fn trace_matches_config() {
+        let q = ExpConfig::quick();
+        let t = q.trace();
+        assert_eq!(t.minutes(), q.horizon);
+        assert_eq!(t.n_functions(), 12);
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert!(improvement_lower_better(60.0, 100.0) > 0.0);
+        assert!(improvement_lower_better(120.0, 100.0) < 0.0);
+        assert!(improvement_higher_better(90.0, 80.0) > 0.0);
+        assert!(improvement_higher_better(70.0, 80.0) < 0.0);
+        assert_eq!(improvement_lower_better(1.0, 0.0), 0.0);
+    }
+}

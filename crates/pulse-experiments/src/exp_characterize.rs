@@ -1,0 +1,83 @@
+//! **Extension: workload characterization** — the ATC'20-style per-function
+//! statistics behind the paper's Section II observations, as a printable
+//! report. Useful both to sanity-check the synthetic workload against the
+//! published Azure characteristics and to profile a user's own trace before
+//! deploying PULSE on it.
+
+use crate::common::ExpConfig;
+use crate::report::{fmt, Table};
+use pulse_trace::characterize::{profile_summary, profile_trace, IdleClass};
+
+fn class_label(c: IdleClass) -> &'static str {
+    match c {
+        IdleClass::Periodic => "periodic",
+        IdleClass::Irregular => "irregular",
+        IdleClass::HeavyTailed => "heavy-tailed",
+        IdleClass::Insufficient => "insufficient",
+    }
+}
+
+/// Render the characterization report.
+pub fn run(cfg: &ExpConfig) -> String {
+    let trace = cfg.trace();
+    let mut table = Table::new(
+        "Workload characterization (per function)",
+        &[
+            "Function",
+            "Invocations",
+            "Active min %",
+            "Mean gap",
+            "p99 gap",
+            "CV",
+            "Burstiness",
+            "Class",
+            "<=10min mass",
+        ],
+    );
+    for p in profile_trace(&trace) {
+        table.row(vec![
+            p.name.clone(),
+            p.invocations.to_string(),
+            fmt(p.active_minute_frac * 100.0, 1),
+            fmt(p.mean_gap_min, 1),
+            fmt(p.p99_gap_min, 1),
+            fmt(p.gap_cv, 2),
+            fmt(p.burstiness, 2),
+            class_label(p.class).into(),
+            fmt(p.in_window_mass * 100.0, 1),
+        ]);
+    }
+    let s = profile_summary(&trace);
+    format!(
+        "{}\nclasses: {} periodic / {} irregular / {} heavy-tailed / {} insufficient; \
+         total invocations {}; global peak-to-mean {}x; mean <=10min gap mass {}%\n",
+        table.render(),
+        s.class_counts.0,
+        s.class_counts.1,
+        s.class_counts.2,
+        s.class_counts.3,
+        s.invocations,
+        fmt(s.peak_to_mean, 1),
+        fmt(s.mean_in_window_mass * 100.0, 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_functions() {
+        let cfg = ExpConfig {
+            seed: 42,
+            horizon: 2000,
+            n_runs: 1,
+        };
+        let out = run(&cfg);
+        assert!(out.contains("steady-2m"));
+        assert!(out.contains("heavytail"));
+        assert!(out.contains("peak-to-mean"));
+        // 12 data rows + header + separator + title + summary lines.
+        assert!(out.lines().count() >= 15);
+    }
+}

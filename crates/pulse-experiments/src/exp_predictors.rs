@@ -1,0 +1,130 @@
+//! **Extension: predictor shoot-out** — how well do the candidate
+//! forecasters predict *which of the next 10 minutes a function fires in*?
+//!
+//! Techniques like Wild and IceBreaker are only as good as their forecasts;
+//! this experiment isolates the forecasting layer. Each predictor walks
+//! every function's per-minute count series; at regular checkpoints it
+//! predicts the active minutes of the next keep-alive window, scored
+//! against the trace's actual arrivals (precision / recall / F1). The
+//! seasonal-naive predictor is the reference any learned method must beat.
+
+use crate::common::ExpConfig;
+use crate::report::{fmt, Table};
+use pulse_forecast::predictor::{ArWindowPredictor, ForecastScore, SeasonalNaive, SeriesPredictor};
+use pulse_forecast::{FftPredictor, HoltWinters};
+use pulse_trace::Trace;
+
+/// The activity threshold above which a forecast counts as "active".
+const THRESHOLD: f64 = 0.5;
+/// Forecast horizon, minutes (the keep-alive window).
+const HORIZON: usize = 10;
+/// Evaluate every this-many minutes (amortizes refit costs).
+const STRIDE: usize = 10;
+/// Skip this warm-up prefix before scoring.
+const WARMUP: usize = 240;
+
+fn predictors() -> Vec<Box<dyn SeriesPredictor>> {
+    vec![
+        Box::new(FftPredictor::new()),
+        Box::new(HoltWinters::hourly()),
+        Box::new(ArWindowPredictor::new()),
+        Box::new(SeasonalNaive::new(60)),
+    ]
+}
+
+/// Score every predictor over the workload.
+pub fn evaluate(trace: &Trace) -> Vec<(String, ForecastScore)> {
+    let names: Vec<String> = predictors().iter().map(|p| p.name().to_string()).collect();
+    let mut scores = vec![ForecastScore::default(); names.len()];
+    for f in trace.functions() {
+        let mut preds = predictors();
+        for t in 0..f.minutes() {
+            if t >= WARMUP && t % STRIDE == 0 && t + HORIZON < f.minutes() {
+                let actual: Vec<u64> = (1..=HORIZON as u64)
+                    .filter(|&m| f.at(t as u64 - 1 + m) > 0)
+                    .collect();
+                for (p, s) in preds.iter().zip(scores.iter_mut()) {
+                    let predicted = p.predict_active(HORIZON, THRESHOLD);
+                    s.record(&predicted, &actual);
+                }
+            }
+            for p in preds.iter_mut() {
+                p.push(f.at(t as u64) as f64);
+            }
+        }
+    }
+    names.into_iter().zip(scores).collect()
+}
+
+/// Render the shoot-out table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let trace = cfg.trace();
+    let mut table = Table::new(
+        "Predictor shoot-out: next-10-minute activity forecasts",
+        &["Predictor", "Precision", "Recall", "F1"],
+    );
+    for (name, s) in evaluate(&trace) {
+        table.row(vec![
+            name,
+            fmt(s.precision(), 3),
+            fmt(s.recall(), 3),
+            fmt(s.f1(), 3),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> Trace {
+        pulse_trace::synth::azure_like_12_with_horizon(42, 800)
+    }
+
+    #[test]
+    fn all_predictors_produce_meaningful_scores() {
+        let scores = evaluate(&tiny_trace());
+        assert_eq!(scores.len(), 4);
+        for (name, s) in &scores {
+            let total = s.true_positives + s.false_positives + s.false_negatives;
+            assert!(total > 0, "{name} was never scored");
+            assert!((0.0..=1.0).contains(&s.f1()), "{name} f1 {}", s.f1());
+        }
+    }
+
+    #[test]
+    fn learned_predictors_are_competitive_with_naive() {
+        let scores = evaluate(&tiny_trace());
+        let f1 = |n: &str| {
+            scores
+                .iter()
+                .find(|(name, _)| name.contains(n))
+                .map(|(_, s)| s.f1())
+                .unwrap()
+        };
+        let naive = f1("naive");
+        let best_learned = ["fft", "holt", "ar-"]
+            .iter()
+            .map(|n| f1(n))
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_learned > naive * 0.8,
+            "best learned {best_learned} vs naive {naive}"
+        );
+    }
+
+    #[test]
+    fn report_renders_four_rows() {
+        let cfg = ExpConfig {
+            seed: 42,
+            horizon: 700,
+            n_runs: 1,
+        };
+        let out = run(&cfg);
+        assert!(out.contains("fft-topk"));
+        assert!(out.contains("holt-winters"));
+        assert!(out.contains("ar-yule-walker"));
+        assert!(out.contains("seasonal-naive"));
+    }
+}

@@ -1,0 +1,176 @@
+//! **E12 / Figure 10**, **E13 / Figure 11**, **E14 / Figure 12** — the
+//! sensitivity sweeps: probability-threshold scheme (T1 vs T2), keep-alive
+//! memory threshold (M1 = 5 %, M2 = 10 %, M3 = 15 %), and local window size
+//! (10 / 60 / 120 minutes). The paper's claim in each case is *robustness*:
+//! every setting preserves a large cost improvement over OpenWhisk, a small
+//! (sub-percent) accuracy loss, and a modest service-time effect.
+
+use crate::common::{improvement_higher_better, improvement_lower_better, ExpConfig};
+use crate::report::{pct, Table};
+use pulse_core::types::{PulseConfig, SchemeKind};
+use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
+use pulse_sim::runner::PolicyFactory;
+
+/// Improvements of a PULSE configuration over OpenWhisk:
+/// (cost %, service time %, accuracy %).
+pub fn improvements_over_openwhisk(cfg: &ExpConfig, pulse_cfg: PulseConfig) -> (f64, f64, f64) {
+    let trace = cfg.trace();
+    let ow_factory: Box<PolicyFactory<'_>> = Box::new(|fams: &[pulse_models::ModelFamily], _| {
+        Box::new(OpenWhiskFixed::new(fams)) as Box<dyn pulse_sim::KeepAlivePolicy>
+    });
+    let pu_factory: Box<PolicyFactory<'_>> =
+        Box::new(move |fams: &[pulse_models::ModelFamily], _| {
+            Box::new(PulsePolicy::new(fams.to_vec(), pulse_cfg))
+                as Box<dyn pulse_sim::KeepAlivePolicy>
+        });
+    let ow = cfg.campaign(&trace, "openwhisk", ow_factory.as_ref());
+    let pu = cfg.campaign(&trace, "pulse", pu_factory.as_ref());
+    (
+        improvement_lower_better(pu.keepalive_cost_usd.mean(), ow.keepalive_cost_usd.mean()),
+        improvement_lower_better(pu.service_time_s.mean(), ow.service_time_s.mean()),
+        improvement_higher_better(pu.accuracy_pct.mean(), ow.accuracy_pct.mean()),
+    )
+}
+
+fn sweep_table(title: &str, cfg: &ExpConfig, variants: Vec<(String, PulseConfig)>) -> String {
+    let mut table = Table::new(
+        title,
+        &["Setting", "Keep-alive Cost", "Service Time", "Accuracy"],
+    );
+    for (label, pc) in variants {
+        let (cost, svc, acc) = improvements_over_openwhisk(cfg, pc);
+        table.row(vec![label, pct(cost), pct(svc), pct(acc)]);
+    }
+    table.render()
+}
+
+/// Figure 10: threshold schemes T1 vs T2.
+pub fn run_fig10(cfg: &ExpConfig) -> String {
+    sweep_table(
+        "Figure 10: probability-threshold schemes (improvement over OpenWhisk)",
+        cfg,
+        vec![
+            (
+                "T1 (N areas)".into(),
+                PulseConfig {
+                    scheme: SchemeKind::T1,
+                    ..Default::default()
+                },
+            ),
+            (
+                "T2 (lowest at p=0, N-1 areas)".into(),
+                PulseConfig {
+                    scheme: SchemeKind::T2,
+                    ..Default::default()
+                },
+            ),
+        ],
+    )
+}
+
+/// Figure 11: keep-alive memory thresholds M1/M2/M3.
+pub fn run_fig11(cfg: &ExpConfig) -> String {
+    sweep_table(
+        "Figure 11: keep-alive memory thresholds (improvement over OpenWhisk)",
+        cfg,
+        [("M1 (5%)", 0.05), ("M2 (10%)", 0.10), ("M3 (15%)", 0.15)]
+            .into_iter()
+            .map(|(label, km)| {
+                (
+                    label.to_string(),
+                    PulseConfig {
+                        km_threshold: km,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Figure 12: local window sizes.
+pub fn run_fig12(cfg: &ExpConfig) -> String {
+    sweep_table(
+        "Figure 12: local window sizes (improvement over OpenWhisk)",
+        cfg,
+        [10u32, 60, 120]
+            .into_iter()
+            .map(|w| {
+                (
+                    format!("{w} minutes"),
+                    PulseConfig {
+                        local_window: w,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            seed: 42,
+            horizon: 1200,
+            n_runs: 4,
+        }
+    }
+
+    #[test]
+    fn both_schemes_preserve_cost_improvement() {
+        let cfg = tiny();
+        for scheme in [SchemeKind::T1, SchemeKind::T2] {
+            let (cost, _, acc) = improvements_over_openwhisk(
+                &cfg,
+                PulseConfig {
+                    scheme,
+                    ..Default::default()
+                },
+            );
+            assert!(cost > 0.0, "{scheme:?}: cost improvement {cost}");
+            assert!(acc > -6.0, "{scheme:?}: accuracy loss too large {acc}");
+        }
+    }
+
+    #[test]
+    fn all_memory_thresholds_preserve_cost_improvement() {
+        let cfg = tiny();
+        for km in [0.05, 0.10, 0.15] {
+            let (cost, ..) = improvements_over_openwhisk(
+                &cfg,
+                PulseConfig {
+                    km_threshold: km,
+                    ..Default::default()
+                },
+            );
+            assert!(cost > 0.0, "km {km}: {cost}");
+        }
+    }
+
+    #[test]
+    fn all_window_sizes_preserve_cost_improvement() {
+        let cfg = tiny();
+        for w in [10u32, 60, 120] {
+            let (cost, ..) = improvements_over_openwhisk(
+                &cfg,
+                PulseConfig {
+                    local_window: w,
+                    ..Default::default()
+                },
+            );
+            assert!(cost > 0.0, "window {w}: {cost}");
+        }
+    }
+
+    #[test]
+    fn reports_render() {
+        let cfg = tiny();
+        assert!(run_fig10(&cfg).contains("T2"));
+        assert!(run_fig11(&cfg).contains("M3"));
+        assert!(run_fig12(&cfg).contains("120 minutes"));
+    }
+}

@@ -1,0 +1,132 @@
+//! **E4 / Tables II & III** — four keep-alive strategies evaluated over the
+//! 10-minute windows following the two most prominent invocation peaks.
+//!
+//! Strategies: all high-quality, all low-quality, balanced random mix, and
+//! the intelligent (future-volume) oracle. Expected ordering, from the
+//! paper: all-high has the highest service time / cost / accuracy; all-low
+//! the lowest of each; random lands between; intelligent approaches
+//! all-high's accuracy at noticeably lower cost than all-high.
+
+use crate::common::ExpConfig;
+use crate::report::{fmt, Table};
+use pulse_sim::assignment::round_robin_assignment;
+use pulse_sim::policies::{FixedVariant, IntelligentOracle, RandomMix};
+use pulse_sim::{KeepAlivePolicy, RunMetrics, Simulator};
+use pulse_trace::peaks::peak_windows;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Result rows for one peak window.
+pub struct PeakEval {
+    /// Start minute of the peak window in the full trace.
+    pub window_start: usize,
+    /// Metrics per strategy, in presentation order.
+    pub rows: Vec<RunMetrics>,
+}
+
+/// Evaluate the four strategies over the top-2 peak windows.
+pub fn evaluate(cfg: &ExpConfig) -> Vec<PeakEval> {
+    let trace = cfg.trace();
+    let zoo = cfg.zoo();
+    let windows = peak_windows(&trace, 2, 11, 60);
+    let fams = round_robin_assignment(&zoo, trace.n_functions());
+    windows
+        .into_iter()
+        .map(|w| {
+            let slice = trace.slice(w.start, w.end);
+            let sim = Simulator::new(slice.clone(), fams.clone());
+            let mut policies: Vec<Box<dyn KeepAlivePolicy>> = vec![
+                Box::new(FixedVariant::all_high(&fams)),
+                Box::new(FixedVariant::all_low(&fams)),
+                Box::new(RandomMix::new(
+                    &fams,
+                    &mut SmallRng::seed_from_u64(cfg.seed),
+                )),
+                Box::new(IntelligentOracle::new(&fams, slice)),
+            ];
+            let rows = policies.iter_mut().map(|p| sim.run(p.as_mut())).collect();
+            PeakEval {
+                window_start: w.start,
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// Render Tables II and III.
+pub fn run(cfg: &ExpConfig) -> String {
+    let evals = evaluate(cfg);
+    let mut out = String::new();
+    for (i, e) in evals.iter().enumerate() {
+        let mut table = Table::new(
+            format!(
+                "Table {}: Peak {} evaluation (window starts at minute {})",
+                if i == 0 { "II" } else { "III" },
+                i + 1,
+                e.window_start
+            ),
+            &[
+                "Strategy",
+                "Service Time (s)",
+                "Keep-alive Cost (USD)",
+                "Accuracy (%)",
+                "Warm starts",
+            ],
+        );
+        let names = [
+            "All High Quality",
+            "All Low Quality",
+            "Random High/Low",
+            "Intelligent Solution",
+        ];
+        for (name, m) in names.iter().zip(e.rows.iter()) {
+            table.row(vec![
+                name.to_string(),
+                fmt(m.service_time_s, 2),
+                fmt(m.keepalive_cost_usd, 4),
+                fmt(m.avg_accuracy_pct(), 2),
+                m.warm_starts.to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_match_the_paper() {
+        let evals = evaluate(&ExpConfig::quick());
+        assert_eq!(evals.len(), 2);
+        for e in &evals {
+            let [high, low, random, intelligent] = &e.rows[..] else {
+                panic!("expected 4 strategies");
+            };
+            // Cost ordering: all-low < random < all-high.
+            assert!(low.keepalive_cost_usd < high.keepalive_cost_usd);
+            assert!(random.keepalive_cost_usd < high.keepalive_cost_usd);
+            assert!(random.keepalive_cost_usd > low.keepalive_cost_usd);
+            // Accuracy ordering: all-low < random ≤ high; intelligent < high.
+            assert!(low.avg_accuracy_pct() < high.avg_accuracy_pct());
+            assert!(random.avg_accuracy_pct() <= high.avg_accuracy_pct());
+            assert!(intelligent.avg_accuracy_pct() <= high.avg_accuracy_pct());
+            // Intelligent stays cheaper than all-high.
+            assert!(intelligent.keepalive_cost_usd <= high.keepalive_cost_usd);
+            // Every strategy keeps functions alive for the window → equal
+            // warm-start opportunity.
+            assert_eq!(high.invocations(), low.invocations());
+        }
+    }
+
+    #[test]
+    fn renders_both_tables() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("Table II"));
+        assert!(out.contains("Table III"));
+        assert!(out.contains("Intelligent Solution"));
+    }
+}

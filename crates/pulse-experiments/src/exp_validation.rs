@@ -1,0 +1,121 @@
+//! **Extension: engine cross-validation** — evidence that the minute-level
+//! simulator (used for all paper-reproduction experiments, as in the paper
+//! itself) is a sound abstraction of a real container platform.
+//!
+//! The same policy and trace are driven through two independent engines:
+//! the minute-resolution `pulse-sim` simulator and the millisecond-
+//! resolution event-driven `pulse-runtime` (explicit container lifecycle,
+//! request queueing). For the deterministic fixed policy, warm/cold counts
+//! and keep-alive cost must match *exactly*; for stateful PULSE they must
+//! agree within a small tolerance (intra-minute event ordering can flip a
+//! handful of borderline decisions). The runtime additionally reports the
+//! latency percentiles the minute engine cannot express.
+
+use crate::common::ExpConfig;
+use crate::report::{fmt, Table};
+use pulse_core::types::PulseConfig;
+use pulse_runtime::{Runtime, RuntimeConfig};
+use pulse_sim::assignment::round_robin_assignment;
+use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
+use pulse_sim::Simulator;
+
+/// Run the cross-validation and render the comparison.
+pub fn run(cfg: &ExpConfig) -> String {
+    let trace = cfg.trace();
+    let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+
+    let mut table = Table::new(
+        "Engine cross-validation: minute simulator vs event-driven runtime",
+        &[
+            "Policy",
+            "Engine",
+            "Warm",
+            "Cold",
+            "Cost ($)",
+            "Accuracy (%)",
+            "p50 (ms)",
+            "p99 (ms)",
+        ],
+    );
+
+    let sim_ow = sim.run(&mut OpenWhiskFixed::new(&fams));
+    let rt_ow = rt.run(&mut OpenWhiskFixed::new(&fams));
+    let sim_pu = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+    let rt_pu = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+
+    for (policy, s, r) in [("openwhisk", &sim_ow, &rt_ow), ("pulse", &sim_pu, &rt_pu)] {
+        table.row(vec![
+            policy.into(),
+            "minute-sim".into(),
+            s.warm_starts.to_string(),
+            s.cold_starts.to_string(),
+            fmt(s.keepalive_cost_usd, 4),
+            fmt(s.avg_accuracy_pct(), 2),
+            "-".into(),
+            "-".into(),
+        ]);
+        table.row(vec![
+            policy.into(),
+            "ms-runtime".into(),
+            r.warm_starts().to_string(),
+            r.cold_starts().to_string(),
+            fmt(r.keepalive_cost_usd, 4),
+            fmt(r.avg_accuracy_pct(), 2),
+            fmt(r.latency_p50_ms(), 0),
+            fmt(r.latency_p99_ms(), 0),
+        ]);
+    }
+
+    let cost_delta = |a: f64, b: f64| {
+        if b == 0.0 {
+            0.0
+        } else {
+            ((a - b) / b * 100.0).abs()
+        }
+    };
+    format!(
+        "{}\nagreement: openwhisk cost delta {:.3}% (must be ~0), pulse cost delta {:.2}%\n",
+        table.render(),
+        cost_delta(rt_ow.keepalive_cost_usd, sim_ow.keepalive_cost_usd),
+        cost_delta(rt_pu.keepalive_cost_usd, sim_pu.keepalive_cost_usd),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_engines_agree_exactly() {
+        let cfg = ExpConfig {
+            seed: 42,
+            horizon: 600,
+            n_runs: 1,
+        };
+        let trace = cfg.trace();
+        let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = sim.run(&mut OpenWhiskFixed::new(&fams));
+        let r = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(s.warm_starts, r.warm_starts());
+        assert_eq!(s.cold_starts, r.cold_starts());
+        assert!((s.keepalive_cost_usd - r.keepalive_cost_usd).abs() < 1e-9);
+        assert!((s.avg_accuracy_pct() - r.avg_accuracy_pct()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_both_engines() {
+        let cfg = ExpConfig {
+            seed: 42,
+            horizon: 500,
+            n_runs: 1,
+        };
+        let out = run(&cfg);
+        assert!(out.contains("minute-sim"));
+        assert!(out.contains("ms-runtime"));
+        assert!(out.contains("agreement"));
+    }
+}

@@ -1,0 +1,97 @@
+//! `pulse-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! pulse-exp [--quick|--full] [--seed N] [--runs N] [--horizon MIN] [all | <exp>...]
+//! ```
+//!
+//! * `--quick` (default): 4-day trace, 30 runs — minutes of wall clock.
+//! * `--full`: the paper-scale setup — 14-day trace, 1000 runs.
+//! * experiments: `table1 fig1 fig2 table2 fig4 fig5 fig6a fig6b fig7 fig8
+//!   fig9 fig10 fig11 fig12`, or `all`.
+
+use pulse_experiments::{run_experiment, ExpConfig, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::quick();
+    let mut names: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--full" => cfg = ExpConfig::full(),
+            "--seed" => cfg.seed = expect_num(it.next(), "--seed"),
+            "--runs" => cfg.n_runs = expect_num(it.next(), "--runs") as usize,
+            "--horizon" => cfg.horizon = expect_num(it.next(), "--horizon") as usize,
+            "--out" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a directory argument");
+                    std::process::exit(2);
+                });
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    if names.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if names.iter().any(|n| n == "all") {
+        names = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "# pulse-exp: seed={} horizon={}min runs={}\n",
+        cfg.seed, cfg.horizon, cfg.n_runs
+    );
+    let mut failed = false;
+    for name in names {
+        let started = std::time::Instant::now();
+        match run_experiment(&name, &cfg) {
+            Ok(report) => {
+                println!("{report}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{name}.txt"));
+                    if let Err(e) = std::fs::write(&path, &report) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+                eprintln!("[{name} done in {:.1?}]", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn expect_num(v: Option<&String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} requires a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: pulse-exp [--quick|--full] [--seed N] [--runs N] [--horizon MIN] [--out DIR] [all | <exp>...]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    );
+}

@@ -1,0 +1,325 @@
+//! A self-contained iterative radix-2 FFT.
+//!
+//! IceBreaker's predictor needs a discrete Fourier transform; the sanctioned
+//! dependency set has none, so this module implements the classic in-place
+//! Cooley–Tukey algorithm: bit-reversal permutation followed by log₂N
+//! butterfly passes. Sizes must be powers of two ([`next_pow2`] +
+//! zero-padding handle arbitrary inputs). Verified against a naive O(N²)
+//! DFT in the tests.
+
+/// A complex number (f64 re/im). Deliberately minimal: just the operations
+/// the FFT and the spectral predictor need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The real number `x`.
+    #[inline]
+    pub fn real(x: f64) -> Self {
+        Self { re: x, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase `arg(z)`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT. `data.len()` must be a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (including the 1/N scaling).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z * (1.0 / n);
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+pub fn fft(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+    data.resize(n, Complex::default());
+    fft_in_place(&mut data);
+    data
+}
+
+/// Inverse FFT returning the real parts (the caller guarantees the spectrum
+/// is conjugate-symmetric, i.e. represents a real signal).
+pub fn ifft(spectrum: &[Complex]) -> Vec<f64> {
+    assert!(
+        spectrum.len().is_power_of_two(),
+        "spectrum length must be a power of two"
+    );
+    let mut data = spectrum.to_vec();
+    ifft_in_place(&mut data);
+    data.into_iter().map(|z| z.re).collect()
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::real(1.0);
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(N²) DFT, kept as the correctness oracle for tests and available
+/// for callers that need arbitrary (non-power-of-two) lengths.
+pub fn naive_dft(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &x) in signal.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * k as f64 * t as f64 / n as f64;
+                acc = acc + Complex::from_angle(ang) * x;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, eps: f64) {
+        assert!(
+            (a.re - b.re).abs() < eps && (a.im - b.im).abs() < eps,
+            "{a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64 - 1.5).collect();
+        let fast = fft(&signal);
+        let slow = naive_dft(&signal);
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_close(*f, *s, 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let signal: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
+        let back = ifft(&fft(&signal));
+        for (x, y) in signal.iter().zip(back.iter()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0; 8];
+        signal[0] = 1.0;
+        let spec = fft(&signal);
+        for z in spec {
+            assert_close(z, Complex::real(1.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let spec = fft(&[2.5; 16]);
+        assert!((spec[0].re - 40.0).abs() < 1e-9);
+        for z in &spec[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_frequency() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * k as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let spec = fft(&signal);
+        let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
+        let argmax = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(argmax == k || argmax == n - k, "peak at {argmax}");
+        assert!((mags[k] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_padding_handles_non_pow2() {
+        let spec = fft(&[1.0, 2.0, 3.0]); // padded to 4
+        assert_eq!(spec.len(), 4);
+        assert!((spec[0].re - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let signal: Vec<f64> = (0..32).map(|i| ((i * 13) % 7) as f64).collect();
+        let spec = fft(&signal);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|z| z.abs().powi(2)).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i * i % 11) as f64).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        for i in 0..16 {
+            assert_close(fsum[i], fa[i] + fb[i], 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_element_and_empty() {
+        assert_eq!(fft(&[3.0])[0], Complex::real(3.0));
+        let spec = fft(&[]);
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0], Complex::default());
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn in_place_rejects_non_pow2() {
+        let mut d = vec![Complex::default(); 3];
+        fft_in_place(&mut d);
+    }
+}

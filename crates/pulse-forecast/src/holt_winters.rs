@@ -1,0 +1,207 @@
+//! Additive Holt–Winters (triple exponential smoothing).
+//!
+//! Serverless invocation series combine a level, slow drift, and strong
+//! seasonality (daily cycles, tight periodic cadences) — exactly the
+//! structure Holt–Winters decomposes. It complements the two published
+//! predictors: IceBreaker's FFT captures stationary periodicity, Wild's
+//! AR fallback captures short-range correlation, and Holt–Winters adds
+//! trend + single-season adaptivity. Used by the `predictors` comparison
+//! experiment.
+
+/// Additive Holt–Winters state.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    /// Level smoothing factor `α ∈ (0, 1)`.
+    pub alpha: f64,
+    /// Trend smoothing factor `β ∈ (0, 1)`.
+    pub beta: f64,
+    /// Seasonal smoothing factor `γ ∈ (0, 1)`.
+    pub gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    /// Samples seen so far (also the phase index).
+    t: usize,
+    /// Warm-up buffer holding the first two periods for initialization.
+    init_buf: Vec<f64>,
+}
+
+impl HoltWinters {
+    /// New model with seasonal `period` (samples per season).
+    ///
+    /// # Panics
+    /// Panics unless `period ≥ 1` and the factors lie in `(0, 1)`.
+    pub fn new(period: usize, alpha: f64, beta: f64, gamma: f64) -> Self {
+        assert!(period >= 1, "period must be >= 1");
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(
+                (0.0..1.0).contains(&v) && v > 0.0,
+                "{name} must be in (0,1)"
+            );
+        }
+        Self {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            season: vec![0.0; period],
+            t: 0,
+            init_buf: Vec::with_capacity(2 * period),
+        }
+    }
+
+    /// Default smoothing for minute-resolution invocation counts with an
+    /// hourly season.
+    pub fn hourly() -> Self {
+        Self::new(60, 0.3, 0.05, 0.3)
+    }
+
+    /// True once two full seasons have initialized the components.
+    pub fn is_initialized(&self) -> bool {
+        self.t >= 2 * self.period
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        if !self.is_initialized() {
+            self.init_buf.push(x);
+            self.t += 1;
+            if self.t == 2 * self.period {
+                self.initialize();
+            }
+            return;
+        }
+        let p = self.period;
+        let s_idx = self.t % p;
+        let old_level = self.level;
+        self.level =
+            self.alpha * (x - self.season[s_idx]) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - old_level) + (1.0 - self.beta) * self.trend;
+        self.season[s_idx] =
+            self.gamma * (x - self.level) + (1.0 - self.gamma) * self.season[s_idx];
+        self.t += 1;
+    }
+
+    fn initialize(&mut self) {
+        let p = self.period;
+        let first = &self.init_buf[..p];
+        let second = &self.init_buf[p..2 * p];
+        let m1: f64 = first.iter().sum::<f64>() / p as f64;
+        let m2: f64 = second.iter().sum::<f64>() / p as f64;
+        self.level = m2;
+        self.trend = (m2 - m1) / p as f64;
+        for i in 0..p {
+            self.season[i] = (first[i] - m1 + second[i] - m2) / 2.0;
+        }
+    }
+
+    /// Forecast `h` steps ahead (offsets `1..=h`). Before initialization
+    /// (fewer than two seasons seen) it falls back to the running mean.
+    pub fn forecast(&self, h: usize) -> Vec<f64> {
+        if !self.is_initialized() {
+            let mean = if self.init_buf.is_empty() {
+                0.0
+            } else {
+                self.init_buf.iter().sum::<f64>() / self.init_buf.len() as f64
+            };
+            return vec![mean; h];
+        }
+        (1..=h)
+            .map(|k| {
+                let s = self.season[(self.t + k - 1) % self.period];
+                self.level + k as f64 * self.trend + s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(hw: &mut HoltWinters, f: impl Fn(usize) -> f64, n: usize) {
+        for t in 0..n {
+            hw.push(f(t));
+        }
+    }
+
+    #[test]
+    fn constant_signal_forecasts_constant() {
+        let mut hw = HoltWinters::new(8, 0.3, 0.05, 0.3);
+        feed(&mut hw, |_| 4.0, 200);
+        for v in hw.forecast(16) {
+            assert!((v - 4.0).abs() < 1e-6, "got {v}");
+        }
+    }
+
+    #[test]
+    fn linear_trend_is_extrapolated() {
+        let mut hw = HoltWinters::new(4, 0.4, 0.2, 0.2);
+        feed(&mut hw, |t| t as f64 * 0.5, 400);
+        let fc = hw.forecast(8);
+        // Next values continue the ramp: x(400) = 200, x(407) = 203.5.
+        for (k, v) in fc.iter().enumerate() {
+            let truth = (400 + k) as f64 * 0.5;
+            assert!((v - truth).abs() < 2.0, "step {k}: {v} vs {truth}");
+        }
+        // And the ramp keeps rising.
+        assert!(fc[7] > fc[0]);
+    }
+
+    #[test]
+    fn seasonal_pattern_is_learned() {
+        // Period-6 pattern: burst at phase 0, silence elsewhere.
+        let mut hw = HoltWinters::new(6, 0.2, 0.02, 0.4);
+        feed(&mut hw, |t| if t % 6 == 0 { 6.0 } else { 0.0 }, 600);
+        let fc = hw.forecast(12);
+        // t = 600 ⇒ phase 0 at offsets 1+... t+k where (600+k-1)%6==0 → k=1, 7.
+        assert!(fc[0] > 3.0, "burst phase forecast {:?}", fc);
+        assert!(fc[6] > 3.0, "next burst {:?}", fc);
+        assert!(fc[2] < 1.5, "quiet phase {:?}", fc);
+        assert!(fc[9] < 1.5, "quiet phase {:?}", fc);
+    }
+
+    #[test]
+    fn uninitialized_falls_back_to_running_mean() {
+        let mut hw = HoltWinters::new(60, 0.3, 0.05, 0.3);
+        hw.push(2.0);
+        hw.push(4.0);
+        assert!(!hw.is_initialized());
+        for v in hw.forecast(5) {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+        assert_eq!(hw.forecast(0).len(), 0);
+    }
+
+    #[test]
+    fn empty_model_forecasts_zero() {
+        let hw = HoltWinters::hourly();
+        assert_eq!(hw.forecast(3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn initialization_happens_exactly_at_two_periods() {
+        let mut hw = HoltWinters::new(5, 0.3, 0.1, 0.3);
+        for t in 0..9 {
+            hw.push(t as f64);
+            assert!(!hw.is_initialized(), "t={t}");
+        }
+        hw.push(9.0);
+        assert!(hw.is_initialized());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn alpha_bounds_enforced() {
+        HoltWinters::new(10, 1.0, 0.1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be >= 1")]
+    fn zero_period_rejected() {
+        HoltWinters::new(0, 0.3, 0.1, 0.1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the forecasting substrate.
+
+use proptest::prelude::*;
+use pulse_forecast::ar::{autocovariance, levinson_durbin, ArModel};
+use pulse_forecast::fft::{fft, ifft, naive_dft, Complex};
+use pulse_forecast::wild::{HybridHistogram, WildConfig};
+use pulse_forecast::FftPredictor;
+
+proptest! {
+    #[test]
+    fn fft_matches_naive_dft_on_pow2(signal in proptest::collection::vec(-100.0f64..100.0, 16..=16)) {
+        let fast = fft(&signal);
+        let slow = naive_dft(&signal);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        a in proptest::collection::vec(-10.0f64..10.0, 32..=32),
+        b in proptest::collection::vec(-10.0f64..10.0, 32..=32),
+        alpha in -3.0f64..3.0,
+    ) {
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fc = fft(&combo);
+        for i in 0..32 {
+            let expect = fa[i] * alpha + fb[i];
+            prop_assert!((fc[i].re - expect.re).abs() < 1e-6);
+            prop_assert!((fc[i].im - expect.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spectrum_of_real_signal_is_conjugate_symmetric(
+        signal in proptest::collection::vec(-50.0f64..50.0, 64..=64),
+    ) {
+        let spec = fft(&signal);
+        let n = spec.len();
+        for k in 1..n / 2 {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+        prop_assert!(spec[0].im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ifft_inverts_fft(signal in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let back = ifft(&fft(&signal));
+        for (x, y) in signal.iter().zip(back.iter()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn levinson_sigma_is_nonnegative_and_nonincreasing(
+        xs in proptest::collection::vec(-100.0f64..100.0, 10..200),
+        pmax in 1usize..6,
+    ) {
+        let r = autocovariance(&xs, pmax);
+        let mut prev = f64::INFINITY;
+        for p in 0..=pmax {
+            let (coeffs, s) = levinson_durbin(&r, p);
+            prop_assert!(s >= -1e-9, "sigma2 {s}");
+            prop_assert!(s <= prev + 1e-9);
+            prop_assert!(coeffs.len() <= p);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn ar_forecast_is_finite(
+        xs in proptest::collection::vec(0.1f64..1e3, 3..100),
+        order in 0usize..5,
+        horizon in 1usize..20,
+    ) {
+        let m = ArModel::fit(&xs, order);
+        let fc = m.forecast(&xs, horizon);
+        prop_assert_eq!(fc.len(), horizon);
+        for v in fc {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn predictor_active_minutes_are_within_horizon(
+        counts in proptest::collection::vec(0u32..5, 1..300),
+        horizon in 1usize..30,
+    ) {
+        let mut p = FftPredictor::new();
+        for &c in &counts {
+            p.push(c as f64);
+        }
+        for m in p.predict_active(horizon) {
+            prop_assert!(m >= 1 && m <= horizon as u64);
+        }
+    }
+
+    #[test]
+    fn wild_decisions_are_well_formed(gaps in proptest::collection::vec(1u64..400, 0..80)) {
+        let mut h = HybridHistogram::new(WildConfig::default());
+        let mut t = 0u64;
+        h.record(t);
+        for g in gaps {
+            t += g;
+            h.record(t);
+        }
+        let d = h.decide();
+        prop_assert!(d.prewarm_min < d.keepalive_min,
+            "prewarm {} !< keepalive {}", d.prewarm_min, d.keepalive_min);
+        // The window is bounded by the histogram bound plus the AR margin.
+        prop_assert!(d.keepalive_min <= 400 + 3);
+    }
+
+    #[test]
+    fn complex_arithmetic_field_axioms_sample(
+        (ar, ai, br, bi) in (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+    ) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        // Commutativity.
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab.re - ba.re).abs() < 1e-9 && (ab.im - ba.im).abs() < 1e-9);
+        // |ab| = |a||b|.
+        prop_assert!((ab.abs() - a.abs() * b.abs()).abs() < 1e-6);
+        // Conjugation distributes.
+        let cc = (a * b).conj();
+        let cd = a.conj() * b.conj();
+        prop_assert!((cc.re - cd.re).abs() < 1e-9 && (cc.im - cd.im).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # pulse-milp — a from-scratch MILP solver and the paper's Figure 9 baseline
+//!
+//! The paper compares PULSE's greedy downgrade loop against a Mixed Integer
+//! Linear Programming formulation: "the objective is to maximize overall
+//! utility value subject to a strict memory budget constraint … MILP
+//! simultaneously evaluates all selected models and their variants". A
+//! commercial solver cannot be vendored, so this crate implements the whole
+//! stack:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex method (Bland's rule,
+//!   so it cannot cycle) solving `max cᵀx, Ax {≤,=,≥} b, x ≥ 0`;
+//! * [`milp`] — branch-and-bound over the LP relaxation with best-bound
+//!   pruning;
+//! * [`model`] — the peak-downgrade problem as a multiple-choice knapsack
+//!   (one binary per (model, level) decision, exactly one level per model,
+//!   total memory within the budget, maximize Σ utility), plus an exact
+//!   dynamic-programming solver used to cross-check branch-and-bound, and
+//!   [`model::MilpDowngrader`], the drop-in alternative to
+//!   [`pulse_core::global::flatten_peak`] that the Figure 9 experiment
+//!   benchmarks.
+//!
+//! ```
+//! use pulse_milp::simplex::{Constraint, LinearProgram, LpResult, Relation};
+//!
+//! // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18
+//! let lp = LinearProgram {
+//!     n_vars: 2,
+//!     objective: vec![3.0, 5.0],
+//!     constraints: vec![
+//!         Constraint::new(vec![1.0, 0.0], Relation::Le, 4.0),
+//!         Constraint::new(vec![0.0, 2.0], Relation::Le, 12.0),
+//!         Constraint::new(vec![3.0, 2.0], Relation::Le, 18.0),
+//!     ],
+//! };
+//! match lp.solve() {
+//!     LpResult::Optimal { x, objective } => {
+//!         assert!((objective - 36.0).abs() < 1e-9);
+//!         assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 6.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+pub mod milp;
+pub mod model;
+pub mod simplex;
+
+pub use milp::{MilpProblem, MilpResult};
+pub use model::MilpDowngrader;
+pub use simplex::{Constraint, LinearProgram, LpResult, Relation};

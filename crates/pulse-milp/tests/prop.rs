@@ -1,0 +1,122 @@
+//! Property tests for the LP/MILP solvers: feasibility of returned
+//! solutions and optimality against brute force on random instances.
+
+use proptest::prelude::*;
+use pulse_milp::{Constraint, LinearProgram, LpResult, MilpProblem, MilpResult, Relation};
+
+/// A random bounded LP: maximize a non-negative objective over a box with
+/// a few extra ≤ constraints — always feasible (origin) and bounded.
+fn arb_bounded_lp() -> impl Strategy<Value = LinearProgram> {
+    (1usize..5).prop_flat_map(|n| {
+        let obj = proptest::collection::vec(0.0f64..10.0, n..=n);
+        let extra = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..3.0, n..=n), 1.0f64..20.0),
+            0..4,
+        );
+        (obj, extra).prop_map(move |(objective, extra)| {
+            let mut constraints: Vec<Constraint> = (0..n)
+                .map(|j| {
+                    let mut c = vec![0.0; n];
+                    c[j] = 1.0;
+                    Constraint::new(c, Relation::Le, 5.0)
+                })
+                .collect();
+            for (coeffs, rhs) in extra {
+                constraints.push(Constraint::new(coeffs, Relation::Le, rhs));
+            }
+            LinearProgram {
+                n_vars: n,
+                objective,
+                constraints,
+            }
+        })
+    })
+}
+
+fn check_feasible(lp: &LinearProgram, x: &[f64]) -> bool {
+    if x.iter().any(|&v| v < -1e-7) {
+        return false;
+    }
+    lp.constraints.iter().all(|c| {
+        let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        match c.rel {
+            Relation::Le => lhs <= c.rhs + 1e-6,
+            Relation::Ge => lhs >= c.rhs - 1e-6,
+            Relation::Eq => (lhs - c.rhs).abs() <= 1e-6,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn simplex_solutions_are_feasible(lp in arb_bounded_lp()) {
+        match lp.solve() {
+            LpResult::Optimal { x, objective } => {
+                prop_assert!(check_feasible(&lp, &x));
+                let recomputed: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+                prop_assert!((objective - recomputed).abs() < 1e-6);
+                // The origin is feasible with objective 0; optimum ≥ 0.
+                prop_assert!(objective >= -1e-9);
+            }
+            other => prop_assert!(false, "bounded feasible LP returned {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplex_optimum_dominates_random_feasible_points(
+        lp in arb_bounded_lp(),
+        samples in proptest::collection::vec(proptest::collection::vec(0.0f64..5.0, 5), 1..10),
+    ) {
+        if let LpResult::Optimal { objective, .. } = lp.solve() {
+            for s in samples {
+                let x = &s[..lp.n_vars];
+                if check_feasible(&lp, x) {
+                    let val: f64 = lp.objective.iter().zip(x).map(|(c, v)| c * v).sum();
+                    prop_assert!(val <= objective + 1e-6,
+                        "feasible point {val} beats 'optimum' {objective}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn milp_matches_brute_force_binary_knapsack(
+        n in 2usize..7,
+        profit_seed in proptest::collection::vec(1u32..20, 7),
+        weight_seed in proptest::collection::vec(1u32..9, 7),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let profits: Vec<f64> = profit_seed[..n].iter().map(|&p| p as f64).collect();
+        let weights: Vec<f64> = weight_seed[..n].iter().map(|&w| w as f64).collect();
+        let cap = weights.iter().sum::<f64>() * cap_frac;
+        let mut constraints = vec![Constraint::new(weights.clone(), Relation::Le, cap)];
+        for j in 0..n {
+            let mut c = vec![0.0; n];
+            c[j] = 1.0;
+            constraints.push(Constraint::new(c, Relation::Le, 1.0));
+        }
+        let p = MilpProblem {
+            lp: LinearProgram { n_vars: n, objective: profits.clone(), constraints },
+            integer_vars: (0..n).collect(),
+        };
+        let milp_opt = match p.solve() {
+            MilpResult::Optimal { x, objective } => {
+                // Integrality of the returned point.
+                for xj in x.iter().take(n) {
+                    prop_assert!((xj - xj.round()).abs() < 1e-6);
+                }
+                objective
+            }
+            other => { prop_assert!(false, "unexpected {other:?}"); unreachable!() }
+        };
+        let mut brute = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let w: f64 = (0..n).filter(|&j| mask >> j & 1 == 1).map(|j| weights[j]).sum();
+            if w <= cap + 1e-9 {
+                let v: f64 = (0..n).filter(|&j| mask >> j & 1 == 1).map(|j| profits[j]).sum();
+                brute = brute.max(v);
+            }
+        }
+        prop_assert!((milp_opt - brute).abs() < 1e-6, "milp {milp_opt} vs brute {brute}");
+    }
+}

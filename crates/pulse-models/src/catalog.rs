@@ -1,0 +1,215 @@
+//! Model-catalog files: define custom zoos outside the code.
+//!
+//! A hand-rolled CSV schema (no external parser) with one row per variant:
+//!
+//! ```text
+//! family,task,dataset,variant,warm_s,cold_s,memory_mb,accuracy_pct
+//! GPT,text generation,wikitext,GPT-Small,12.90,8.2,1950.2,87.65
+//! ```
+//!
+//! Rows of the same family must appear contiguously and in ascending
+//! accuracy order (the ladder invariant). [`to_csv`] / [`from_csv`] round-
+//! trip the standard zoo exactly, so a user can dump it, edit the numbers
+//! for their own models, and load the result everywhere a
+//! `Vec<ModelFamily>` is accepted.
+
+use crate::family::ModelFamily;
+use crate::variant::VariantSpec;
+
+/// Catalog parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No data rows.
+    Empty,
+    /// Wrong column count on a line (1-based).
+    ColumnCount(usize),
+    /// Unparseable numeric cell on a line.
+    BadNumber(usize),
+    /// A family/variant invariant failed (message from validation).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Empty => write!(f, "catalog has no data rows"),
+            CatalogError::ColumnCount(l) => write!(f, "line {l}: expected 8 columns"),
+            CatalogError::BadNumber(l) => write!(f, "line {l}: bad numeric cell"),
+            CatalogError::Invalid(m) => write!(f, "invalid catalog: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Header line of the catalog schema.
+pub const HEADER: &str = "family,task,dataset,variant,warm_s,cold_s,memory_mb,accuracy_pct";
+
+/// Serialize families to catalog CSV.
+pub fn to_csv(families: &[ModelFamily]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for fam in families {
+        for v in &fam.variants {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                fam.name,
+                fam.task,
+                fam.dataset,
+                v.name,
+                v.warm_service_time_s,
+                v.cold_start_s,
+                v.memory_mb,
+                v.accuracy_pct
+            ));
+        }
+    }
+    out
+}
+
+/// Parse a catalog CSV into families (contiguous rows per family).
+pub fn from_csv(s: &str) -> Result<Vec<ModelFamily>, CatalogError> {
+    let mut families: Vec<ModelFamily> = Vec::new();
+    let mut current: Option<(String, String, String, Vec<VariantSpec>)> = None;
+    for (i, line) in s.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != 8 {
+            return Err(CatalogError::ColumnCount(i + 1));
+        }
+        let num = |idx: usize| -> Result<f64, CatalogError> {
+            cells[idx]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| CatalogError::BadNumber(i + 1))
+        };
+        let spec = VariantSpec {
+            name: cells[3].trim().to_string(),
+            warm_service_time_s: num(4)?,
+            cold_start_s: num(5)?,
+            memory_mb: num(6)?,
+            accuracy_pct: num(7)?,
+        };
+        spec.validate().map_err(CatalogError::Invalid)?;
+        let key = (
+            cells[0].trim().to_string(),
+            cells[1].trim().to_string(),
+            cells[2].trim().to_string(),
+        );
+        match current.as_mut() {
+            Some((name, task, dataset, variants))
+                if *name == key.0 && *task == key.1 && *dataset == key.2 =>
+            {
+                variants.push(spec);
+            }
+            _ => {
+                if let Some((name, task, dataset, variants)) = current.take() {
+                    let fam = ModelFamily {
+                        name,
+                        task,
+                        dataset,
+                        variants,
+                    };
+                    fam.validate().map_err(CatalogError::Invalid)?;
+                    families.push(fam);
+                }
+                current = Some((key.0, key.1, key.2, vec![spec]));
+            }
+        }
+    }
+    if let Some((name, task, dataset, variants)) = current {
+        let fam = ModelFamily {
+            name,
+            task,
+            dataset,
+            variants,
+        };
+        fam.validate().map_err(CatalogError::Invalid)?;
+        families.push(fam);
+    }
+    if families.is_empty() {
+        return Err(CatalogError::Empty);
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn standard_zoo_round_trips() {
+        let z = zoo::standard();
+        let csv = to_csv(&z);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(z, back);
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let csv = to_csv(&zoo::standard());
+        assert_eq!(csv.lines().next().unwrap(), HEADER);
+        // 14 variants + header.
+        assert_eq!(csv.lines().count(), 15);
+    }
+
+    #[test]
+    fn custom_catalog_parses() {
+        let csv = format!(
+            "{HEADER}\nMyNet,classification,imagenet,MyNet-S,0.5,3.0,400,61.0\n\
+             MyNet,classification,imagenet,MyNet-L,1.5,6.0,1200,72.5\n"
+        );
+        let fams = from_csv(&csv).unwrap();
+        assert_eq!(fams.len(), 1);
+        assert_eq!(fams[0].n_variants(), 2);
+        assert_eq!(fams[0].highest().name, "MyNet-L");
+    }
+
+    #[test]
+    fn descending_accuracy_rejected() {
+        let csv =
+            format!("{HEADER}\nX,t,d,X-big,1.0,1.0,500,90.0\nX,t,d,X-small,0.5,0.5,200,70.0\n");
+        assert!(matches!(from_csv(&csv), Err(CatalogError::Invalid(_))));
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_line_numbers() {
+        let csv = format!("{HEADER}\nX,t,d,v,1.0,1.0,500\n");
+        assert_eq!(from_csv(&csv), Err(CatalogError::ColumnCount(2)));
+        let csv = format!("{HEADER}\nX,t,d,v,abc,1.0,500,70\n");
+        assert_eq!(from_csv(&csv), Err(CatalogError::BadNumber(2)));
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        assert_eq!(from_csv(HEADER), Err(CatalogError::Empty));
+        assert_eq!(from_csv(""), Err(CatalogError::Empty));
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let csv = format!("{HEADER}\nX,t,d,v,1.0,1.0,0,70\n"); // zero memory
+        assert!(matches!(from_csv(&csv), Err(CatalogError::Invalid(_))));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = format!("{HEADER}\n\nX,t,d,v,1.0,1.0,500,70\n\n");
+        assert_eq!(from_csv(&csv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn interleaved_families_become_separate_runs() {
+        // A family split by another family's rows fails the contiguity
+        // expectation by producing a duplicate-named second family — the
+        // parser treats each contiguous run independently.
+        let csv = format!(
+            "{HEADER}\nA,t,d,A1,1.0,1.0,100,50\nB,t,d,B1,1.0,1.0,100,60\nA,t,d,A2,1.0,1.0,200,70\n"
+        );
+        let fams = from_csv(&csv).unwrap();
+        assert_eq!(fams.len(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! # pulse-models — the model-zoo substrate for PULSE
+//!
+//! PULSE (SC-W 2024) schedules *quality variants* of machine-learning models
+//! inside the serverless keep-alive window. Its decisions consume, for every
+//! variant of every model family, four scalars:
+//!
+//! * warm-start **service time** (execution time when the container is warm),
+//! * **cold-start time** (container creation + model load),
+//! * **keep-alive memory** footprint (and hence keep-alive *cost* under a
+//!   GB-second pricing model), and
+//! * inference **accuracy**.
+//!
+//! The paper measured these on AWS Lambda for ONNX builds of BERT, YOLO, GPT,
+//! ResNet and DenseNet (Tables I and IV). This crate reproduces that substrate:
+//!
+//! * [`VariantSpec`] / [`ModelFamily`] — the per-variant metadata and the
+//!   family grouping (variants ordered from lowest to highest accuracy);
+//! * [`zoo`] — the standard five-family zoo calibrated to the paper's
+//!   published numbers (values the paper omits are filled with profiled-
+//!   plausible figures, documented on each constructor);
+//! * [`CostModel`] — AWS-style GB-second keep-alive pricing;
+//! * [`profiler`] — a stochastic profiler that regenerates per-invocation
+//!   service-time samples with measured-style jitter, standing in for the
+//!   paper's "1000 distinct inputs per variant" Lambda characterization runs;
+//! * [`stats`] — small, dependency-free summary statistics shared by the rest
+//!   of the workspace.
+//!
+//! ```
+//! use pulse_models::{zoo, CostModel};
+//!
+//! let families = zoo::standard();
+//! assert_eq!(families.len(), 5);
+//! let gpt = families.iter().find(|f| f.name == "GPT").unwrap();
+//! // Variants are ordered lowest → highest accuracy.
+//! assert!(gpt.variants.first().unwrap().accuracy_pct < gpt.variants.last().unwrap().accuracy_pct);
+//!
+//! // Keeping GPT-Large warm for an hour costs tens of cents.
+//! let cost = CostModel::aws_lambda()
+//!     .keepalive_cost_usd(gpt.variants.last().unwrap().memory_mb, 3600.0);
+//! assert!(cost > 0.1 && cost < 1.0);
+//! ```
+
+pub mod catalog;
+pub mod cost;
+pub mod family;
+pub mod profiler;
+pub mod stats;
+pub mod variant;
+pub mod zoo;
+
+pub use cost::CostModel;
+pub use family::{FamilyId, ModelFamily, VariantId};
+pub use profiler::{ProfileSummary, Profiler, ProfilerConfig};
+pub use variant::VariantSpec;

@@ -1,0 +1,98 @@
+//! Property tests for the model-zoo substrate and shared statistics.
+
+use proptest::prelude::*;
+use pulse_models::stats::{mean, normalize_min_max, percentile, std_dev, Running};
+use pulse_models::{CostModel, Profiler, VariantSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn percentile_is_bracketed_by_extremes(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        p in 0.0f64..100.0,
+    ) {
+        let v = percentile(&xs, p);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn running_matches_batch_statistics(
+        xs in proptest::collection::vec(-1e4f64..1e4, 1..200),
+    ) {
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        prop_assert!((r.mean() - mean(&xs)).abs() < 1e-6);
+        prop_assert!((r.std_dev() - std_dev(&xs)).abs() < 1e-6);
+        prop_assert_eq!(r.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn running_merge_is_order_independent(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..60),
+        split in 0usize..60,
+    ) {
+        let k = split.min(xs.len());
+        let mut left = Running::new();
+        let mut right = Running::new();
+        xs[..k].iter().for_each(|&x| left.push(x));
+        xs[k..].iter().for_each(|&x| right.push(x));
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right;
+        ba.merge(&left);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.std_dev() - ba.std_dev()).abs() < 1e-9);
+        prop_assert!((ab.mean() - mean(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_is_scale_invariant_in_rank(
+        xs in proptest::collection::vec(0.0f64..1e4, 2..40),
+        scale in 0.1f64..100.0,
+    ) {
+        let a = normalize_min_max(&xs);
+        let scaled: Vec<f64> = xs.iter().map(|&x| x * scale).collect();
+        let b = normalize_min_max(&scaled);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_model_round_trips_any_rate(rate in 1e-8f64..1e-3, mb in 1.0f64..1e5) {
+        let m = CostModel::new(rate);
+        let c = m.cents_per_hour(mb);
+        prop_assert!((m.memory_mb_for_cents_per_hour(c) - mb).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profiler_samples_are_positive_and_near_mean(
+        warm in 0.1f64..50.0,
+        cold in 0.0f64..60.0,
+        seed in 0u64..1000,
+    ) {
+        let v = VariantSpec::new("x", warm, cold, 500.0, 70.0);
+        let p = Profiler::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = p.sample_warm(&v, &mut rng);
+            prop_assert!(s > 0.0);
+            prop_assert!(s < warm * 3.0, "sample {s} vs mean {warm}");
+        }
+    }
+}

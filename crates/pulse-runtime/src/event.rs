@@ -1,0 +1,154 @@
+//! The discrete-event core: a time-ordered event queue.
+//!
+//! A binary heap keyed by `(time_ms, sequence)` — the sequence number makes
+//! event ordering fully deterministic when timestamps tie (heaps are not
+//! stable), which the validation experiments rely on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Runtime events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A request for `func` arrives (its id indexes the request table).
+    Arrival {
+        /// Target function.
+        func: usize,
+        /// Request id.
+        req: usize,
+    },
+    /// A cold-started container of `func` finished provisioning + loading.
+    ProvisionDone {
+        /// Owning function.
+        func: usize,
+        /// Provisioning epoch — stale completions (the container was
+        /// cancelled and re-provisioned meanwhile) are ignored.
+        epoch: u64,
+    },
+    /// A request finished executing.
+    ExecDone {
+        /// Owning function.
+        func: usize,
+        /// Request id.
+        req: usize,
+    },
+    /// A minute boundary: apply keep-alive schedules, run the policy's
+    /// cross-function adjustment, meter memory.
+    MinuteTick {
+        /// The minute that begins at this tick.
+        minute: u64,
+    },
+}
+
+/// Deterministic time-ordered queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, EventKeyed)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `Event` a total order for the heap (order among equal
+/// timestamps is by insertion sequence; the event payload order is never
+/// consulted, but `Ord` must exist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EventKeyed(Event);
+
+impl PartialOrd for EventKeyed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKeyed {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at_ms`.
+    pub fn push(&mut self, at_ms: u64, event: Event) {
+        self.heap
+            .push(Reverse((at_ms, self.seq, EventKeyed(event))));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::MinuteTick { minute: 0 });
+        q.push(10, Event::Arrival { func: 0, req: 0 });
+        q.push(20, Event::ExecDone { func: 0, req: 0 });
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Arrival { func: 1, req: 1 });
+        q.push(5, Event::Arrival { func: 2, req: 2 });
+        q.push(5, Event::Arrival { func: 3, req: 3 });
+        let funcs: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Arrival { func, .. } => func,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(funcs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, Event::MinuteTick { minute: 0 });
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::MinuteTick { minute: 1 });
+        q.push(5, Event::MinuteTick { minute: 0 });
+        assert_eq!(q.pop().unwrap().0, 5);
+        q.push(7, Event::MinuteTick { minute: 2 });
+        assert_eq!(q.pop().unwrap().0, 7);
+        assert_eq!(q.pop().unwrap().0, 10);
+    }
+}

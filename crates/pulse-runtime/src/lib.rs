@@ -1,0 +1,52 @@
+//! # pulse-runtime — an event-driven container-runtime simulator
+//!
+//! The paper's experimental platform is real: Docker images in ECR executed
+//! by AWS Lambda, with cold starts measured via a memory-resize trick. The
+//! reproduction's primary engine (`pulse-sim`) abstracts that platform at
+//! *minute* resolution — the resolution PULSE itself operates at. This crate
+//! provides the layer below: a **millisecond-resolution, event-driven
+//! container runtime** with an explicit container lifecycle
+//!
+//! ```text
+//! Provisioning ──► Loading ──► Warm ⇄ Executing ──► Reaped
+//! ```
+//!
+//! request queueing with configurable per-container concurrency, proactive
+//! variant swaps at minute boundaries, and GB-millisecond billing.
+//!
+//! Its purpose is two-fold:
+//!
+//! 1. **Validation** — driving the *same* keep-alive policy over the same
+//!    trace through both engines and checking that warm/cold counts agree
+//!    exactly and costs agree to within minute-boundary rounding. This is
+//!    the evidence that the minute-level abstraction used for all paper
+//!    experiments is sound (see `pulse-exp validate`).
+//! 2. **Fidelity experiments** the minute engine cannot express: queueing
+//!    delay under bounded container concurrency, sub-minute latency
+//!    percentiles, cold-start tail behaviour.
+//!
+//! ```
+//! use pulse_runtime::{Runtime, RuntimeConfig};
+//! use pulse_sim::policies::OpenWhiskFixed;
+//! use pulse_sim::assignment::round_robin_assignment;
+//!
+//! let trace = pulse_trace::synth::azure_like_12_with_horizon(7, 240);
+//! let fams = round_robin_assignment(&pulse_models::zoo::standard(), trace.n_functions());
+//! let runtime = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+//! let summary = runtime.run(&mut OpenWhiskFixed::new(&fams));
+//! assert!(summary.requests() > 0);
+//! assert!(summary.latency_p50_ms() > 0.0);
+//! ```
+
+pub mod container;
+pub mod event;
+pub mod metrics;
+pub mod runtime;
+
+pub use container::{ContainerState, LiveContainer};
+pub use event::{Event, EventQueue};
+pub use metrics::RuntimeSummary;
+pub use runtime::{Runtime, RuntimeConfig};
+
+/// Milliseconds per simulated minute.
+pub const MS_PER_MINUTE: u64 = 60_000;

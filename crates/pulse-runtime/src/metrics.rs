@@ -1,0 +1,154 @@
+//! Millisecond-resolution accounting: per-request latency records,
+//! warm/cold counts, GB-millisecond keep-alive billing.
+
+use pulse_models::stats;
+
+/// One served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Arrival time, ms.
+    pub arrival_ms: u64,
+    /// Completion time, ms.
+    pub done_ms: u64,
+    /// Whether the request hit a warm container.
+    pub warm: bool,
+    /// Accuracy (percent) of the variant that served it.
+    pub accuracy_pct: f64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency, ms.
+    pub fn latency_ms(&self) -> u64 {
+        self.done_ms - self.arrival_ms
+    }
+}
+
+/// Summary of one runtime execution.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeSummary {
+    /// All served requests, completion-ordered.
+    pub records: Vec<RequestRecord>,
+    /// Keep-alive cost, USD (billed per GB-ms of warm container time).
+    pub keepalive_cost_usd: f64,
+    /// Keep-alive memory sampled at each minute tick, MB.
+    pub memory_at_tick_mb: Vec<f64>,
+    /// Downgrade/evict actions taken by the policy's global layer.
+    pub downgrades: u64,
+}
+
+impl RuntimeSummary {
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Warm-served request count.
+    pub fn warm_starts(&self) -> u64 {
+        self.records.iter().filter(|r| r.warm).count() as u64
+    }
+
+    /// Cold-started request count.
+    pub fn cold_starts(&self) -> u64 {
+        self.requests() - self.warm_starts()
+    }
+
+    /// Total service time across requests, seconds (the minute engine's
+    /// metric, for cross-validation).
+    pub fn service_time_s(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.latency_ms() as f64 / 1000.0)
+            .sum()
+    }
+
+    /// Mean delivered accuracy, percent.
+    pub fn avg_accuracy_pct(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records.iter().map(|r| r.accuracy_pct).sum::<f64>() / self.records.len() as f64
+        }
+    }
+
+    fn latencies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency_ms() as f64).collect()
+    }
+
+    /// Median request latency, ms.
+    pub fn latency_p50_ms(&self) -> f64 {
+        stats::percentile(&self.latencies(), 50.0)
+    }
+
+    /// Tail (p99) request latency, ms.
+    pub fn latency_p99_ms(&self) -> f64 {
+        stats::percentile(&self.latencies(), 99.0)
+    }
+
+    /// Peak sampled keep-alive memory, MB.
+    pub fn peak_memory_mb(&self) -> f64 {
+        self.memory_at_tick_mb
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RuntimeSummary {
+        RuntimeSummary {
+            records: vec![
+                RequestRecord {
+                    arrival_ms: 0,
+                    done_ms: 1000,
+                    warm: false,
+                    accuracy_pct: 80.0,
+                },
+                RequestRecord {
+                    arrival_ms: 500,
+                    done_ms: 700,
+                    warm: true,
+                    accuracy_pct: 90.0,
+                },
+                RequestRecord {
+                    arrival_ms: 900,
+                    done_ms: 1100,
+                    warm: true,
+                    accuracy_pct: 90.0,
+                },
+            ],
+            keepalive_cost_usd: 0.5,
+            memory_at_tick_mb: vec![100.0, 300.0, 200.0],
+            downgrades: 2,
+        }
+    }
+
+    #[test]
+    fn counts_and_sums() {
+        let s = summary();
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.warm_starts(), 2);
+        assert_eq!(s.cold_starts(), 1);
+        assert!((s.service_time_s() - (1.0 + 0.2 + 0.2)).abs() < 1e-12);
+        assert!((s.avg_accuracy_pct() - (80.0 + 90.0 + 90.0) / 3.0).abs() < 1e-12);
+        assert_eq!(s.peak_memory_mb(), 300.0);
+    }
+
+    #[test]
+    fn latency_percentiles_ordered() {
+        let s = summary();
+        assert!(s.latency_p50_ms() <= s.latency_p99_ms());
+        assert!(s.latency_p50_ms() >= 200.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = RuntimeSummary::default();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.avg_accuracy_pct(), 0.0);
+        assert_eq!(s.latency_p50_ms(), 0.0);
+        assert_eq!(s.peak_memory_mb(), 0.0);
+    }
+}

@@ -1,0 +1,602 @@
+//! The event-driven runtime loop.
+//!
+//! Semantics are aligned with `pulse_sim::Simulator` so the two engines can
+//! be cross-validated (see the `validation` integration tests and
+//! `pulse-exp validate`):
+//!
+//! * a **minute tick** fires at each minute boundary *before* that minute's
+//!   arrivals: keep-alive schedules decide which container (if any) each
+//!   function holds during the minute, the policy's cross-function layer may
+//!   downgrade/evict (applied to this minute only), and keep-alive memory is
+//!   billed from the post-adjustment schedule footprint;
+//! * an **arrival** is served warm when its function holds a container
+//!   (warm, executing, or still provisioning from an earlier cold start —
+//!   in the last case the request queues until the container is ready, and
+//!   only the request that *triggered* the provisioning counts as cold);
+//! * each function's **schedule** is replaced by the policy's plan at the
+//!   first arrival of every active minute, exactly as in the minute engine;
+//! * variant swaps at minute boundaries are **proactive**: the plan is known
+//!   a minute ahead, so the incoming variant is warm at the tick (the same
+//!   assumption the minute engine — and the paper's accounting — makes).
+//!
+//! What this engine adds over the minute engine: millisecond latency
+//! accounting (queueing behind provisioning, optional per-container
+//! concurrency limits) and a per-request record stream.
+
+use crate::container::LiveContainer;
+use crate::event::{Event, EventQueue};
+use crate::metrics::{RequestRecord, RuntimeSummary};
+use crate::MS_PER_MINUTE;
+use pulse_core::global::{AliveModel, DowngradeAction};
+use pulse_core::individual::KeepAliveSchedule;
+use pulse_models::{CostModel, ModelFamily, VariantId};
+use pulse_sim::engine::HOLE;
+use pulse_sim::policy::KeepAlivePolicy;
+use pulse_trace::Trace;
+use std::collections::VecDeque;
+
+/// Runtime tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Max in-flight requests per container; `None` = unbounded (the
+    /// minute engine's implicit assumption).
+    pub max_concurrency: Option<u32>,
+    /// Cost model for keep-alive billing.
+    pub cost: CostModel,
+    /// When set, execution and provisioning durations are drawn from the
+    /// calibrated lognormal profiler (seeded here) instead of being
+    /// deterministic means — the measured-style jitter of real Lambda runs.
+    pub stochastic_seed: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrency: None,
+            cost: CostModel::aws_lambda(),
+            stochastic_seed: None,
+        }
+    }
+}
+
+/// The millisecond-resolution platform.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    trace: Trace,
+    families: Vec<ModelFamily>,
+    config: RuntimeConfig,
+}
+
+/// Draws execution/provisioning durations — deterministic means, or the
+/// calibrated lognormal jitter when a seed is configured.
+struct DurationSampler {
+    rng: Option<rand::rngs::SmallRng>,
+    profiler: pulse_models::Profiler,
+}
+
+impl DurationSampler {
+    fn new(seed: Option<u64>) -> Self {
+        use rand::SeedableRng;
+        Self {
+            rng: seed.map(rand::rngs::SmallRng::seed_from_u64),
+            profiler: pulse_models::Profiler::default(),
+        }
+    }
+
+    fn warm_ms(&mut self, spec: &pulse_models::VariantSpec) -> u64 {
+        let s = match self.rng.as_mut() {
+            Some(rng) => self.profiler.sample_warm(spec, rng),
+            None => spec.warm_service_time_s,
+        };
+        ((s * 1000.0).round() as u64).max(1)
+    }
+
+    fn provision_ms(&mut self, spec: &pulse_models::VariantSpec) -> u64 {
+        let s = match self.rng.as_mut() {
+            Some(rng) => self.profiler.sample_cold_start(spec, rng),
+            None => spec.cold_start_s,
+        };
+        (s * 1000.0).round() as u64
+    }
+}
+
+struct FnState {
+    container: Option<LiveContainer>,
+    schedule: Option<KeepAliveSchedule>,
+    /// Requests waiting for provisioning or a concurrency slot.
+    waiting: VecDeque<usize>,
+    /// In-flight request count (for the concurrency cap).
+    in_flight: u32,
+    /// Last minute for which the policy was asked for a schedule.
+    scheduled_minute: Option<u64>,
+    epoch: u64,
+}
+
+impl Runtime {
+    /// Build over a trace and a per-function family assignment.
+    pub fn new(trace: Trace, families: Vec<ModelFamily>, config: RuntimeConfig) -> Self {
+        assert_eq!(trace.n_functions(), families.len());
+        Self {
+            trace,
+            families,
+            config,
+        }
+    }
+
+    fn schedule_variant(s: &Option<KeepAliveSchedule>, minute: u64) -> Option<VariantId> {
+        s.as_ref()
+            .and_then(|s| s.variant_at(minute))
+            .filter(|&v| v != HOLE)
+    }
+
+    /// Execute the whole trace under `policy`.
+    #[allow(clippy::needless_range_loop)] // parallel per-function tables
+    pub fn run(&self, policy: &mut dyn KeepAlivePolicy) -> RuntimeSummary {
+        let n = self.families.len();
+        let minutes = self.trace.minutes() as u64;
+        let mut queue = EventQueue::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut req_func: Vec<usize> = Vec::new();
+        let mut req_warm_variant: Vec<VariantId> = Vec::new(); // variant serving each request
+
+        // Minute ticks.
+        for m in 0..minutes {
+            queue.push(m * MS_PER_MINUTE, Event::MinuteTick { minute: m });
+        }
+        // Arrivals, spread across each active minute (offset ≥ 1 ms so the
+        // tick always precedes them).
+        for m in 0..minutes {
+            for f in 0..n {
+                let count = self.trace.function(f).at(m) as u64;
+                if count == 0 {
+                    continue;
+                }
+                let stride = (MS_PER_MINUTE - 2) / count;
+                for k in 0..count {
+                    let at = m * MS_PER_MINUTE + 1 + k * stride;
+                    let req = records.len();
+                    records.push(RequestRecord {
+                        arrival_ms: at,
+                        done_ms: at,
+                        warm: false,
+                        accuracy_pct: 0.0,
+                    });
+                    req_func.push(f);
+                    req_warm_variant.push(0);
+                    queue.push(at, Event::Arrival { func: f, req });
+                }
+            }
+        }
+
+        let mut fns: Vec<FnState> = (0..n)
+            .map(|_| FnState {
+                container: None,
+                schedule: None,
+                waiting: VecDeque::new(),
+                in_flight: 0,
+                scheduled_minute: None,
+                epoch: 0,
+            })
+            .collect();
+        let mut demand_history: Vec<f64> = Vec::with_capacity(minutes as usize);
+        let mut invoked_this_minute = false;
+        let mut summary = RuntimeSummary::default();
+        let cap = self.config.max_concurrency.unwrap_or(u32::MAX);
+        let mut sampler = DurationSampler::new(self.config.stochastic_seed);
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::MinuteTick { minute } => {
+                    let invoked_last_minute = std::mem::take(&mut invoked_this_minute);
+
+                    // Demand from schedules.
+                    let mut alive: Vec<AliveModel> = Vec::new();
+                    let mut kam = 0.0f64;
+                    for (f, st) in fns.iter().enumerate() {
+                        if let Some(v) = Self::schedule_variant(&st.schedule, minute) {
+                            kam += self.families[f].variant(v).memory_mb;
+                            alive.push(AliveModel {
+                                func: f,
+                                variant: v,
+                                invocation_probability: 0.0,
+                            });
+                        }
+                    }
+                    let first_minute = invoked_last_minute
+                        || (kam > 0.0 && demand_history.last().is_none_or(|&m| m == 0.0));
+                    let actions = policy.adjust_minute(
+                        minute,
+                        &demand_history,
+                        first_minute,
+                        kam,
+                        &mut alive,
+                    );
+                    demand_history.push(kam);
+                    summary.downgrades += actions.len() as u64;
+                    for a in &actions {
+                        match *a {
+                            DowngradeAction::Downgrade { func, to, .. } => {
+                                if let Some(s) = fns[func].schedule.as_mut() {
+                                    if let Some(v) = s.variant_at(minute) {
+                                        if v != HOLE && v > to {
+                                            s.set_variant_at(minute, to);
+                                        }
+                                    }
+                                }
+                            }
+                            DowngradeAction::Evict { func, .. } => {
+                                if let Some(s) = fns[func].schedule.as_mut() {
+                                    s.set_variant_at(minute, HOLE);
+                                }
+                            }
+                        }
+                    }
+
+                    // Materialize containers per the post-adjustment plan and
+                    // bill the minute.
+                    let mut billed = 0.0f64;
+                    for f in 0..n {
+                        let desired = Self::schedule_variant(&fns[f].schedule, minute);
+                        if let Some(v) = desired {
+                            billed += self.families[f].variant(v).memory_mb;
+                        }
+                        let st = &mut fns[f];
+                        match (&mut st.container, desired) {
+                            (Some(c), Some(v)) => {
+                                if c.is_warm() && c.variant != v {
+                                    st.epoch += 1;
+                                    st.container = Some(LiveContainer::warm(v, now, st.epoch));
+                                }
+                                // Provisioning containers are left alone: the
+                                // pending cold start completes first.
+                            }
+                            (Some(c), None) => {
+                                if c.is_warm() {
+                                    st.container = None;
+                                }
+                            }
+                            (None, Some(v)) => {
+                                st.epoch += 1;
+                                st.container = Some(LiveContainer::warm(v, now, st.epoch));
+                            }
+                            (None, None) => {}
+                        }
+                    }
+                    summary.keepalive_cost_usd +=
+                        self.config.cost.keepalive_cost_usd_per_minutes(billed, 1.0);
+                    summary.memory_at_tick_mb.push(billed);
+                }
+
+                Event::Arrival { func, req } => {
+                    invoked_this_minute = true;
+                    let minute = now / MS_PER_MINUTE;
+                    let fam = &self.families[func];
+                    let need_schedule = fns[func].scheduled_minute != Some(minute);
+
+                    match &mut fns[func].container {
+                        Some(c) if c.is_warm() => {
+                            let v = c.variant;
+                            records[req].warm = true;
+                            records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                            req_warm_variant[req] = v;
+                            if fns[func].in_flight < cap {
+                                fns[func].in_flight += 1;
+                                if let Some(c) = fns[func].container.as_mut() {
+                                    c.begin_exec();
+                                }
+                                let exec = sampler.warm_ms(fam.variant(v));
+                                queue.push(now + exec, Event::ExecDone { func, req });
+                            } else {
+                                fns[func].waiting.push_back(req);
+                            }
+                        }
+                        Some(c) => {
+                            // Provisioning: queue behind the pending cold
+                            // start. Counts as warm (the container exists),
+                            // matching the minute engine.
+                            let v = c.variant;
+                            records[req].warm = true;
+                            records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                            req_warm_variant[req] = v;
+                            fns[func].waiting.push_back(req);
+                        }
+                        None => {
+                            // Cold start.
+                            let v = policy.cold_start_variant(func, minute);
+                            records[req].warm = false;
+                            records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                            req_warm_variant[req] = v;
+                            let ready = now + sampler.provision_ms(fam.variant(v));
+                            let st = &mut fns[func];
+                            st.epoch += 1;
+                            st.container = Some(LiveContainer::provisioning(v, ready, st.epoch));
+                            st.waiting.push_back(req);
+                            queue.push(
+                                ready,
+                                Event::ProvisionDone {
+                                    func,
+                                    epoch: st.epoch,
+                                },
+                            );
+                        }
+                    }
+
+                    if need_schedule {
+                        fns[func].scheduled_minute = Some(minute);
+                        fns[func].schedule = Some(policy.schedule_on_invocation(func, minute));
+                    }
+                }
+
+                Event::ProvisionDone { func, epoch } => {
+                    let stale = fns[func]
+                        .container
+                        .as_ref()
+                        .is_none_or(|c| c.epoch != epoch);
+                    if stale {
+                        continue;
+                    }
+                    if let Some(c) = fns[func].container.as_mut() {
+                        c.state = crate::container::ContainerState::Warm;
+                    }
+                    self.drain_waiting(
+                        func,
+                        now,
+                        &mut fns,
+                        &mut queue,
+                        &req_warm_variant,
+                        cap,
+                        &mut sampler,
+                    );
+                    // If the schedule does not cover the current minute, the
+                    // container exists only for the in-flight work: drop it
+                    // once idle so later arrivals cold-start (as the minute
+                    // engine would count them).
+                    let minute = now / MS_PER_MINUTE;
+                    if Self::schedule_variant(&fns[func].schedule, minute).is_none() {
+                        if let Some(c) = &fns[func].container {
+                            if c.busy == 0 && fns[func].waiting.is_empty() {
+                                fns[func].container = None;
+                            }
+                        }
+                    }
+                }
+
+                Event::ExecDone { func, req } => {
+                    records[req].done_ms = now;
+                    fns[func].in_flight -= 1;
+                    if let Some(c) = fns[func].container.as_mut() {
+                        if c.busy > 0 {
+                            c.end_exec();
+                        }
+                    }
+                    self.drain_waiting(
+                        func,
+                        now,
+                        &mut fns,
+                        &mut queue,
+                        &req_warm_variant,
+                        cap,
+                        &mut sampler,
+                    );
+                }
+            }
+        }
+
+        summary.records = records;
+        summary
+    }
+
+    /// Start as many waiting requests as the concurrency cap allows.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_waiting(
+        &self,
+        func: usize,
+        now: u64,
+        fns: &mut [FnState],
+        queue: &mut EventQueue,
+        req_warm_variant: &[VariantId],
+        cap: u32,
+        sampler: &mut DurationSampler,
+    ) {
+        let can_serve = fns[func].container.as_ref().is_some_and(|c| c.is_warm());
+        if !can_serve {
+            return;
+        }
+        while fns[func].in_flight < cap {
+            let Some(req) = fns[func].waiting.pop_front() else {
+                break;
+            };
+            fns[func].in_flight += 1;
+            if let Some(c) = fns[func].container.as_mut() {
+                c.begin_exec();
+            }
+            let v = req_warm_variant[req];
+            let exec = sampler.warm_ms(self.families[func].variant(v));
+            queue.push(now + exec, Event::ExecDone { func, req });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_core::types::PulseConfig;
+    use pulse_sim::assignment::round_robin_assignment;
+    use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
+    use pulse_trace::FunctionTrace;
+
+    fn one_func(counts: &[u32]) -> (Trace, Vec<ModelFamily>) {
+        let trace = Trace::new(vec![FunctionTrace::new("f", counts.to_vec())]);
+        (trace, vec![pulse_models::zoo::bert()])
+    }
+
+    #[test]
+    fn single_cold_start_latency_includes_provisioning() {
+        let (trace, fams) = one_func(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(s.requests(), 1);
+        assert_eq!(s.cold_starts(), 1);
+        let expected_ms = (fams[0].highest().cold_service_time_s() * 1000.0).round();
+        assert!(
+            (s.records[0].latency_ms() as f64 - expected_ms).abs() <= 2.0,
+            "{} vs {expected_ms}",
+            s.records[0].latency_ms()
+        );
+    }
+
+    #[test]
+    fn second_invocation_is_warm_and_fast() {
+        let (trace, fams) = one_func(&[1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(s.warm_starts(), 1);
+        assert_eq!(s.cold_starts(), 1);
+        let warm = s.records.iter().find(|r| r.warm).unwrap();
+        let expected = (fams[0].highest().warm_service_time_s * 1000.0).round();
+        assert!((warm.latency_ms() as f64 - expected).abs() <= 2.0);
+    }
+
+    #[test]
+    fn same_minute_burst_queues_behind_provisioning() {
+        let (trace, fams) = one_func(&[3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(s.cold_starts(), 1);
+        assert_eq!(s.warm_starts(), 2);
+        // The queued "warm" requests still waited for provisioning: their
+        // latency exceeds a pure warm execution.
+        let warm_exec = fams[0].highest().warm_service_time_s * 1000.0;
+        for r in s.records.iter().filter(|r| r.warm) {
+            assert!(r.latency_ms() as f64 > warm_exec * 0.9);
+        }
+    }
+
+    #[test]
+    fn keepalive_cost_matches_minute_engine_for_fixed_policy() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(13, 300);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+        let sim = pulse_sim::Simulator::new(trace, fams.clone());
+        let rt_s = rt.run(&mut OpenWhiskFixed::new(&fams));
+        let sim_s = sim.run(&mut OpenWhiskFixed::new(&fams));
+        assert!(
+            (rt_s.keepalive_cost_usd - sim_s.keepalive_cost_usd).abs() < 1e-9,
+            "runtime {} vs sim {}",
+            rt_s.keepalive_cost_usd,
+            sim_s.keepalive_cost_usd
+        );
+        assert_eq!(rt_s.warm_starts(), sim_s.warm_starts);
+        assert_eq!(rt_s.cold_starts(), sim_s.cold_starts);
+    }
+
+    #[test]
+    fn pulse_policy_counts_match_minute_engine() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(19, 400);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+        let sim = pulse_sim::Simulator::new(trace, fams.clone());
+        let rt_s = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        let sim_s = sim.run(&mut PulsePolicy::new(fams, PulseConfig::default()));
+        // Stateful policy + different call orders within a minute can shift
+        // a handful of borderline decisions; the engines must agree closely.
+        let warm_delta = (rt_s.warm_starts() as f64 - sim_s.warm_starts as f64).abs();
+        let warm_rel = warm_delta / (sim_s.warm_starts.max(1) as f64);
+        assert!(
+            warm_rel < 0.02,
+            "runtime {} vs sim {}",
+            rt_s.warm_starts(),
+            sim_s.warm_starts
+        );
+        let cost_ratio = rt_s.keepalive_cost_usd / sim_s.keepalive_cost_usd;
+        assert!((0.9..1.1).contains(&cost_ratio), "cost ratio {cost_ratio}");
+    }
+
+    #[test]
+    fn concurrency_cap_adds_queueing_delay() {
+        // 40 same-minute requests (≈1.5 s apart, 2.2 s executions), cap 1:
+        // they serialize and queueing delay accumulates.
+        let (trace, fams) = one_func(&[0, 40, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let unbounded = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default())
+            .run(&mut OpenWhiskFixed::new(&fams));
+        let capped = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                max_concurrency: Some(1),
+                ..Default::default()
+            },
+        )
+        .run(&mut OpenWhiskFixed::new(&fams));
+        assert!(capped.latency_p99_ms() > unbounded.latency_p99_ms());
+        assert_eq!(capped.requests(), unbounded.requests());
+        assert_eq!(capped.warm_starts(), unbounded.warm_starts());
+    }
+
+    #[test]
+    fn no_invocations_costs_nothing() {
+        let (trace, fams) = one_func(&[0; 30]);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.keepalive_cost_usd, 0.0);
+        assert_eq!(s.memory_at_tick_mb.len(), 30);
+        assert!(s.memory_at_tick_mb.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn stochastic_mode_jitters_but_preserves_counts() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(29, 200);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let det = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default())
+            .run(&mut OpenWhiskFixed::new(&fams));
+        let sto = Runtime::new(
+            trace.clone(),
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(7),
+                ..Default::default()
+            },
+        )
+        .run(&mut OpenWhiskFixed::new(&fams));
+        // Warm/cold accounting is schedule-driven — jitter must not move it.
+        assert_eq!(det.warm_starts(), sto.warm_starts());
+        assert_eq!(det.cold_starts(), sto.cold_starts());
+        assert_eq!(det.keepalive_cost_usd, sto.keepalive_cost_usd);
+        // Latencies differ, but only by the lognormal spread.
+        assert_ne!(
+            det.records
+                .iter()
+                .map(|r| r.latency_ms())
+                .collect::<Vec<_>>(),
+            sto.records
+                .iter()
+                .map(|r| r.latency_ms())
+                .collect::<Vec<_>>()
+        );
+        let ratio = sto.service_time_s() / det.service_time_s();
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+        // Same seed reproduces exactly.
+        let sto2 = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(7),
+                ..Default::default()
+            },
+        )
+        .run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(sto.records, sto2.records);
+    }
+
+    #[test]
+    fn runtime_is_deterministic() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(23, 200);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let a = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        let b = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.keepalive_cost_usd, b.keepalive_cost_usd);
+    }
+}

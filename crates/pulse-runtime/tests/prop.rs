@@ -1,0 +1,91 @@
+//! Property tests for the event-driven runtime, including the strongest
+//! invariant we have: cost/count equality with the independently implemented
+//! minute-resolution engine on arbitrary workloads.
+
+use proptest::prelude::*;
+use pulse_runtime::{Runtime, RuntimeConfig};
+use pulse_sim::assignment::round_robin_assignment;
+use pulse_sim::policies::OpenWhiskFixed;
+use pulse_sim::Simulator;
+use pulse_trace::{FunctionTrace, Trace};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (1usize..4, 30usize..120).prop_flat_map(|(nf, minutes)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..3, minutes..=minutes),
+            nf..=nf,
+        )
+        .prop_map(|rows| {
+            Trace::new(
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, counts)| FunctionTrace::new(format!("f{i}"), counts))
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The two engines agree exactly for the deterministic fixed policy on
+    /// arbitrary workloads.
+    #[test]
+    fn engines_agree_on_fixed_policy(trace in arb_trace()) {
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = sim.run(&mut OpenWhiskFixed::new(&fams));
+        let r = rt.run(&mut OpenWhiskFixed::new(&fams));
+        prop_assert_eq!(s.warm_starts, r.warm_starts());
+        prop_assert_eq!(s.cold_starts, r.cold_starts());
+        prop_assert!((s.keepalive_cost_usd - r.keepalive_cost_usd).abs() < 1e-9);
+        prop_assert!((s.avg_accuracy_pct() - r.avg_accuracy_pct()).abs() < 1e-9);
+    }
+
+    /// Runtime bookkeeping invariants on arbitrary workloads: every request
+    /// completes, no request finishes before its arrival, warm requests are
+    /// at least as fast as any cold request of the same function.
+    #[test]
+    fn runtime_accounting_invariants(trace in arb_trace()) {
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+        let r = rt.run(&mut OpenWhiskFixed::new(&fams));
+        prop_assert_eq!(r.requests(), trace.total_invocations());
+        for rec in &r.records {
+            prop_assert!(rec.done_ms >= rec.arrival_ms);
+            prop_assert!(rec.accuracy_pct > 0.0);
+        }
+        prop_assert_eq!(r.memory_at_tick_mb.len(), trace.minutes());
+        prop_assert!(r.keepalive_cost_usd >= 0.0);
+    }
+
+    /// A concurrency cap never changes warm/cold accounting or billing —
+    /// only latency.
+    #[test]
+    fn concurrency_cap_only_affects_latency(trace in arb_trace(), cap in 1u32..4) {
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let unbounded = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default())
+            .run(&mut OpenWhiskFixed::new(&fams));
+        let capped = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig { max_concurrency: Some(cap), ..Default::default() },
+        )
+        .run(&mut OpenWhiskFixed::new(&fams));
+        prop_assert_eq!(unbounded.warm_starts(), capped.warm_starts());
+        prop_assert_eq!(unbounded.cold_starts(), capped.cold_starts());
+        prop_assert!((unbounded.keepalive_cost_usd - capped.keepalive_cost_usd).abs() < 1e-12);
+        prop_assert!(capped.service_time_s() >= unbounded.service_time_s() - 1e-9);
+    }
+}

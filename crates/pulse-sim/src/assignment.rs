@@ -1,0 +1,78 @@
+//! Model-to-function assignment (the paper's 1000-run methodology).
+//!
+//! "Using the gathered data, we conducted 1000 simulation runs, each
+//! presenting a unique combination of model-to-function assignments." Each
+//! run draws one model family per function from the zoo, uniformly with
+//! replacement, so the 12 functions cover a varying mix of GPT/BERT/YOLO/
+//! ResNet/DenseNet workloads.
+
+use pulse_models::ModelFamily;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draw one family per function, uniformly with replacement from `zoo`.
+pub fn random_assignment<R: Rng + ?Sized>(
+    zoo: &[ModelFamily],
+    n_functions: usize,
+    rng: &mut R,
+) -> Vec<ModelFamily> {
+    assert!(!zoo.is_empty(), "zoo must be non-empty");
+    (0..n_functions)
+        .map(|_| zoo.choose(rng).expect("non-empty zoo").clone())
+        .collect()
+}
+
+/// Deterministic round-robin assignment (fixture-friendly: every family
+/// appears, order is stable).
+pub fn round_robin_assignment(zoo: &[ModelFamily], n_functions: usize) -> Vec<ModelFamily> {
+    assert!(!zoo.is_empty(), "zoo must be non-empty");
+    (0..n_functions)
+        .map(|i| zoo[i % zoo.len()].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_models::zoo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_assignment_draws_from_zoo() {
+        let z = zoo::standard();
+        let a = random_assignment(&z, 12, &mut SmallRng::seed_from_u64(4));
+        assert_eq!(a.len(), 12);
+        for f in &a {
+            assert!(z.iter().any(|g| g.name == f.name));
+        }
+    }
+
+    #[test]
+    fn random_assignment_varies_with_seed() {
+        let z = zoo::standard();
+        let a = random_assignment(&z, 12, &mut SmallRng::seed_from_u64(1));
+        let names = |xs: &[ModelFamily]| xs.iter().map(|f| f.name.clone()).collect::<Vec<_>>();
+        let differs = (2..30).any(|s| {
+            names(&random_assignment(&z, 12, &mut SmallRng::seed_from_u64(s))) != names(&a)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn round_robin_covers_all_families() {
+        let z = zoo::standard();
+        let a = round_robin_assignment(&z, 12);
+        assert_eq!(a.len(), 12);
+        for g in &z {
+            assert!(a.iter().any(|f| f.name == g.name));
+        }
+        assert_eq!(a[0].name, a[5].name);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_zoo_rejected() {
+        round_robin_assignment(&[], 3);
+    }
+}

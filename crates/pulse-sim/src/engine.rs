@@ -1,0 +1,419 @@
+//! The minute-resolution simulation loop.
+//!
+//! See the crate docs for the full semantics. The engine owns the keep-alive
+//! schedules (one per function, replaced on every invocation), asks the
+//! policy for per-minute adjustments, applies downgrades *persistently* (a
+//! downgraded schedule never re-raises above the downgraded rung within the
+//! same window; an evicted schedule is gone), serves invocations, and meters
+//! keep-alive memory and cost.
+
+use crate::metrics::RunMetrics;
+use crate::policy::KeepAlivePolicy;
+use pulse_core::global::{AliveModel, DowngradeAction};
+use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::types::Minute;
+use pulse_models::{CostModel, ModelFamily, VariantId};
+use pulse_trace::Trace;
+
+/// Marker for a "dead" minute inside a schedule plan: the container is not
+/// alive even though the plan covers the minute. Used by oracle policies
+/// that keep containers alive at non-contiguous minutes.
+pub const HOLE: VariantId = usize::MAX;
+
+/// Trace-driven serverless platform simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    trace: Trace,
+    families: Vec<ModelFamily>,
+    cost: CostModel,
+}
+
+impl Simulator {
+    /// Simulator over `trace` with one model family per function and AWS
+    /// Lambda pricing.
+    pub fn new(trace: Trace, families: Vec<ModelFamily>) -> Self {
+        Self::with_cost(trace, families, CostModel::aws_lambda())
+    }
+
+    /// Simulator with a custom cost model.
+    pub fn with_cost(trace: Trace, families: Vec<ModelFamily>, cost: CostModel) -> Self {
+        assert_eq!(
+            trace.n_functions(),
+            families.len(),
+            "one family per traced function"
+        );
+        Self {
+            trace,
+            families,
+            cost,
+        }
+    }
+
+    /// The workload driving this simulator.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The family assignment.
+    pub fn families(&self) -> &[ModelFamily] {
+        &self.families
+    }
+
+    /// Alive variant of function `f` at minute `t` per its schedule (`None`
+    /// when expired, absent, or a hole).
+    fn alive_variant(
+        schedules: &[Option<KeepAliveSchedule>],
+        f: usize,
+        t: Minute,
+    ) -> Option<VariantId> {
+        schedules[f]
+            .as_ref()
+            .and_then(|s| s.variant_at(t))
+            .filter(|&v| v != HOLE)
+    }
+
+    /// Keep-alive memory (MB) at minute `t` from the schedules.
+    fn keepalive_memory(&self, schedules: &[Option<KeepAliveSchedule>], t: Minute) -> f64 {
+        (0..self.families.len())
+            .filter_map(|f| {
+                Self::alive_variant(schedules, f, t).map(|v| self.families[f].variant(v).memory_mb)
+            })
+            .sum()
+    }
+
+    /// Run the policy over the whole trace.
+    pub fn run(&self, policy: &mut dyn KeepAlivePolicy) -> RunMetrics {
+        let minutes = self.trace.minutes();
+        let n = self.families.len();
+        let mut metrics = RunMetrics::new(policy.name(), minutes);
+        let mut schedules: Vec<Option<KeepAliveSchedule>> = vec![None; n];
+        // Two memory series: `demand_history` records what the schedules
+        // *asked* to keep alive each minute (pre-adjustment) and drives the
+        // policy's peak detection — feeding post-flattening values back into
+        // the prior would drag the detector's baseline into a death spiral
+        // (every flatten lowers the prior, which makes the next minute a
+        // "peak" again). `mem_history` records what was actually kept alive
+        // (post-adjustment) and drives billing and the reported series.
+        let mut demand_history: Vec<f64> = Vec::with_capacity(minutes);
+        let mut mem_history: Vec<f64> = Vec::with_capacity(minutes);
+        // Algorithm 1's `t == 1` branch applies at the first minute of a
+        // keep-alive period — i.e. the minute right after an invocation
+        // started a new period. There the prior keep-alive memory is the
+        // local-window average (or the last non-zero level after
+        // inactivity), not the previous minute, so routine schedule renewals
+        // are judged against the steady level rather than minute-to-minute
+        // jitter.
+        let mut invoked_last_minute = false;
+
+        for t in 0..minutes as Minute {
+            // 1. Cross-function adjustment on the pre-invocation alive set.
+            let mut alive: Vec<AliveModel> = (0..n)
+                .filter_map(|f| {
+                    Self::alive_variant(&schedules, f, t).map(|variant| AliveModel {
+                        func: f,
+                        variant,
+                        invocation_probability: 0.0,
+                    })
+                })
+                .collect();
+            let current_kam = self.keepalive_memory(&schedules, t);
+            let first_minute = invoked_last_minute
+                || (current_kam > 0.0 && demand_history.last().is_none_or(|&m| m == 0.0));
+            let actions =
+                policy.adjust_minute(t, &demand_history, first_minute, current_kam, &mut alive);
+            demand_history.push(current_kam);
+            metrics.downgrades += actions.len() as u64;
+            for a in &actions {
+                // Algorithm 2 downgrades are decisions for the peak minute
+                // `t` ("for every time period t classified as peak"): clamp
+                // or clear this minute of the schedule only. If the demand
+                // is still peaked at t+1 the detector fires again there.
+                match *a {
+                    DowngradeAction::Downgrade { func, to, .. } => {
+                        if let Some(s) = schedules[func].as_mut() {
+                            if let Some(v) = s.variant_at(t) {
+                                if v != HOLE && v > to {
+                                    s.set_variant_at(t, to);
+                                }
+                            }
+                        }
+                    }
+                    DowngradeAction::Evict { func, .. } => {
+                        if let Some(s) = schedules[func].as_mut() {
+                            s.set_variant_at(t, HOLE);
+                        }
+                    }
+                }
+            }
+
+            // 2. Meter keep-alive memory for this minute *before* serving:
+            // the billed footprint is what the schedules keep alive at `t`
+            // (post-adjustment). Schedules produced by invocations at `t`
+            // begin at `t + 1`, and cold-start execution memory is in-use,
+            // not keep-alive.
+            let kam = self.keepalive_memory(&schedules, t);
+
+            // 3. Serve invocations.
+            invoked_last_minute = false;
+            for f in 0..n {
+                let count = self.trace.function(f).at(t) as u64;
+                if count == 0 {
+                    continue;
+                }
+                invoked_last_minute = true;
+                let fam = &self.families[f];
+                match Self::alive_variant(&schedules, f, t) {
+                    Some(v) => {
+                        let spec = fam.variant(v);
+                        metrics.service_time_s += spec.warm_service_time_s * count as f64;
+                        metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
+                        metrics.warm_starts += count;
+                    }
+                    None => {
+                        let v = policy.cold_start_variant(f, t);
+                        let spec = fam.variant(v);
+                        metrics.service_time_s += spec.cold_service_time_s()
+                            + spec.warm_service_time_s * (count - 1) as f64;
+                        metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
+                        metrics.cold_starts += 1;
+                        metrics.warm_starts += count - 1;
+                    }
+                }
+                schedules[f] = Some(policy.schedule_on_invocation(f, t));
+            }
+
+            // 4. Accrue cost and record series.
+            let minute_cost = self.cost.keepalive_cost_usd_per_minutes(kam, 1.0);
+            metrics.keepalive_cost_usd += minute_cost;
+            metrics.memory_series_mb.push(kam);
+            metrics.cost_series_usd.push(minute_cost);
+            mem_history.push(kam);
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{FixedVariant, IdealOracle, OpenWhiskFixed, PulsePolicy};
+    use pulse_core::types::PulseConfig;
+    use pulse_models::zoo;
+    use pulse_trace::FunctionTrace;
+
+    fn one_func_trace(counts: &[u32]) -> Trace {
+        Trace::new(vec![FunctionTrace::new("f", counts.to_vec())])
+    }
+
+    #[test]
+    fn single_invocation_openwhisk_costs_ten_minutes_of_highest() {
+        let trace = one_func_trace(&[0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let fams = vec![zoo::gpt()];
+        let sim = Simulator::new(trace, fams.clone());
+        let mut p = OpenWhiskFixed::new(&fams);
+        let m = sim.run(&mut p);
+        assert_eq!(m.cold_starts, 1);
+        assert_eq!(m.warm_starts, 0);
+        let spec = fams[0].highest();
+        assert!((m.service_time_s - spec.cold_service_time_s()).abs() < 1e-9);
+        // Alive minutes 2..=11 → 10 minutes of GPT-Large memory.
+        let expected = CostModel::aws_lambda().keepalive_cost_usd_per_minutes(spec.memory_mb, 10.0);
+        assert!((m.keepalive_cost_usd - expected).abs() < 1e-12);
+        assert!((m.avg_accuracy_pct() - spec.accuracy_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_invocation_within_window_is_warm() {
+        let trace = one_func_trace(&[1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let fams = vec![zoo::bert()];
+        let sim = Simulator::new(trace, fams.clone());
+        let m = sim.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(m.cold_starts, 1);
+        assert_eq!(m.warm_starts, 1);
+        let spec = fams[0].highest();
+        let expected = spec.cold_service_time_s() + spec.warm_service_time_s;
+        assert!((m.service_time_s - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invocation_after_window_expiry_is_cold() {
+        let mut counts = vec![0u32; 30];
+        counts[0] = 1;
+        counts[15] = 1; // 15 > 10-minute window
+        let trace = one_func_trace(&counts);
+        let fams = vec![zoo::bert()];
+        let sim = Simulator::new(trace, fams.clone());
+        let m = sim.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(m.cold_starts, 2);
+    }
+
+    #[test]
+    fn same_minute_burst_is_one_cold_plus_warms() {
+        let trace = one_func_trace(&[5, 0, 0]);
+        let fams = vec![zoo::densenet()];
+        let sim = Simulator::new(trace, fams.clone());
+        let m = sim.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(m.cold_starts, 1);
+        assert_eq!(m.warm_starts, 4);
+        assert_eq!(m.invocations(), 5);
+    }
+
+    #[test]
+    fn all_low_is_cheaper_and_less_accurate_than_all_high() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(5, 2000);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let high = sim.run(&mut FixedVariant::all_high(&fams));
+        let low = sim.run(&mut FixedVariant::all_low(&fams));
+        assert!(low.keepalive_cost_usd < high.keepalive_cost_usd);
+        assert!(low.avg_accuracy_pct() < high.avg_accuracy_pct());
+        assert!(low.service_time_s < high.service_time_s);
+        // Equal warm-start opportunity: both keep *something* alive 10 min.
+        assert_eq!(low.invocations(), high.invocations());
+        assert_eq!(low.cold_starts, high.cold_starts);
+    }
+
+    #[test]
+    fn ideal_oracle_never_cold_after_first_and_bills_invocation_minutes_only() {
+        let trace = one_func_trace(&[1, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0]);
+        let fams = vec![zoo::gpt()];
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let m = sim.run(&mut IdealOracle::new(&fams, trace));
+        assert_eq!(m.cold_starts, 1); // only the very first
+        assert_eq!(m.warm_starts, 2);
+        // Keep-alive billed exactly at the two warm invocation minutes.
+        let spec = fams[0].highest();
+        let expected = CostModel::aws_lambda().keepalive_cost_usd_per_minutes(spec.memory_mb, 2.0);
+        assert!(
+            (m.keepalive_cost_usd - expected).abs() < 1e-12,
+            "{} vs {expected}",
+            m.keepalive_cost_usd
+        );
+    }
+
+    #[test]
+    fn memory_series_tracks_schedule_lifetimes() {
+        let trace = one_func_trace(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let fams = vec![zoo::bert()];
+        let sim = Simulator::new(trace, fams.clone());
+        let m = sim.run(&mut OpenWhiskFixed::new(&fams));
+        let mem = fams[0].highest().memory_mb;
+        assert_eq!(m.memory_series_mb.len(), 15);
+        assert_eq!(m.memory_series_mb[0], 0.0); // invocation minute: schedule starts at 1
+        for t in 1..=10 {
+            assert!((m.memory_series_mb[t] - mem).abs() < 1e-9, "t={t}");
+        }
+        assert_eq!(m.memory_series_mb[11], 0.0);
+    }
+
+    #[test]
+    fn pulse_flattens_a_synchronized_burst() {
+        // 12 functions all invoked at minute 0 and from minute 30 in a
+        // staggered steady pattern, then all at once at minute 60 (peak).
+        let mut fs = Vec::new();
+        for i in 0..12 {
+            let mut v = vec![0u32; 120];
+            for t in (i % 4..55).step_by(4) {
+                v[t] = 1;
+            }
+            v[60] = 3;
+            fs.push(FunctionTrace::new(format!("f{i}"), v));
+        }
+        let trace = Trace::new(fs);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let pulse = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        let no_global = sim.run(&mut PulsePolicy::without_global(
+            fams.clone(),
+            PulseConfig::default(),
+        ));
+        assert!(pulse.downgrades > 0, "peak must trigger downgrades");
+        assert_eq!(no_global.downgrades, 0);
+        assert!(pulse.peak_memory_mb() <= no_global.peak_memory_mb());
+    }
+
+    #[test]
+    fn pulse_cheaper_than_openwhisk_on_mixed_workload() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(9, 4000);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let ow = sim.run(&mut OpenWhiskFixed::new(&fams));
+        let pu = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        assert!(
+            pu.keepalive_cost_usd < ow.keepalive_cost_usd,
+            "pulse {} !< openwhisk {}",
+            pu.keepalive_cost_usd,
+            ow.keepalive_cost_usd
+        );
+        // Accuracy within a few percent of the all-high baseline.
+        assert!(ow.avg_accuracy_pct() - pu.avg_accuracy_pct() < 5.0);
+    }
+
+    #[test]
+    fn downgrade_applies_to_the_peak_minute_only() {
+        use crate::policy::KeepAlivePolicy;
+        use pulse_core::global::DowngradeAction;
+
+        // A policy that downgrades function 0 to rung 0 at minute 3.
+        struct OneShotDowngrade {
+            inner: OpenWhiskFixed,
+            fired: bool,
+        }
+        impl KeepAlivePolicy for OneShotDowngrade {
+            fn name(&self) -> &str {
+                "one-shot"
+            }
+            fn schedule_on_invocation(&mut self, f: usize, t: Minute) -> KeepAliveSchedule {
+                self.inner.schedule_on_invocation(f, t)
+            }
+            fn cold_start_variant(&mut self, f: usize, t: Minute) -> VariantId {
+                self.inner.cold_start_variant(f, t)
+            }
+            fn adjust_minute(
+                &mut self,
+                t: Minute,
+                _h: &[f64],
+                _first: bool,
+                _kam: f64,
+                alive: &mut Vec<AliveModel>,
+            ) -> Vec<DowngradeAction> {
+                if t == 3 && !self.fired {
+                    self.fired = true;
+                    if let Some(m) = alive.iter_mut().find(|m| m.func == 0) {
+                        let from = m.variant;
+                        m.variant = 0;
+                        return vec![DowngradeAction::Downgrade {
+                            func: 0,
+                            from,
+                            to: 0,
+                        }];
+                    }
+                }
+                Vec::new()
+            }
+        }
+
+        let trace = one_func_trace(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let fams = vec![zoo::gpt()];
+        let sim = Simulator::new(trace, fams.clone());
+        let m = sim.run(&mut OneShotDowngrade {
+            inner: OpenWhiskFixed::new(&fams),
+            fired: false,
+        });
+        let high = fams[0].highest().memory_mb;
+        let low = fams[0].lowest().memory_mb;
+        // Only minute 3 (the "peak") is clamped to the low rung; the rest of
+        // the window keeps the scheduled high rung.
+        assert!((m.memory_series_mb[2] - high).abs() < 1e-9);
+        assert!((m.memory_series_mb[3] - low).abs() < 1e-9);
+        for t in 4..=10 {
+            assert!((m.memory_series_mb[t] - high).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one family per traced function")]
+    fn mismatched_assignment_rejected() {
+        Simulator::new(one_func_trace(&[1]), vec![]);
+    }
+}

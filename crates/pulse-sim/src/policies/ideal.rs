@@ -1,0 +1,129 @@
+//! The ideal-cost oracle (Figure 6b's reference line).
+//!
+//! "…the ideal value of keep-alive cost, where the model is only kept alive
+//! during the time it is invoked." This oracle reads the trace's future and
+//! keeps the highest-quality container alive exactly at the minutes when an
+//! invocation will arrive — every start is warm, and no idle minute is ever
+//! billed. It is unrealizable in practice (it requires perfect foresight)
+//! and serves purely as the denominator of the per-minute cost-error series.
+
+use crate::policy::KeepAlivePolicy;
+use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::types::{FuncId, Minute};
+use pulse_models::{ModelFamily, VariantId};
+use pulse_trace::Trace;
+
+/// Keep containers alive only at (future) invocation minutes.
+#[derive(Debug, Clone)]
+pub struct IdealOracle {
+    trace: Trace,
+    highest: Vec<VariantId>,
+    window: u32,
+}
+
+impl IdealOracle {
+    /// Oracle over the trace it will be simulated against (10-minute window).
+    pub fn new(families: &[ModelFamily], trace: Trace) -> Self {
+        Self::with_window(families, trace, 10)
+    }
+
+    /// As [`Self::new`] with a custom window.
+    pub fn with_window(families: &[ModelFamily], trace: Trace, window: u32) -> Self {
+        assert!(window >= 1);
+        assert_eq!(families.len(), trace.n_functions());
+        Self {
+            trace,
+            highest: crate::policy::highest_ids(families),
+            window,
+        }
+    }
+}
+
+impl KeepAlivePolicy for IdealOracle {
+    fn name(&self) -> &str {
+        "ideal-oracle"
+    }
+
+    fn schedule_on_invocation(&mut self, f: FuncId, t: Minute) -> KeepAliveSchedule {
+        // Alive exactly at the future invocation minutes within the window.
+        // We signal "dead" by an empty plan trick: the schedule stores a
+        // variant per minute, so we need a per-minute alive/dead notion.
+        // The engine treats a minute as dead when the schedule has expired;
+        // within a window we cannot express holes, so the ideal oracle
+        // instead emits a schedule covering only the prefix up to (and
+        // including) each next invocation: here we cover every minute but
+        // the engine bills only alive minutes — therefore we emit the full
+        // window only when an invocation exists, trimmed to the last
+        // invocation minute... Simpler and exactly equivalent for cost
+        // accounting: emit a plan whose length runs to the *last* invocation
+        // minute in the window, and rely on `variant_at` for coverage.
+        let last_inv = (1..=self.window as u64).rfind(|&m| self.trace.function(f).at(t + m) > 0);
+        match last_inv {
+            // No future invocation in the window: keep nothing alive.
+            None => KeepAliveSchedule::new(t, Vec::new()),
+            Some(last) => {
+                // Alive only at invocation minutes; the engine has no notion
+                // of per-minute holes, so we approximate the ideal by a plan
+                // covering minutes 1..=last — then subtract the idle minutes
+                // by scheduling the *lowest-footprint expression we have*:
+                // the engine bills exactly the minutes in the plan, so we
+                // emit a plan marking invocation minutes with the highest
+                // variant and non-invocation minutes as dead via the
+                // dedicated hole marker.
+                let plan = (1..=last)
+                    .map(|m| {
+                        if self.trace.function(f).at(t + m) > 0 {
+                            self.highest[f]
+                        } else {
+                            crate::engine::HOLE
+                        }
+                    })
+                    .collect();
+                KeepAliveSchedule::new(t, plan)
+            }
+        }
+    }
+
+    fn cold_start_variant(&mut self, f: FuncId, _t: Minute) -> VariantId {
+        self.highest[f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HOLE;
+    use pulse_models::zoo;
+    use pulse_trace::FunctionTrace;
+
+    fn setup() -> (Vec<ModelFamily>, Trace) {
+        let fams = vec![zoo::gpt()];
+        let trace = Trace::new(vec![FunctionTrace::new(
+            "f",
+            vec![1, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0],
+        )]);
+        (fams, trace)
+    }
+
+    #[test]
+    fn alive_only_at_invocation_minutes() {
+        let (fams, trace) = setup();
+        let mut p = IdealOracle::new(&fams, trace);
+        let s = p.schedule_on_invocation(0, 0);
+        // Future invocations at minutes 2 and 5 → alive there, holes between.
+        assert_eq!(s.variant_at_offset(1), Some(HOLE));
+        assert_eq!(s.variant_at_offset(2), Some(2));
+        assert_eq!(s.variant_at_offset(3), Some(HOLE));
+        assert_eq!(s.variant_at_offset(5), Some(2));
+        assert_eq!(s.variant_at_offset(6), None); // plan trimmed
+    }
+
+    #[test]
+    fn no_future_invocations_keeps_nothing() {
+        let (fams, trace) = setup();
+        let mut p = IdealOracle::new(&fams, trace);
+        let s = p.schedule_on_invocation(0, 5);
+        assert_eq!(s.window(), 0);
+        assert_eq!(s.variant_at_offset(1), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Keep-alive policy implementations.
+//!
+//! * [`openwhisk::OpenWhiskFixed`] — the provider baseline: highest-quality
+//!   variant kept alive for a fixed window after every invocation;
+//! * [`fixed::FixedVariant`] — all-high / all-low constant strategies
+//!   (Tables II/III rows 1–2, Figure 5 endpoints);
+//! * [`random_mix::RandomMix`] — balanced random high/low assignment
+//!   (Tables II/III row 3);
+//! * [`intelligent::IntelligentOracle`] — future-knowledge mixing: functions
+//!   with the most invocations in the lookahead window get high-quality
+//!   variants (Tables II/III row 4);
+//! * [`ideal::IdealOracle`] — containers alive exactly at invocation minutes
+//!   (the Figure 6b "ideal keep-alive cost" reference);
+//! * [`pulse::PulsePolicy`] — the full PULSE policy (individual + global
+//!   optimization), with a switch to disable the global layer (Figure 4).
+
+pub mod capacity;
+pub mod fixed;
+pub mod ideal;
+pub mod intelligent;
+pub mod openwhisk;
+pub mod pulse;
+pub mod random_mix;
+
+pub use capacity::{CapacityPulse, CapacityRandom};
+pub use fixed::FixedVariant;
+pub use ideal::IdealOracle;
+pub use intelligent::IntelligentOracle;
+pub use openwhisk::OpenWhiskFixed;
+pub use pulse::PulsePolicy;
+pub use random_mix::RandomMix;

@@ -1,0 +1,88 @@
+//! The keep-alive policy interface the simulator drives.
+
+use pulse_core::global::{AliveModel, DowngradeAction};
+use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::types::{FuncId, Minute};
+use pulse_models::{ModelFamily, VariantId};
+
+/// A keep-alive policy: decides which variant container (if any) each
+/// function keeps alive at each minute, and how to react to memory peaks.
+///
+/// The engine calls:
+/// * [`Self::schedule_on_invocation`] after every invocation — the returned
+///   schedule replaces the function's remaining plan;
+/// * [`Self::cold_start_variant`] when an invocation arrives with no alive
+///   container — the variant launched for that cold start;
+/// * [`Self::adjust_minute`] once per minute *before* invocations are served
+///   — the policy may return downgrade/evict actions (cross-function
+///   optimization). Policies without a global layer use the default no-op.
+pub trait KeepAlivePolicy: Send {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Plan the keep-alive window following an invocation of `f` at `t`.
+    fn schedule_on_invocation(&mut self, f: FuncId, t: Minute) -> KeepAliveSchedule;
+
+    /// The variant to launch when `f` cold-starts at `t`.
+    fn cold_start_variant(&mut self, f: FuncId, t: Minute) -> VariantId;
+
+    /// Cross-function adjustment at minute `t`.
+    ///
+    /// * `mem_history` — keep-alive memory of minutes `0..t` (MB);
+    /// * `first_minute_of_period` — true when this minute begins a new
+    ///   keep-alive period (an invocation arrived in the previous minute, or
+    ///   activity just resumed after an idle stretch) — Algorithm 1's
+    ///   `t == 1` branch;
+    /// * `current_kam_mb` — keep-alive memory at `t` before adjustment;
+    /// * `alive` — alive containers at `t`; implementations mutate it in
+    ///   step with the actions they return.
+    fn adjust_minute(
+        &mut self,
+        _t: Minute,
+        _mem_history: &[f64],
+        _first_minute_of_period: bool,
+        _current_kam_mb: f64,
+        _alive: &mut Vec<AliveModel>,
+    ) -> Vec<DowngradeAction> {
+        Vec::new()
+    }
+}
+
+/// Shared helper: the highest variant id of each family, used by several
+/// policies as the provider-default cold-start choice.
+pub fn highest_ids(families: &[ModelFamily]) -> Vec<VariantId> {
+    families.iter().map(|f| f.highest_id()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulse_models::zoo;
+
+    #[test]
+    fn highest_ids_match_families() {
+        let fams = vec![zoo::bert(), zoo::gpt()];
+        assert_eq!(highest_ids(&fams), vec![1, 2]);
+    }
+
+    struct Noop;
+    impl KeepAlivePolicy for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn schedule_on_invocation(&mut self, _f: FuncId, t: Minute) -> KeepAliveSchedule {
+            KeepAliveSchedule::constant(t, 0, 10)
+        }
+        fn cold_start_variant(&mut self, _f: FuncId, _t: Minute) -> VariantId {
+            0
+        }
+    }
+
+    #[test]
+    fn default_adjust_is_noop() {
+        let mut p = Noop;
+        let mut alive = Vec::new();
+        let actions = p.adjust_minute(5, &[1.0, 2.0], false, 100.0, &mut alive);
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Parallel many-run harness.
+//!
+//! The paper's headline numbers average 1000 simulation runs, each with a
+//! fresh random model-to-function assignment. Runs are embarrassingly
+//! parallel; this module fans them out over crossbeam scoped threads with a
+//! lock-free work counter, keeping one metrics accumulator per worker and
+//! merging at the end (no shared mutable state on the hot path).
+
+use crate::assignment::random_assignment;
+use crate::engine::Simulator;
+use crate::metrics::{Aggregate, RunMetrics};
+use crate::policy::KeepAlivePolicy;
+use parking_lot::Mutex;
+use pulse_models::ModelFamily;
+use pulse_trace::Trace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of a multi-run campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiRunConfig {
+    /// Number of runs (the paper uses 1000).
+    pub n_runs: usize,
+    /// Base seed; run `r` uses `base_seed + r` for its assignment (and for
+    /// any policy randomness).
+    pub base_seed: u64,
+    /// Worker threads; `None` = all available cores.
+    pub threads: Option<usize>,
+}
+
+impl Default for MultiRunConfig {
+    fn default() -> Self {
+        Self {
+            n_runs: 1000,
+            base_seed: 0,
+            threads: None,
+        }
+    }
+}
+
+/// Builds a policy for one run, given the run's family assignment and seed.
+pub type PolicyFactory<'a> = dyn Fn(&[ModelFamily], u64) -> Box<dyn KeepAlivePolicy> + Sync + 'a;
+
+/// Run the campaign: for each run, draw a random assignment from `zoo`,
+/// build a policy via `factory`, simulate the whole trace, and return the
+/// per-run metrics (ordered by run index, per-minute series dropped to keep
+/// memory bounded).
+pub fn run_many(
+    trace: &Trace,
+    zoo: &[ModelFamily],
+    cfg: &MultiRunConfig,
+    factory: &PolicyFactory<'_>,
+) -> Vec<RunMetrics> {
+    let threads = cfg
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(cfg.n_runs.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunMetrics>>> = Mutex::new(vec![None; cfg.n_runs]);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                let mut local: Vec<(usize, RunMetrics)> = Vec::new();
+                loop {
+                    let r = next.fetch_add(1, Ordering::Relaxed);
+                    if r >= cfg.n_runs {
+                        break;
+                    }
+                    let seed = cfg.base_seed + r as u64;
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let assignment = random_assignment(zoo, trace.n_functions(), &mut rng);
+                    let sim = Simulator::new(trace.clone(), assignment.clone());
+                    let mut policy = factory(&assignment, seed);
+                    let mut m = sim.run(policy.as_mut());
+                    // Series are per-minute × n_runs — drop to bound memory.
+                    m.memory_series_mb = Vec::new();
+                    m.cost_series_usd = Vec::new();
+                    local.push((r, m));
+                }
+                let mut guard = results.lock();
+                for (r, m) in local {
+                    guard[r] = Some(m);
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|m| m.expect("every run completed"))
+        .collect()
+}
+
+/// Fold per-run metrics into a streaming aggregate.
+pub fn aggregate(name: &str, runs: &[RunMetrics]) -> Aggregate {
+    let mut agg = Aggregate::new(name);
+    for m in runs {
+        agg.push(m);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{OpenWhiskFixed, PulsePolicy};
+    use pulse_core::types::PulseConfig;
+    use pulse_models::zoo;
+    use pulse_trace::synth;
+
+    fn small_cfg(n: usize) -> MultiRunConfig {
+        MultiRunConfig {
+            n_runs: n,
+            base_seed: 7,
+            threads: Some(4),
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let trace = synth::azure_like_12_with_horizon(3, 600);
+        let z = zoo::standard();
+        let factory: Box<PolicyFactory<'_>> =
+            Box::new(|fams, _| Box::new(OpenWhiskFixed::new(fams)));
+        let a = run_many(&trace, &z, &small_cfg(6), factory.as_ref());
+        let b = run_many(&trace, &z, &small_cfg(6), factory.as_ref());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn different_assignments_per_run() {
+        let trace = synth::azure_like_12_with_horizon(3, 600);
+        let z = zoo::standard();
+        let factory: Box<PolicyFactory<'_>> =
+            Box::new(|fams, _| Box::new(OpenWhiskFixed::new(fams)));
+        let runs = run_many(&trace, &z, &small_cfg(8), factory.as_ref());
+        // Different assignments ⇒ different costs (with overwhelming
+        // probability over 8 runs of 12 draws from 5 families).
+        let first = runs[0].keepalive_cost_usd;
+        assert!(runs
+            .iter()
+            .any(|m| (m.keepalive_cost_usd - first).abs() > 1e-12));
+    }
+
+    #[test]
+    fn aggregate_counts_match() {
+        let trace = synth::azure_like_12_with_horizon(3, 400);
+        let z = zoo::standard();
+        let factory: Box<PolicyFactory<'_>> =
+            Box::new(|fams, _| Box::new(PulsePolicy::new(fams.to_vec(), PulseConfig::default())));
+        let runs = run_many(&trace, &z, &small_cfg(5), factory.as_ref());
+        let agg = aggregate("pulse", &runs);
+        assert_eq!(agg.runs(), 5);
+        assert!(agg.keepalive_cost_usd.mean() > 0.0);
+        assert!(agg.accuracy_pct.mean() > 50.0);
+    }
+
+    #[test]
+    fn series_are_dropped() {
+        let trace = synth::azure_like_12_with_horizon(3, 300);
+        let z = zoo::standard();
+        let factory: Box<PolicyFactory<'_>> =
+            Box::new(|fams, _| Box::new(OpenWhiskFixed::new(fams)));
+        let runs = run_many(&trace, &z, &small_cfg(2), factory.as_ref());
+        assert!(runs.iter().all(|m| m.memory_series_mb.is_empty()));
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let trace = synth::azure_like_12_with_horizon(3, 500);
+        let z = zoo::standard();
+        let factory: Box<PolicyFactory<'_>> =
+            Box::new(|fams, _| Box::new(OpenWhiskFixed::new(fams)));
+        let par = run_many(&trace, &z, &small_cfg(4), factory.as_ref());
+        let seq_cfg = MultiRunConfig {
+            threads: Some(1),
+            ..small_cfg(4)
+        };
+        let seq = run_many(&trace, &z, &seq_cfg, factory.as_ref());
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the minute-resolution simulator: policy-independent
+//! accounting invariants, and an independent reconstruction of the fixed
+//! policy's cost from first principles.
+
+use proptest::prelude::*;
+use pulse_core::types::PulseConfig;
+use pulse_models::{CostModel, ModelFamily};
+use pulse_sim::assignment::round_robin_assignment;
+use pulse_sim::policies::{FixedVariant, OpenWhiskFixed, PulsePolicy, RandomMix};
+use pulse_sim::Simulator;
+use pulse_trace::{FunctionTrace, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (1usize..5, 30usize..150).prop_flat_map(|(nf, minutes)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..3, minutes..=minutes),
+            nf..=nf,
+        )
+        .prop_map(|rows| {
+            Trace::new(
+                rows.into_iter()
+                    .enumerate()
+                    .map(|(i, counts)| FunctionTrace::new(format!("f{i}"), counts))
+                    .collect(),
+            )
+        })
+    })
+}
+
+/// First-principles reconstruction of the fixed policy's billing: for each
+/// function, the union of `[t+1, t+window]` intervals over its invocation
+/// minutes, clipped to the horizon, times the highest variant's memory.
+fn fixed_policy_expected_cost(trace: &Trace, fams: &[ModelFamily], window: u64) -> f64 {
+    let cm = CostModel::aws_lambda();
+    let mut total = 0.0;
+    for (f, fam) in fams.iter().enumerate() {
+        let mem = fam.highest().memory_mb;
+        let mut alive = vec![false; trace.minutes()];
+        for &t in &trace.function(f).invocation_minutes() {
+            for m in t + 1..=t + window {
+                if let Some(slot) = alive.get_mut(m as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        let minutes = alive.iter().filter(|&&a| a).count();
+        total += cm.keepalive_cost_usd_per_minutes(mem, minutes as f64);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's billing matches the closed-form interval-union cost for
+    /// the fixed policy on arbitrary workloads.
+    #[test]
+    fn fixed_policy_cost_matches_first_principles(trace in arb_trace()) {
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), trace.n_functions());
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let m = sim.run(&mut OpenWhiskFixed::new(&fams));
+        let expected = fixed_policy_expected_cost(&trace, &fams, 10);
+        prop_assert!(
+            (m.keepalive_cost_usd - expected).abs() < 1e-9,
+            "engine {} vs reconstruction {}",
+            m.keepalive_cost_usd,
+            expected
+        );
+    }
+
+    /// Accounting invariants hold for every policy on arbitrary workloads.
+    #[test]
+    fn accounting_invariants_for_all_policies(trace in arb_trace(), seed in 0u64..100) {
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), trace.n_functions());
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let metrics = [
+            sim.run(&mut OpenWhiskFixed::new(&fams)),
+            sim.run(&mut FixedVariant::all_low(&fams)),
+            sim.run(&mut RandomMix::new(&fams, &mut rng)),
+            sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default())),
+        ];
+        for m in &metrics {
+            prop_assert_eq!(m.invocations(), trace.total_invocations(), "{}", &m.policy);
+            prop_assert_eq!(m.memory_series_mb.len(), trace.minutes());
+            let series: f64 = m.cost_series_usd.iter().sum();
+            prop_assert!((series - m.keepalive_cost_usd).abs() < 1e-9);
+            for &mb in &m.memory_series_mb {
+                prop_assert!(mb >= 0.0 && mb.is_finite());
+            }
+            if m.invocations() > 0 {
+                prop_assert!(m.avg_accuracy_pct() >= 50.0 && m.avg_accuracy_pct() <= 100.0);
+            }
+        }
+        // All-low is never more expensive than the all-high fixed policy.
+        prop_assert!(metrics[1].keepalive_cost_usd <= metrics[0].keepalive_cost_usd + 1e-12);
+    }
+
+    /// PULSE's cost never exceeds the fixed policy's on any workload: its
+    /// schedules only ever choose variants at or below the highest, for the
+    /// same covered minutes or fewer.
+    #[test]
+    fn pulse_is_never_more_expensive_than_fixed(trace in arb_trace()) {
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), trace.n_functions());
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let fixed = sim.run(&mut OpenWhiskFixed::new(&fams));
+        let pulse = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        prop_assert!(
+            pulse.keepalive_cost_usd <= fixed.keepalive_cost_usd + 1e-9,
+            "pulse {} > fixed {}",
+            pulse.keepalive_cost_usd,
+            fixed.keepalive_cost_usd
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! Trace (de)serialization.
+//!
+//! Two formats are supported, both hand-rolled (no CSV dependency):
+//!
+//! * **Simple format** — one header line `function,0,1,2,…`, then one row per
+//!   function: `name,c0,c1,…`. Used for fixtures and for persisting synthetic
+//!   workloads.
+//! * **Azure day-file schema** — the format of the public Azure Functions
+//!   trace (Shahrad et al., ATC'20): columns `HashOwner,HashApp,HashFunction,
+//!   Trigger,1,2,…,1440`, one file per day. [`parse_azure_day`] reads one
+//!   day; [`merge_azure_days`] concatenates consecutive days into a
+//!   two-week [`Trace`], so the real trace can be dropped into the
+//!   reproduction when available.
+
+use crate::trace::{FunctionTrace, Trace};
+use crate::MINUTES_PER_DAY;
+use std::collections::BTreeMap;
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input had no data rows.
+    Empty,
+    /// A row had the wrong number of columns.
+    ColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        got: usize,
+        /// Columns expected.
+        want: usize,
+    },
+    /// A count cell failed to parse as an integer.
+    BadCount {
+        /// 1-based line number.
+        line: usize,
+        /// Offending cell contents.
+        cell: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "no data rows"),
+            ParseError::ColumnCount { line, got, want } => {
+                write!(f, "line {line}: expected {want} columns, got {got}")
+            }
+            ParseError::BadCount { line, cell } => {
+                write!(f, "line {line}: bad invocation count {cell:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a workload in the simple one-row-per-function format.
+pub fn to_simple_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.n_functions() * trace.minutes() * 2);
+    out.push_str("function");
+    for t in 0..trace.minutes() {
+        out.push(',');
+        out.push_str(&t.to_string());
+    }
+    out.push('\n');
+    for f in trace.functions() {
+        out.push_str(&f.name);
+        for &c in &f.per_minute {
+            out.push(',');
+            out.push_str(&c.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the simple one-row-per-function format.
+pub fn from_simple_csv(s: &str) -> Result<Trace, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+    let want = header.split(',').count();
+    let mut functions = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        let name = cells.next().unwrap_or("").to_string();
+        let counts: Result<Vec<u32>, _> = cells
+            .map(|c| {
+                c.trim().parse::<u32>().map_err(|_| ParseError::BadCount {
+                    line: i + 1,
+                    cell: c.to_string(),
+                })
+            })
+            .collect();
+        let counts = counts?;
+        if counts.len() + 1 != want {
+            return Err(ParseError::ColumnCount {
+                line: i + 1,
+                got: counts.len() + 1,
+                want,
+            });
+        }
+        functions.push(FunctionTrace::new(name, counts));
+    }
+    if functions.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok(Trace::new(functions))
+}
+
+/// Serialize one day of a workload in the Azure schema
+/// (`HashOwner,HashApp,HashFunction,Trigger,1,…,N`). Function names that
+/// already contain `owner/app/function` keys are split back into the three
+/// hash columns; bare names get `owner0/app0` defaults. `day` selects which
+/// [`MINUTES_PER_DAY`]-sized window of the trace to write (clamped to the
+/// horizon).
+pub fn to_azure_day_csv(trace: &Trace, day: usize) -> String {
+    let from = day * MINUTES_PER_DAY;
+    let to = ((day + 1) * MINUTES_PER_DAY).min(trace.minutes());
+    let n_minutes = to.saturating_sub(from);
+    let mut out = String::from("HashOwner,HashApp,HashFunction,Trigger");
+    for m in 1..=n_minutes {
+        out.push(',');
+        out.push_str(&m.to_string());
+    }
+    out.push('\n');
+    for f in trace.functions() {
+        let mut parts = f.name.splitn(3, '/');
+        let (owner, app, func) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(o), Some(a), Some(fu)) => (o.to_string(), a.to_string(), fu.to_string()),
+            _ => ("owner0".into(), "app0".into(), f.name.clone()),
+        };
+        out.push_str(&format!("{owner},{app},{func},http"));
+        for t in from..to {
+            out.push(',');
+            out.push_str(&f.per_minute[t].to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One parsed Azure day file: function key → 1440 per-minute counts.
+/// The key is `HashOwner/HashApp/HashFunction`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AzureDay {
+    /// Function key → that day's 1440 counts.
+    pub functions: BTreeMap<String, Vec<u32>>,
+}
+
+/// Parse one Azure day file (`HashOwner,HashApp,HashFunction,Trigger,1..1440`).
+pub fn parse_azure_day(s: &str) -> Result<AzureDay, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+    let want = header.split(',').count();
+    if want < 5 {
+        return Err(ParseError::ColumnCount {
+            line: 1,
+            got: want,
+            want: 4 + MINUTES_PER_DAY,
+        });
+    }
+    let mut functions = BTreeMap::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != want {
+            return Err(ParseError::ColumnCount {
+                line: i + 1,
+                got: cells.len(),
+                want,
+            });
+        }
+        let key = format!("{}/{}/{}", cells[0], cells[1], cells[2]);
+        let counts: Result<Vec<u32>, _> = cells[4..]
+            .iter()
+            .map(|c| {
+                c.trim().parse::<u32>().map_err(|_| ParseError::BadCount {
+                    line: i + 1,
+                    cell: c.to_string(),
+                })
+            })
+            .collect();
+        functions.insert(key, counts?);
+    }
+    if functions.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok(AzureDay { functions })
+}
+
+/// Concatenate consecutive Azure day files into one workload. Functions
+/// missing from a day contribute zeros for that day (functions come and go
+/// in the production trace).
+pub fn merge_azure_days(days: &[AzureDay]) -> Result<Trace, ParseError> {
+    if days.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let day_len: Vec<usize> = days
+        .iter()
+        .map(|d| d.functions.values().next().map_or(0, |v| v.len()))
+        .collect();
+    let mut keys: Vec<String> = days
+        .iter()
+        .flat_map(|d| d.functions.keys().cloned())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let functions = keys
+        .into_iter()
+        .map(|key| {
+            let mut counts = Vec::new();
+            for (d, day) in days.iter().enumerate() {
+                match day.functions.get(&key) {
+                    Some(v) => counts.extend_from_slice(v),
+                    None => counts.extend(std::iter::repeat_n(0, day_len[d])),
+                }
+            }
+            FunctionTrace::new(key, counts)
+        })
+        .collect();
+    Ok(Trace::new(functions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> Trace {
+        Trace::new(vec![
+            FunctionTrace::new("fa", vec![1, 0, 2, 0]),
+            FunctionTrace::new("fb", vec![0, 3, 0, 1]),
+        ])
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        let t = small_trace();
+        let csv = to_simple_csv(&t);
+        let back = from_simple_csv(&csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn simple_header_shape() {
+        let csv = to_simple_csv(&small_trace());
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "function,0,1,2,3");
+    }
+
+    #[test]
+    fn simple_rejects_bad_count() {
+        let err = from_simple_csv("function,0,1\nfa,1,x\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadCount { line: 2, .. }));
+    }
+
+    #[test]
+    fn simple_rejects_ragged_rows() {
+        let err = from_simple_csv("function,0,1\nfa,1\n").unwrap_err();
+        assert!(matches!(err, ParseError::ColumnCount { line: 2, .. }));
+    }
+
+    #[test]
+    fn simple_rejects_empty() {
+        assert_eq!(from_simple_csv("").unwrap_err(), ParseError::Empty);
+        assert_eq!(
+            from_simple_csv("function,0,1\n").unwrap_err(),
+            ParseError::Empty
+        );
+    }
+
+    #[test]
+    fn simple_skips_blank_lines() {
+        let t = from_simple_csv("function,0,1\nfa,1,2\n\n").unwrap();
+        assert_eq!(t.n_functions(), 1);
+    }
+
+    fn azure_line(owner: &str, app: &str, func: &str, counts: &[u32]) -> String {
+        let mut s = format!("{owner},{app},{func},http");
+        for c in counts {
+            s.push(',');
+            s.push_str(&c.to_string());
+        }
+        s
+    }
+
+    fn azure_file(rows: &[String], n_minutes: usize) -> String {
+        let mut header = "HashOwner,HashApp,HashFunction,Trigger".to_string();
+        for m in 1..=n_minutes {
+            header.push(',');
+            header.push_str(&m.to_string());
+        }
+        let mut out = header;
+        out.push('\n');
+        for r in rows {
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn azure_day_parses() {
+        let file = azure_file(
+            &[
+                azure_line("o1", "a1", "f1", &[1, 0, 2]),
+                azure_line("o1", "a1", "f2", &[0, 0, 5]),
+            ],
+            3,
+        );
+        let day = parse_azure_day(&file).unwrap();
+        assert_eq!(day.functions.len(), 2);
+        assert_eq!(day.functions["o1/a1/f1"], vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn azure_merge_concatenates_days() {
+        let d1 = parse_azure_day(&azure_file(&[azure_line("o", "a", "f1", &[1, 2])], 2)).unwrap();
+        let d2 = parse_azure_day(&azure_file(
+            &[
+                azure_line("o", "a", "f1", &[3, 4]),
+                azure_line("o", "a", "f2", &[9, 9]),
+            ],
+            2,
+        ))
+        .unwrap();
+        let t = merge_azure_days(&[d1, d2]).unwrap();
+        assert_eq!(t.minutes(), 4);
+        assert_eq!(t.by_name("o/a/f1").unwrap().per_minute, vec![1, 2, 3, 4]);
+        // f2 was absent on day 1 → zero-padded.
+        assert_eq!(t.by_name("o/a/f2").unwrap().per_minute, vec![0, 0, 9, 9]);
+    }
+
+    #[test]
+    fn azure_rejects_truncated_header() {
+        assert!(parse_azure_day("a,b,c\n").is_err());
+    }
+
+    #[test]
+    fn azure_rejects_bad_cell() {
+        let file = azure_file(&[azure_line("o", "a", "f", &[1]).replace('1', "?")], 1);
+        assert!(matches!(
+            parse_azure_day(&file),
+            Err(ParseError::BadCount { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_empty_is_error() {
+        assert_eq!(merge_azure_days(&[]).unwrap_err(), ParseError::Empty);
+    }
+
+    #[test]
+    fn azure_writer_round_trips_through_parser() {
+        use crate::synth;
+        let trace = synth::azure_like_12_with_horizon(5, 2 * MINUTES_PER_DAY);
+        let days: Vec<AzureDay> = (0..2)
+            .map(|d| parse_azure_day(&to_azure_day_csv(&trace, d)).unwrap())
+            .collect();
+        let back = merge_azure_days(&days).unwrap();
+        assert_eq!(back.minutes(), trace.minutes());
+        assert_eq!(back.total_invocations(), trace.total_invocations());
+        // Keys get the owner0/app0 prefix; counts must be preserved.
+        for f in trace.functions() {
+            let key = format!("owner0/app0/{}", f.name);
+            assert_eq!(back.by_name(&key).unwrap().per_minute, f.per_minute);
+        }
+    }
+
+    #[test]
+    fn azure_writer_preserves_existing_keys() {
+        let t = Trace::new(vec![FunctionTrace::new("o1/a2/f3", vec![1, 0, 2])]);
+        let csv = to_azure_day_csv(&t, 0);
+        assert!(csv.lines().nth(1).unwrap().starts_with("o1,a2,f3,http"));
+        let day = parse_azure_day(&csv).unwrap();
+        assert_eq!(day.functions["o1/a2/f3"], vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn azure_writer_clamps_partial_days() {
+        let t = Trace::new(vec![FunctionTrace::new("f", vec![1; 100])]);
+        let csv = to_azure_day_csv(&t, 0);
+        // Header: 4 meta columns + 100 minutes.
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 104);
+        // Day 1 is out of range → header only, zero minutes.
+        let empty = to_azure_day_csv(&t, 1);
+        assert_eq!(empty.lines().next().unwrap().split(',').count(), 4);
+    }
+}

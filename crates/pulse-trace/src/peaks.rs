@@ -1,0 +1,138 @@
+//! Global invocation-peak finding (Section II, Observation 2).
+//!
+//! The paper identifies "numerous peaks in invocations (cumulative for all
+//! concurrent functions)" in the production trace and designates the two
+//! most prominent for the Table II / Table III evaluation. This module
+//! computes the cumulative per-minute series and extracts the top-k peaks
+//! with a minimum separation, so nearby minutes of the same spike are not
+//! double-counted.
+
+use crate::trace::Trace;
+
+/// Cumulative invocations per minute across all functions.
+pub fn total_per_minute(trace: &Trace) -> Vec<u32> {
+    let mut totals = vec![0u32; trace.minutes()];
+    for f in trace.functions() {
+        for (t, &c) in f.per_minute.iter().enumerate() {
+            totals[t] += c;
+        }
+    }
+    totals
+}
+
+/// The `k` highest-volume minutes, greedily chosen with at least
+/// `min_separation` minutes between any two picks. Returns `(minute, count)`
+/// pairs ordered by descending count.
+pub fn top_peaks(totals: &[u32], k: usize, min_separation: usize) -> Vec<(usize, u32)> {
+    let mut order: Vec<usize> = (0..totals.len()).collect();
+    order.sort_by(|&a, &b| totals[b].cmp(&totals[a]).then(a.cmp(&b)));
+    let mut picks: Vec<(usize, u32)> = Vec::with_capacity(k);
+    for t in order {
+        if totals[t] == 0 {
+            break;
+        }
+        if picks.iter().all(|&(p, _)| t.abs_diff(p) >= min_separation) {
+            picks.push((t, totals[t]));
+            if picks.len() == k {
+                break;
+            }
+        }
+    }
+    picks
+}
+
+/// Peak windows for the Table II/III evaluation: for each of the top-k
+/// peaks, the half-open minute range starting at the peak minute and
+/// spanning `window` minutes (the 10-minute keep-alive period following the
+/// peak).
+pub fn peak_windows(
+    trace: &Trace,
+    k: usize,
+    window: usize,
+    min_separation: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let totals = total_per_minute(trace);
+    top_peaks(&totals, k, min_separation)
+        .into_iter()
+        .map(|(t, _)| t..(t + window).min(trace.minutes()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{azure_like_12, PEAK1_START, PEAK2_START, PEAK_LEN};
+    use crate::trace::FunctionTrace;
+
+    fn toy() -> Trace {
+        Trace::new(vec![
+            FunctionTrace::new("a", vec![1, 0, 5, 0, 0, 9, 0, 0]),
+            FunctionTrace::new("b", vec![0, 2, 5, 0, 0, 9, 1, 0]),
+        ])
+    }
+
+    #[test]
+    fn totals_sum_functions() {
+        assert_eq!(total_per_minute(&toy()), vec![1, 2, 10, 0, 0, 18, 1, 0]);
+    }
+
+    #[test]
+    fn top_peaks_ordered_by_volume() {
+        let totals = total_per_minute(&toy());
+        let p = top_peaks(&totals, 2, 1);
+        assert_eq!(p, vec![(5, 18), (2, 10)]);
+    }
+
+    #[test]
+    fn separation_suppresses_shoulders() {
+        let totals = vec![0, 10, 9, 0, 0, 0, 8, 0];
+        // Without separation the shoulder at minute 2 would be picked.
+        let p = top_peaks(&totals, 2, 3);
+        assert_eq!(p, vec![(1, 10), (6, 8)]);
+    }
+
+    #[test]
+    fn zero_minutes_never_picked() {
+        let totals = vec![0, 0, 3, 0];
+        let p = top_peaks(&totals, 5, 1);
+        assert_eq!(p, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn engineered_peaks_are_found() {
+        let trace = azure_like_12(21);
+        let totals = total_per_minute(&trace);
+        let picks = top_peaks(&totals, 2, 60);
+        assert_eq!(picks.len(), 2);
+        let minutes: Vec<usize> = picks.iter().map(|&(t, _)| t).collect();
+        for &m in &minutes {
+            let near_p1 = m.abs_diff(PEAK1_START) <= PEAK_LEN + 1;
+            let near_p2 = m.abs_diff(PEAK2_START) <= PEAK_LEN + 1;
+            assert!(near_p1 || near_p2, "peak at unexpected minute {m}");
+        }
+    }
+
+    #[test]
+    fn peak_windows_span_keepalive_period() {
+        let trace = azure_like_12(21);
+        let ws = peak_windows(&trace, 2, 10, 60);
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert_eq!(w.len(), 10);
+        }
+    }
+
+    #[test]
+    fn window_clamped_at_horizon() {
+        let t = Trace::new(vec![FunctionTrace::new("a", vec![0, 0, 0, 7])]);
+        let ws = peak_windows(&t, 1, 10, 1);
+        assert_eq!(ws[0].clone().count(), 1); // 3..4
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let totals = vec![5, 5, 5];
+        let p = top_peaks(&totals, 2, 1);
+        assert_eq!(p, vec![(0, 5), (1, 5)]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Implementing a custom keep-alive policy against the simulator's
+//! `KeepAlivePolicy` trait, and racing it against the built-ins.
+//!
+//! The custom policy here is a simple *adaptive-window* strategy: keep the
+//! highest-quality variant alive for as long as the function's recent mean
+//! inter-arrival gap (clamped to 1–10 minutes) — a policy a practitioner
+//! might actually try before reaching for PULSE.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use pulse::core::individual::KeepAliveSchedule;
+use pulse::core::types::{FuncId, Minute, PulseConfig};
+use pulse::models::{ModelFamily, VariantId};
+use pulse::prelude::*;
+
+/// Keep the highest variant alive for ≈ the recent mean gap.
+struct AdaptiveWindow {
+    families: Vec<ModelFamily>,
+    last_arrival: Vec<Option<Minute>>,
+    recent_gaps: Vec<Vec<f64>>,
+}
+
+impl AdaptiveWindow {
+    fn new(families: Vec<ModelFamily>) -> Self {
+        let n = families.len();
+        Self {
+            families,
+            last_arrival: vec![None; n],
+            recent_gaps: vec![Vec::new(); n],
+        }
+    }
+
+    fn window_for(&self, f: FuncId) -> u32 {
+        let gaps = &self.recent_gaps[f];
+        if gaps.is_empty() {
+            return 10;
+        }
+        let tail = &gaps[gaps.len().saturating_sub(16)..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        (mean.round() as u32).clamp(1, 10)
+    }
+}
+
+impl KeepAlivePolicy for AdaptiveWindow {
+    fn name(&self) -> &str {
+        "adaptive-window"
+    }
+
+    fn schedule_on_invocation(&mut self, f: FuncId, t: Minute) -> KeepAliveSchedule {
+        if let Some(last) = self.last_arrival[f] {
+            if t > last {
+                self.recent_gaps[f].push((t - last) as f64);
+            }
+        }
+        self.last_arrival[f] = Some(t);
+        KeepAliveSchedule::constant(t, self.families[f].highest_id(), self.window_for(f))
+    }
+
+    fn cold_start_variant(&mut self, f: FuncId, _t: Minute) -> VariantId {
+        self.families[f].highest_id()
+    }
+}
+
+fn main() {
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(21, 2 * 24 * 60);
+    let zoo = pulse::models::zoo::standard();
+    let families = pulse::sim::assignment::round_robin_assignment(&zoo, trace.n_functions());
+    let sim = Simulator::new(trace, families.clone());
+
+    let runs = [
+        sim.run(&mut OpenWhiskFixed::new(&families)),
+        sim.run(&mut AdaptiveWindow::new(families.clone())),
+        sim.run(&mut PulsePolicy::new(families, PulseConfig::default())),
+    ];
+
+    println!(
+        "{:<24} {:>14} {:>12} {:>12} {:>11}",
+        "policy", "service time(s)", "cost(USD)", "accuracy(%)", "cold starts"
+    );
+    for m in &runs {
+        println!(
+            "{:<24} {:>14.0} {:>12.3} {:>12.2} {:>11}",
+            m.policy,
+            m.service_time_s,
+            m.keepalive_cost_usd,
+            m.avg_accuracy_pct(),
+            m.cold_starts
+        );
+    }
+    println!(
+        "\nThe adaptive window trims cost by shortening idle keep-alive, but it is\n\
+         variant-oblivious: PULSE's variant mixing cuts cost further while keeping\n\
+         accuracy within a point of the all-highest baseline."
+    );
+}

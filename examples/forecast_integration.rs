@@ -1,0 +1,61 @@
+//! Integrating PULSE into state-of-the-art warm-up strategies (Figure 8).
+//!
+//! Runs Serverless-in-the-Wild and IceBreaker — each as published, and each
+//! with PULSE deciding the model variant inside the technique's predicted
+//! warm windows — on the same workload and assignment.
+//!
+//! ```text
+//! cargo run --release --example forecast_integration
+//! ```
+
+use pulse::core::PulseConfig;
+use pulse::forecast::integrate::{
+    IceBreakerPolicy, IceBreakerPulsePolicy, WildPolicy, WildPulsePolicy,
+};
+use pulse::prelude::*;
+
+fn main() {
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(33, 2 * 24 * 60);
+    let zoo = pulse::models::zoo::standard();
+    let families = pulse::sim::assignment::round_robin_assignment(&zoo, trace.n_functions());
+    let sim = Simulator::new(trace.clone(), families.clone());
+
+    let runs = [
+        sim.run(&mut WildPolicy::new(&families)),
+        sim.run(&mut WildPulsePolicy::new(
+            families.clone(),
+            PulseConfig::default(),
+        )),
+        sim.run(&mut IceBreakerPolicy::new(&families, trace.clone())),
+        sim.run(&mut IceBreakerPulsePolicy::new(
+            families.clone(),
+            trace,
+            PulseConfig::default(),
+        )),
+    ];
+
+    println!(
+        "{:<20} {:>14} {:>12} {:>12} {:>11}",
+        "technique", "service time(s)", "cost(USD)", "accuracy(%)", "warm rate"
+    );
+    for m in &runs {
+        println!(
+            "{:<20} {:>14.0} {:>12.3} {:>12.2} {:>10.1}%",
+            m.policy,
+            m.service_time_s,
+            m.keepalive_cost_usd,
+            m.avg_accuracy_pct(),
+            m.warm_fraction() * 100.0
+        );
+    }
+
+    let cut = |a: f64, b: f64| (a - b) / a * 100.0;
+    println!(
+        "\nWild+PULSE cuts Wild's keep-alive cost by {:.1}% (paper: 99%).",
+        cut(runs[0].keepalive_cost_usd, runs[1].keepalive_cost_usd)
+    );
+    println!(
+        "IceBreaker+PULSE cuts IceBreaker's keep-alive cost by {:.1}% (paper: 14%).",
+        cut(runs[2].keepalive_cost_usd, runs[3].keepalive_cost_usd)
+    );
+}

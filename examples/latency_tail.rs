@@ -1,0 +1,69 @@
+//! Sub-minute latency fidelity: what the fixed-vs-PULSE trade-off looks
+//! like at the request level, using the millisecond event-driven runtime
+//! (`pulse::runtime`) instead of the minute simulator.
+//!
+//! The minute engine totals service time; the runtime exposes per-request
+//! latency percentiles, queueing behind cold starts, and the effect of a
+//! per-container concurrency cap — the operational view an SRE would ask
+//! for before adopting PULSE.
+//!
+//! ```text
+//! cargo run --release --example latency_tail
+//! ```
+
+use pulse::core::PulseConfig;
+use pulse::prelude::*;
+use pulse::runtime::{Runtime, RuntimeConfig};
+
+fn main() {
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(55, 24 * 60);
+    let families = pulse::sim::assignment::round_robin_assignment(
+        &pulse::models::zoo::standard(),
+        trace.n_functions(),
+    );
+
+    println!(
+        "{:<26} {:>8} {:>8} {:>10} {:>10} {:>11}",
+        "configuration", "warm", "cold", "p50 (ms)", "p99 (ms)", "cost (USD)"
+    );
+
+    let configs = [
+        ("unbounded concurrency", RuntimeConfig::default()),
+        (
+            "per-container cap = 2",
+            RuntimeConfig {
+                max_concurrency: Some(2),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, rc) in configs {
+        let rt = Runtime::new(trace.clone(), families.clone(), rc);
+        for (policy_name, summary) in [
+            ("openwhisk", rt.run(&mut OpenWhiskFixed::new(&families))),
+            (
+                "pulse",
+                rt.run(&mut PulsePolicy::new(
+                    families.clone(),
+                    PulseConfig::default(),
+                )),
+            ),
+        ] {
+            println!(
+                "{:<26} {:>8} {:>8} {:>10.0} {:>10.0} {:>11.3}",
+                format!("{policy_name} / {label}"),
+                summary.warm_starts(),
+                summary.cold_starts(),
+                summary.latency_p50_ms(),
+                summary.latency_p99_ms(),
+                summary.keepalive_cost_usd
+            );
+        }
+    }
+
+    println!(
+        "\nPULSE's p50 falls (warm hits land on faster low-quality variants) while its\n\
+         p99 tracks the cold-start tail; the concurrency cap adds queueing delay to\n\
+         bursty minutes without changing warm/cold accounting."
+    );
+}

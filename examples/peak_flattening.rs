@@ -1,0 +1,77 @@
+//! Watching Algorithm 1 + Algorithm 2 flatten a keep-alive memory peak.
+//!
+//! Drives the PULSE engine directly (no simulator): a steady memory level, a
+//! sudden invocation burst that doubles the demanded keep-alive memory, and
+//! the utility-ordered downgrades that bring it back under the threshold —
+//! printed step by step.
+//!
+//! ```text
+//! cargo run --release --example peak_flattening
+//! ```
+
+use pulse::core::global::{AliveModel, DowngradeAction};
+use pulse::core::{PulseConfig, PulseEngine};
+
+fn main() {
+    let zoo = pulse::models::zoo::standard();
+    // Ten functions: two of each family, all warmed at their highest rung —
+    // the state right after a synchronized invocation burst.
+    let families: Vec<_> = (0..10).map(|i| zoo[i % zoo.len()].clone()).collect();
+    let names: Vec<String> = families.iter().map(|f| f.highest().name.clone()).collect();
+    let mut engine = PulseEngine::new(families.clone(), PulseConfig::default());
+
+    let mut alive: Vec<AliveModel> = families
+        .iter()
+        .enumerate()
+        .map(|(func, f)| AliveModel {
+            func,
+            variant: f.highest_id(),
+            // Pretend functions 0 and 1 are very likely to fire this minute.
+            invocation_probability: if func < 2 { 0.9 } else { 0.05 },
+        })
+        .collect();
+
+    let demand: f64 = families.iter().map(|f| f.highest().memory_mb).sum();
+    let steady = demand / 2.0; // the burst doubled the steady level
+    let history = vec![steady; 180];
+
+    println!("steady keep-alive memory : {steady:>9.0} MB");
+    println!("burst demand             : {demand:>9.0} MB");
+    println!(
+        "flatten target (KM_T=10%): {:>9.0} MB\n",
+        engine.detector().flatten_target(steady)
+    );
+
+    let outcome = engine
+        .check_and_flatten(&history, true, demand, &mut alive)
+        .expect("the burst is a peak");
+
+    println!("downgrade sequence (lowest utility first):");
+    for (i, a) in outcome.actions.iter().enumerate() {
+        match a {
+            DowngradeAction::Downgrade { func, from, to } => println!(
+                "  {:>2}. downgrade f{func} ({}) rung {from} -> {to}",
+                i + 1,
+                names[*func]
+            ),
+            DowngradeAction::Evict { func, .. } => {
+                println!("  {:>2}. evict     f{func} ({})", i + 1, names[*func])
+            }
+        }
+    }
+    println!(
+        "\nflattened to {:.0} MB in {} steps; flattened={}",
+        outcome.final_kam_mb,
+        outcome.actions.len(),
+        outcome.flattened
+    );
+    println!(
+        "high-probability functions kept their rung: f0 -> {:?}, f1 -> {:?}",
+        alive.iter().find(|m| m.func == 0).map(|m| m.variant),
+        alive.iter().find(|m| m.func == 1).map(|m| m.variant),
+    );
+    println!("\nper-function downgrade counts (the priority structure):");
+    for (f, name) in names.iter().enumerate() {
+        println!("  f{f} ({name:>12}): {}", engine.priority().count(f));
+    }
+}

@@ -1,0 +1,132 @@
+//! Paper-shape regression suite: one assertion per headline claim of the
+//! paper, run end-to-end at reduced scale. If a refactor silently breaks a
+//! reproduction target, this suite is where it shows up.
+
+use pulse_experiments::common::{improvement_lower_better, ExpConfig};
+use pulse_experiments::{exp_fig4_fig7, exp_fig5_fig6, exp_fig8, exp_tables23};
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        seed: 42,
+        horizon: 2000,
+        n_runs: 8,
+    }
+}
+
+#[test]
+fn claim_cost_reduction_over_openwhisk() {
+    // Paper: 39.5 % keep-alive cost reduction. Target: a substantial cut.
+    let r = exp_fig5_fig6::evaluate(&cfg());
+    let get = |n: &str| r.rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
+    let (_, ow_cost, ..) = get("openwhisk");
+    let (_, pu_cost, ..) = get("pulse");
+    let cut = improvement_lower_better(pu_cost, ow_cost);
+    assert!(cut > 25.0, "cost cut only {cut:.1}% (paper: 39.5%)");
+}
+
+#[test]
+fn claim_service_time_improvement() {
+    // Paper: 8.8 % service-time reduction (PULSE must not be slower).
+    let r = exp_fig5_fig6::evaluate(&cfg());
+    let get = |n: &str| r.rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
+    let (_, _, _, ow_svc) = get("openwhisk");
+    let (_, _, _, pu_svc) = get("pulse");
+    assert!(
+        pu_svc < ow_svc,
+        "pulse service {pu_svc:.0}s !< openwhisk {ow_svc:.0}s"
+    );
+}
+
+#[test]
+fn claim_accuracy_within_a_few_points() {
+    // Paper: 0.6 % accuracy decrease. Target: small, bounded loss.
+    let r = exp_fig5_fig6::evaluate(&cfg());
+    let get = |n: &str| r.rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
+    let (_, _, ow_acc, _) = get("openwhisk");
+    let (_, _, pu_acc, _) = get("pulse");
+    let drop = ow_acc - pu_acc;
+    assert!((0.0..4.0).contains(&drop), "accuracy drop {drop:.2} points");
+}
+
+#[test]
+fn claim_fig5_pulse_sits_inside_the_corners() {
+    let r = exp_fig5_fig6::evaluate(&cfg());
+    let get = |n: &str| r.rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
+    let (_, low_cost, low_acc, _) = get("lowest-quality");
+    let (_, high_cost, high_acc, _) = get("highest-quality");
+    let (_, pu_cost, pu_acc, _) = get("pulse");
+    // Cost near the lowest-quality corner…
+    assert!(pu_cost < low_cost + (high_cost - low_cost) * 0.4);
+    // …accuracy much closer to the highest-quality corner than to the lowest.
+    assert!(pu_acc - low_acc > (high_acc - pu_acc));
+}
+
+#[test]
+fn claim_tables23_strategy_ordering() {
+    for e in exp_tables23::evaluate(&cfg()) {
+        let [high, low, random, intelligent] = &e.rows[..] else {
+            panic!()
+        };
+        assert!(high.keepalive_cost_usd > low.keepalive_cost_usd);
+        assert!(high.avg_accuracy_pct() >= intelligent.avg_accuracy_pct());
+        assert!(intelligent.avg_accuracy_pct() >= random.avg_accuracy_pct() - 0.5);
+        assert!(random.avg_accuracy_pct() > low.avg_accuracy_pct());
+    }
+}
+
+#[test]
+fn claim_fig7_memory_is_lower_and_smoother() {
+    let r = exp_fig4_fig7::evaluate(&cfg());
+    assert!(r.pulse.avg_memory_mb() < r.openwhisk.avg_memory_mb() * 0.7);
+    assert!(r.pulse.peak_memory_mb() < r.openwhisk.peak_memory_mb());
+    // Peak-to-average flatness improves (smoothing).
+    let flatness = |m: &pulse::sim::RunMetrics| m.peak_memory_mb() / m.avg_memory_mb().max(1e-9);
+    assert!(flatness(&r.pulse) < flatness(&r.openwhisk) * 1.5);
+}
+
+#[test]
+fn claim_fig8_integration_cuts_costs() {
+    let rows = exp_fig8::evaluate(&ExpConfig {
+        seed: 42,
+        horizon: 1500,
+        n_runs: 4,
+    });
+    let get = |n: &str| rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
+    let (_, wild_cost, ..) = get("wild");
+    let (_, wp_cost, ..) = get("wild+pulse");
+    let (_, ib_cost, ..) = get("icebreaker");
+    let (_, ibp_cost, ..) = get("icebreaker+pulse");
+    assert!(wp_cost < wild_cost * 0.7, "wild cut too small");
+    assert!(ibp_cost <= ib_cost, "icebreaker integration raised cost");
+}
+
+#[test]
+fn experiment_pipeline_is_deterministic() {
+    // The multi-run campaigns parallelize over threads; results must not
+    // depend on scheduling.
+    let cfg = ExpConfig {
+        seed: 42,
+        horizon: 900,
+        n_runs: 6,
+    };
+    let a = pulse_experiments::run_experiment("fig6a", &cfg).unwrap();
+    let b = pulse_experiments::run_experiment("fig6a", &cfg).unwrap();
+    assert_eq!(a, b);
+    let a = pulse_experiments::run_experiment("table2", &cfg).unwrap();
+    let b = pulse_experiments::run_experiment("table2", &cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn claim_fig9_milp_slower_and_not_more_accurate() {
+    let samples = pulse_experiments::exp_fig9::overhead_samples(12, 5);
+    let greedy: f64 = samples.iter().map(|&(g, _)| g).sum();
+    let milp: f64 = samples.iter().map(|&(_, m)| m).sum();
+    assert!(milp > greedy * 3.0, "milp {milp} vs greedy {greedy}");
+    let (pulse_acc, milp_acc) = pulse_experiments::exp_fig9::accuracy_comparison(&ExpConfig {
+        seed: 42,
+        horizon: 1200,
+        n_runs: 2,
+    });
+    assert!(milp_acc <= pulse_acc + 1.0);
+}

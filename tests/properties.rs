@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use pulse::core::global::{flatten_peak, AliveModel};
+use pulse::core::interarrival::InterArrivalModel;
+use pulse::core::peak::PeakDetector;
+use pulse::core::priority::PriorityStructure;
+use pulse::core::thresholds::{SchemeT1, SchemeT2, ThresholdScheme};
+use pulse::milp::MilpDowngrader;
+use pulse::models::stats::normalize_min_max;
+use pulse::models::zoo;
+
+proptest! {
+    /// Gap probabilities are a sub-distribution: every entry in [0,1] and
+    /// the in-window mass never exceeds 1.
+    #[test]
+    fn gap_probabilities_are_subdistribution(
+        gaps in proptest::collection::vec(1u64..200, 0..60),
+        local_window in 1u32..200,
+    ) {
+        let mut m = InterArrivalModel::new();
+        let mut t = 0u64;
+        m.record(t);
+        for g in gaps {
+            t += g;
+            m.record(t);
+        }
+        let p = m.probabilities(t, local_window, 10);
+        let mut mass = 0.0;
+        for k in 0..=10u64 {
+            let v = p.at(k);
+            prop_assert!((0.0..=1.0).contains(&v));
+            mass += v;
+        }
+        prop_assert!(mass <= 1.0 + 1e-9);
+    }
+
+    /// Threshold schemes are monotone in p and always in range.
+    #[test]
+    fn threshold_schemes_monotone(n in 1usize..6, steps in 2usize..50) {
+        for scheme in [&SchemeT1 as &dyn ThresholdScheme, &SchemeT2] {
+            let mut prev = 0usize;
+            for i in 0..=steps {
+                let p = i as f64 / steps as f64;
+                let v = scheme.select(p, n);
+                prop_assert!(v < n);
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+        }
+    }
+
+    /// Equation 1 normalization maps into [0,1] and hits both endpoints for
+    /// non-degenerate input.
+    #[test]
+    fn normalization_bounds(xs in proptest::collection::vec(0.0f64..1e6, 1..40)) {
+        let ys = normalize_min_max(&xs);
+        prop_assert_eq!(ys.len(), xs.len());
+        for &y in &ys {
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if hi > lo {
+            prop_assert!(ys.contains(&0.0));
+            prop_assert!(ys.contains(&1.0));
+        } else {
+            prop_assert!(ys.iter().all(|&y| y == 0.0));
+        }
+    }
+
+    /// The peak detector never fires on a non-increasing memory series.
+    #[test]
+    fn no_peak_on_non_increasing_memory(
+        start in 1.0f64..1e5,
+        drops in proptest::collection::vec(0.0f64..0.2, 1..50),
+        km in 0.0f64..0.5,
+    ) {
+        let d = PeakDetector::new(km, 5);
+        let mut history = vec![start];
+        let mut level = start;
+        for frac in drops {
+            let next = level * (1.0 - frac);
+            prop_assert!(!d.detect(&history, false, next));
+            history.push(next);
+            level = next;
+        }
+    }
+
+    /// Flattening always terminates, never increases memory, and reaches any
+    /// non-negative target.
+    #[test]
+    fn flatten_terminates_and_hits_target(
+        n_models in 1usize..8,
+        target_frac in 0.0f64..1.2,
+        ips in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let zoo = zoo::standard();
+        let fams: Vec<_> = (0..n_models).map(|i| zoo[i % zoo.len()].clone()).collect();
+        let mut alive: Vec<AliveModel> = fams
+            .iter()
+            .enumerate()
+            .map(|(func, f)| AliveModel {
+                func,
+                variant: f.highest_id(),
+                invocation_probability: ips[func],
+            })
+            .collect();
+        let total: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let target = total * target_frac;
+        let mut pr = PriorityStructure::new(n_models);
+        let out = flatten_peak(&mut alive, &fams, &mut pr, total, target);
+        prop_assert!(out.final_kam_mb <= total + 1e-9);
+        prop_assert!(out.final_kam_mb <= target.max(0.0) + 1e-9 || alive.is_empty());
+        // Bookkeeping matches recomputation.
+        let recomputed: f64 = alive
+            .iter()
+            .map(|m| fams[m.func].variant(m.variant).memory_mb)
+            .sum();
+        prop_assert!((recomputed - out.final_kam_mb).abs() < 1e-6);
+        // Priority bumps equal actions taken.
+        let bumps: u64 = (0..n_models).map(|m| pr.count(m)).sum();
+        prop_assert_eq!(bumps as usize, out.actions.len());
+    }
+
+    /// FFT round trip is the identity for arbitrary real signals.
+    #[test]
+    fn fft_round_trip(signal in proptest::collection::vec(-1e3f64..1e3, 1..129)) {
+        let spec = pulse::forecast::fft::fft(&signal);
+        let back = pulse::forecast::fft::ifft(&spec);
+        for (i, x) in signal.iter().enumerate() {
+            prop_assert!((x - back[i]).abs() < 1e-6, "idx {}: {} vs {}", i, x, back[i]);
+        }
+        // Padding tail reconstructs to ~0.
+        for y in &back[signal.len()..] {
+            prop_assert!(y.abs() < 1e-6);
+        }
+    }
+
+    /// The MILP downgrader's plan always respects the memory budget and its
+    /// utility is at least the greedy loop's (it is the exact optimizer of
+    /// the same objective).
+    #[test]
+    fn milp_plan_feasible_and_at_least_greedy(
+        n_models in 1usize..6,
+        target_frac in 0.05f64..1.0,
+    ) {
+        let zoo = zoo::standard();
+        let fams: Vec<_> = (0..n_models).map(|i| zoo[i % zoo.len()].clone()).collect();
+        let alive: Vec<AliveModel> = fams
+            .iter()
+            .enumerate()
+            .map(|(func, f)| AliveModel {
+                func,
+                variant: f.highest_id(),
+                invocation_probability: 0.2,
+            })
+            .collect();
+        let total: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let target = total * target_frac;
+        let pr = PriorityStructure::new(n_models);
+        let plan = MilpDowngrader.solve(&alive, &fams, &pr, target);
+        prop_assert!(plan.memory_mb <= target + 1e-6);
+        let dp = MilpDowngrader.solve_dp(&alive, &fams, &pr, target);
+        prop_assert!(dp.memory_mb <= target + 1e-6);
+        // The DP discretizes memory to whole MB (ceil weights, floor
+        // capacity), so it solves a slightly *tighter* knapsack: its optimum
+        // can never exceed branch-and-bound's, and at knife-edge budgets it
+        // may fall short by up to one item's utility.
+        prop_assert!(dp.utility <= plan.utility + 1e-9,
+            "dp {} > bb {}", dp.utility, plan.utility);
+    }
+
+    /// Simulated metrics are consistent for arbitrary small traces.
+    #[test]
+    fn simulator_invariants_hold_on_random_traces(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0u32..3, 60..120), 1..4
+        ),
+    ) {
+        use pulse::prelude::*;
+        let len = counts.iter().map(|c| c.len()).min().unwrap();
+        let functions: Vec<FunctionTrace> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| FunctionTrace::new(format!("f{i}"), c[..len].to_vec()))
+            .collect();
+        let trace = Trace::new(functions);
+        let zoo = zoo::standard();
+        let fams: Vec<_> = (0..trace.n_functions())
+            .map(|i| zoo[i % zoo.len()].clone())
+            .collect();
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let m = sim.run(&mut PulsePolicy::new(
+            fams,
+            pulse::core::PulseConfig::default(),
+        ));
+        prop_assert_eq!(m.invocations(), trace.total_invocations());
+        prop_assert!(m.keepalive_cost_usd >= 0.0);
+        prop_assert!(m.service_time_s >= 0.0);
+        for &mb in &m.memory_series_mb {
+            prop_assert!(mb >= 0.0);
+        }
+    }
+}

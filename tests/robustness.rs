@@ -1,0 +1,194 @@
+//! Failure-injection and robustness tests: pathological traces and
+//! misbehaving policies must not corrupt the platform's accounting.
+
+use pulse::core::global::{AliveModel, DowngradeAction};
+use pulse::core::individual::KeepAliveSchedule;
+use pulse::core::types::{FuncId, Minute, PulseConfig};
+use pulse::prelude::*;
+use pulse::sim::assignment::round_robin_assignment;
+
+fn zoo12() -> Vec<ModelFamily> {
+    round_robin_assignment(&pulse::models::zoo::standard(), 12)
+}
+
+#[test]
+fn all_silent_trace_is_free() {
+    let trace = Trace::new(
+        (0..12)
+            .map(|i| FunctionTrace::new(format!("f{i}"), vec![0; 500]))
+            .collect(),
+    );
+    let fams = zoo12();
+    let sim = Simulator::new(trace, fams.clone());
+    for metrics in [
+        sim.run(&mut OpenWhiskFixed::new(&fams)),
+        sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default())),
+    ] {
+        assert_eq!(metrics.invocations(), 0);
+        assert_eq!(metrics.keepalive_cost_usd, 0.0);
+        assert_eq!(metrics.service_time_s, 0.0);
+        assert!(metrics.memory_series_mb.iter().all(|&m| m == 0.0));
+    }
+}
+
+#[test]
+fn saturated_trace_is_all_warm_after_first_minute() {
+    // Every function fires every single minute.
+    let trace = Trace::new(
+        (0..12)
+            .map(|i| FunctionTrace::new(format!("f{i}"), vec![1; 300]))
+            .collect(),
+    );
+    let fams = zoo12();
+    let sim = Simulator::new(trace, fams.clone());
+    let m = sim.run(&mut OpenWhiskFixed::new(&fams));
+    assert_eq!(m.cold_starts, 12, "one cold start per function");
+    assert_eq!(m.warm_starts, 12 * 299);
+}
+
+#[test]
+fn single_mega_burst_is_accounted_once() {
+    let mut counts = vec![0u32; 100];
+    counts[50] = 10_000;
+    let trace = Trace::new(vec![FunctionTrace::new("burst", counts)]);
+    let fams = vec![pulse::models::zoo::bert()];
+    let sim = Simulator::new(trace, fams.clone());
+    let m = sim.run(&mut PulsePolicy::new(fams, PulseConfig::default()));
+    assert_eq!(m.invocations(), 10_000);
+    assert_eq!(m.cold_starts, 1);
+    assert_eq!(m.warm_starts, 9_999);
+}
+
+/// A policy that emits downgrade actions for functions that are not alive,
+/// repeats actions, and schedules in strange shapes. The engine must ignore
+/// the nonsense and keep its accounting invariants.
+struct ChaoticPolicy {
+    fams: Vec<ModelFamily>,
+    tick: u64,
+}
+
+impl KeepAlivePolicy for ChaoticPolicy {
+    fn name(&self) -> &str {
+        "chaotic"
+    }
+
+    fn schedule_on_invocation(&mut self, f: FuncId, t: Minute) -> KeepAliveSchedule {
+        // Alternate between empty plans, single-minute plans, and oversized
+        // variant ids clamped only by the family ladder (use highest).
+        match t % 3 {
+            0 => KeepAliveSchedule::new(t, Vec::new()),
+            1 => KeepAliveSchedule::new(t, vec![0]),
+            _ => KeepAliveSchedule::constant(t, self.fams[f].highest_id(), 10),
+        }
+    }
+
+    fn cold_start_variant(&mut self, f: FuncId, _t: Minute) -> usize {
+        self.fams[f].highest_id()
+    }
+
+    fn adjust_minute(
+        &mut self,
+        _t: Minute,
+        _mem_history: &[f64],
+        _first: bool,
+        _kam: f64,
+        _alive: &mut Vec<AliveModel>,
+    ) -> Vec<DowngradeAction> {
+        self.tick += 1;
+        // Bogus actions: downgrades for functions without schedules,
+        // evictions of never-alive functions, repeated entries.
+        vec![
+            DowngradeAction::Downgrade {
+                func: (self.tick as usize) % self.fams.len(),
+                from: 2,
+                to: 0,
+            },
+            DowngradeAction::Evict {
+                func: (self.tick as usize + 1) % self.fams.len(),
+                from: 0,
+            },
+            DowngradeAction::Evict {
+                func: (self.tick as usize + 1) % self.fams.len(),
+                from: 0,
+            },
+        ]
+    }
+}
+
+#[test]
+fn engine_survives_chaotic_policy() {
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(3, 600);
+    let fams = zoo12();
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    let m = sim.run(&mut ChaoticPolicy {
+        fams: fams.clone(),
+        tick: 0,
+    });
+    // Accounting invariants hold regardless of policy nonsense.
+    assert_eq!(m.invocations(), trace.total_invocations());
+    assert!(m.keepalive_cost_usd >= 0.0);
+    assert!(m.service_time_s > 0.0);
+    assert_eq!(m.memory_series_mb.len(), trace.minutes());
+    assert!(m.memory_series_mb.iter().all(|&x| x >= 0.0));
+    let series_total: f64 = m.cost_series_usd.iter().sum();
+    assert!((series_total - m.keepalive_cost_usd).abs() < 1e-9);
+}
+
+#[test]
+fn runtime_survives_chaotic_policy_too() {
+    use pulse::runtime::{Runtime, RuntimeConfig};
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(3, 300);
+    let fams = zoo12();
+    let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+    let s = rt.run(&mut ChaoticPolicy {
+        fams: fams.clone(),
+        tick: 0,
+    });
+    assert_eq!(s.requests(), trace.total_invocations());
+    assert!(s.keepalive_cost_usd >= 0.0);
+    // Every request completed (done >= arrival).
+    for r in &s.records {
+        assert!(r.done_ms >= r.arrival_ms);
+        assert!(r.accuracy_pct > 0.0);
+    }
+}
+
+#[test]
+fn one_minute_horizon_works() {
+    let trace = Trace::new(vec![FunctionTrace::new("f", vec![3])]);
+    let fams = vec![pulse::models::zoo::gpt()];
+    let sim = Simulator::new(trace, fams.clone());
+    let m = sim.run(&mut PulsePolicy::new(fams, PulseConfig::default()));
+    assert_eq!(m.invocations(), 3);
+    assert_eq!(m.cold_starts, 1);
+    assert_eq!(m.memory_series_mb.len(), 1);
+}
+
+#[test]
+fn extreme_config_values_do_not_break_pulse() {
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(9, 400);
+    let fams = zoo12();
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    for cfg in [
+        PulseConfig {
+            km_threshold: 0.0, // every increase is a peak
+            ..Default::default()
+        },
+        PulseConfig {
+            km_threshold: 1e9, // nothing is ever a peak
+            ..Default::default()
+        },
+        PulseConfig {
+            keepalive_minutes: 1,
+            ..Default::default()
+        },
+        PulseConfig {
+            local_window: 1,
+            ..Default::default()
+        },
+    ] {
+        let m = sim.run(&mut PulsePolicy::new(fams.clone(), cfg));
+        assert_eq!(m.invocations(), trace.total_invocations(), "{cfg:?}");
+        assert!(m.keepalive_cost_usd >= 0.0);
+    }
+}
