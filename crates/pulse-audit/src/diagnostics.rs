@@ -1,0 +1,76 @@
+//! Diagnostic type and rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Name of the violated rule.
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// Suggested rewrite, shown under `--fix-hints`.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic without a hint.
+    pub fn new(
+        path: impl Into<PathBuf>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            path: path.into(),
+            line,
+            rule,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Attach a fix hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_file_line_rule_message() {
+        let d = Diagnostic::new("crates/x/src/lib.rs", 7, "no-unwrap", "found `.unwrap()`");
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: [no-unwrap] found `.unwrap()`"
+        );
+    }
+
+    #[test]
+    fn hint_is_carried() {
+        let d = Diagnostic::new("a.rs", 1, "no-cast", "raw cast").with_hint("use f64::from");
+        assert_eq!(d.hint.as_deref(), Some("use f64::from"));
+    }
+}

@@ -1,0 +1,115 @@
+//! PULSE-specific static analysis.
+//!
+//! `pulse-audit` walks every first-party `.rs` file in the workspace and
+//! enforces the invariant-hygiene rules the PULSE policy core depends on
+//! (see `rules` for the registry). It is deliberately dependency-free so it
+//! runs in offline CI and can never be broken by the code it checks.
+//!
+//! Library layout:
+//! - [`source`] — masked-text model of one file (strings/comments blanked,
+//!   `#[cfg(test)]` spans and `audit:allow` waivers resolved);
+//! - [`rules`] — the rule trait, registry and one module per rule;
+//! - [`walk`] — workspace file discovery;
+//! - [`diagnostics`] — the `file:line: [rule] message` diagnostic type.
+
+pub mod diagnostics;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+use diagnostics::Diagnostic;
+use source::SourceFile;
+
+/// Result of auditing a set of files.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All violations, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditOutcome {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Run every registered rule over `files` (in-memory entry point; the CLI
+/// and tests share it).
+pub fn audit_files(files: &[SourceFile]) -> AuditOutcome {
+    let rules = rules::registry();
+    let rule_names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    let mut diagnostics = Vec::new();
+    for file in files {
+        diagnostics.extend(rules::check_waiver_hygiene(file, &rule_names));
+        for rule in &rules {
+            if rule.scope().includes(&file.krate) {
+                diagnostics.extend(rule.check(file));
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    AuditOutcome {
+        files_scanned: files.len(),
+        diagnostics,
+    }
+}
+
+/// Walk the workspace rooted at `root` and audit every in-scope file.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditOutcome> {
+    let files = walk::workspace_files(root)?;
+    Ok(audit_files(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn diagnostics_are_sorted() {
+        let files = vec![
+            SourceFile::parse(PathBuf::from("b.rs"), "pulse-core", "let x = a.unwrap();\n"),
+            SourceFile::parse(
+                PathBuf::from("a.rs"),
+                "pulse-core",
+                "let y = b.unwrap();\nlet z = c.unwrap();\n",
+            ),
+        ];
+        let out = audit_files(&files);
+        assert_eq!(out.files_scanned, 2);
+        let keys: Vec<_> = out
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.clone(), d.line))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn clean_file_yields_clean_outcome() {
+        let files = vec![SourceFile::parse(
+            PathBuf::from("ok.rs"),
+            "pulse-core",
+            "/// Adds one.\npub fn add_one(x: u64) -> u64 { x + 1 }\n",
+        )];
+        assert!(audit_files(&files).is_clean());
+    }
+
+    #[test]
+    fn out_of_scope_crate_not_checked_by_core_rules() {
+        let files = vec![SourceFile::parse(
+            PathBuf::from("exp.rs"),
+            "pulse-experiments",
+            "let t = Instant::now();\nlet x = v.unwrap();\n",
+        )];
+        assert!(audit_files(&files).is_clean());
+    }
+}

@@ -1,0 +1,119 @@
+//! CLI entry point: `cargo run -p pulse-audit [-- --root <path>] [--fix-hints]`.
+//!
+//! Exits 0 when the workspace is clean, 1 when any rule fired (diagnostics
+//! go to stdout as `path:line: [rule] message`), 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pulse_audit::rules;
+
+struct Options {
+    root: PathBuf,
+    fix_hints: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        fix_hints: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root requires a path")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--fix-hints" => opts.fix_hints = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "\
+pulse-audit — PULSE-specific static analysis
+
+USAGE:
+    pulse-audit [--root <workspace-root>] [--fix-hints] [--list-rules]
+
+OPTIONS:
+    --root <path>   workspace root to scan (default: current directory)
+    --fix-hints     print a suggested rewrite under each diagnostic
+    --list-rules    list registered rules with their crate scopes and exit
+
+Waive a finding with `// audit:allow(<rule>): <justification>` on the
+offending line or on a comment line directly above it. Waivers without a
+justification are themselves violations.";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::registry() {
+            println!("{:<14} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = match pulse_audit::audit_workspace(&opts.root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // A root with zero source files is a misconfiguration (wrong --root, CI
+    // checkout missing), not a clean workspace — fail loudly instead of
+    // letting a green "clean (0 files)" hide it.
+    if outcome.files_scanned == 0 {
+        eprintln!(
+            "error: no workspace .rs files found under {}",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    for d in &outcome.diagnostics {
+        println!("{d}");
+        if opts.fix_hints {
+            if let Some(hint) = &d.hint {
+                println!("    hint: {hint}");
+            }
+        }
+    }
+
+    if outcome.is_clean() {
+        println!(
+            "pulse-audit: clean ({} files, {} rules)",
+            outcome.files_scanned,
+            rules::registry().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pulse-audit: {} violation(s) across {} files scanned",
+            outcome.diagnostics.len(),
+            outcome.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,123 @@
+//! `cast`: no raw `as` numeric casts in pulse-core policy math.
+//!
+//! The policy core mixes minute counters (`u64`), variant indices (`usize`)
+//! and probabilities/memory (`f64`); a silent truncating or sign-changing
+//! `as` cast in that math is exactly the class of bug the paper's
+//! minute-resolution determinism cannot tolerate. Use `From`/`TryFrom`
+//! conversions, or waive a provably lossless cast with
+//! `// audit:allow(cast): <why lossless>`.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct NoCast;
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+impl Rule for NoCast {
+    fn name(&self) -> &'static str {
+        "cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "no raw `as` numeric casts in pulse-core (use From/TryFrom or a justified waiver)"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-core"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, line) in file.masked_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            for (pos, _) in line.match_indices(" as ") {
+                let Some(target) = cast_target(&line[pos + " as ".len()..]) else {
+                    continue;
+                };
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        lineno,
+                        "cast",
+                        format!("raw `as {target}` cast in policy math"),
+                    )
+                    .with_hint(format!(
+                        "use `{target}::from(..)`/`{target}::try_from(..)` or add \
+                         `// audit:allow(cast): <why lossless>`"
+                    )),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The numeric type a cast targets, if `rest` (text after `" as "`) starts
+/// with one.
+fn cast_target(rest: &str) -> Option<&'static str> {
+    let tok: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    NUMERIC_TYPES.iter().copied().find(|t| *t == tok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-core", text);
+        NoCast.check(&f)
+    }
+
+    #[test]
+    fn flags_numeric_casts() {
+        let ds = check("let m = minutes as f64;\nlet i = idx as u32;\n");
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].message.contains("as f64"));
+        assert!(ds[1].message.contains("as u32"));
+    }
+
+    #[test]
+    fn ignores_non_numeric_as() {
+        let ds = check("use std::fmt as f;\nlet d = x as &dyn Scheme;\nlet s = y as MyType;\n");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn waiver_on_same_line_suppresses() {
+        let ds = check("let m = t as f64; // audit:allow(cast): minutes < 2^53, lossless\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn waiver_on_previous_comment_line_suppresses() {
+        let ds =
+            check("// audit:allow(cast): index bounded by n_variants <= 16\nlet i = v as f64;\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let ds = check("#[cfg(test)]\nmod tests {\n    fn t() { let x = 1u64 as f64; }\n}\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn scoped_to_core() {
+        assert!(NoCast.scope().includes("pulse-core"));
+        assert!(!NoCast.scope().includes("pulse-trace"));
+    }
+}

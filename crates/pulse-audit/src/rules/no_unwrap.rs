@@ -1,0 +1,157 @@
+//! `unwrap`: no `.unwrap()` / `.expect(` / `panic!(` in library code.
+//!
+//! The policy core and simulator are long-running library code driven by
+//! untrusted traces; a stray `unwrap` turns a recoverable modelling error
+//! into a process abort mid-campaign. `#[cfg(test)]` code is exempt, as are
+//! `assert!`/`debug_assert!` (those state invariants, they do not swallow
+//! error handling). Waive with `// audit:allow(unwrap): <why infallible>`.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct NoUnwrap;
+
+/// `(needle, what, hint)` triples scanned per line.
+const PATTERNS: &[(&str, &str, &str)] = &[
+    (
+        ".unwrap()",
+        "found `.unwrap()` in library code",
+        "propagate with `?`, handle the `None`/`Err` arm, or restructure so the value is infallible",
+    ),
+    (
+        ".expect(",
+        "found `.expect(...)` in library code",
+        "return a typed error instead; if truly unreachable, restructure so the state cannot exist",
+    ),
+    (
+        "panic!(",
+        "found `panic!` in library code",
+        "return a typed error (e.g. a `Result` constructor) instead of aborting",
+    ),
+];
+
+impl Rule for NoUnwrap {
+    fn name(&self) -> &'static str {
+        "unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic! in non-test code of the policy core and simulator"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-core", "pulse-sim"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, line) in file.masked_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            for &(needle, what, hint) in PATTERNS {
+                for pos in match_indices(line, needle) {
+                    // `panic!` must start a token: reject `dont_panic!` and
+                    // doc/ident look-alikes (method patterns start with `.`,
+                    // which is already a token boundary).
+                    if needle.starts_with('p') && !token_start(line, pos) {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(file.path.clone(), lineno, "unwrap", what).with_hint(hint),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Byte offsets of every occurrence of `needle` in `line`.
+fn match_indices(line: &str, needle: &str) -> Vec<usize> {
+    line.match_indices(needle).map(|(p, _)| p).collect()
+}
+
+/// True when the character before byte `pos` cannot extend an identifier.
+fn token_start(line: &str, pos: usize) -> bool {
+    line[..pos]
+        .chars()
+        .next_back()
+        .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
+        NoUnwrap.check(&f)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let ds = check(
+            "pulse-core",
+            "let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\n",
+        );
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0].line, 1);
+        assert_eq!(ds[2].line, 3);
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family_and_expect_err() {
+        let ds = check(
+            "pulse-core",
+            "let a = x.unwrap_or(0);\nlet b = x.unwrap_or_else(|| 1);\nlet c = r.expect_err(\"no\");\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn ignores_should_panic_attribute_and_asserts() {
+        let ds = check(
+            "pulse-core",
+            "#[should_panic(expected = \"x\")]\nassert!(a > b);\ndebug_assert!(p <= hi);\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let ds = check(
+            "pulse-core",
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let ds = check(
+            "pulse-core",
+            "let s = \".unwrap()\"; // .expect( in a comment\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_with_justification() {
+        let ds = check(
+            "pulse-core",
+            "// audit:allow(unwrap): validated two lines above\nlet a = x.unwrap();\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_skipped_by_scope() {
+        assert!(!NoUnwrap.scope().includes("pulse-experiments"));
+        assert!(NoUnwrap.scope().includes("pulse-core"));
+    }
+}

@@ -1,0 +1,98 @@
+//! `probability`: probability-bearing modules must use the `Probability`
+//! newtype.
+//!
+//! `interarrival.rs`, `thresholds.rs` and `utility.rs` are the three
+//! pulse-core modules whose math is *about* probabilities (gap mass,
+//! threshold bands, the Pr term of Equation 2). Each must route its values
+//! through `pulse_core::probability::Probability` so the [0, 1] invariant is
+//! checked at the boundary instead of being re-derived at every call site.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct ProbabilityUsage;
+
+/// File stems (in pulse-core) that must reference the newtype.
+const PROBABILITY_MODULES: &[&str] = &["interarrival.rs", "thresholds.rs", "utility.rs"];
+
+impl Rule for ProbabilityUsage {
+    fn name(&self) -> &'static str {
+        "probability"
+    }
+
+    fn description(&self) -> &'static str {
+        "interarrival/thresholds/utility must route values through the Probability newtype"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-core"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let file_name = file
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if !PROBABILITY_MODULES.contains(&file_name.as_str()) {
+            return Vec::new();
+        }
+        let uses_newtype = file.masked_lines.iter().any(|l| l.contains("Probability"));
+        if uses_newtype {
+            return Vec::new();
+        }
+        vec![Diagnostic::new(
+            file.path.clone(),
+            1,
+            "probability",
+            format!(
+                "`{file_name}` holds probability math but never uses the `Probability` newtype"
+            ),
+        )
+        .with_hint(
+            "import `crate::probability::Probability` and carry probabilities as the newtype",
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(name: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from(name), "pulse-core", text);
+        ProbabilityUsage.check(&f)
+    }
+
+    #[test]
+    fn probability_module_without_newtype_flagged() {
+        let ds = check("thresholds.rs", "pub fn t(p: f64) -> f64 { p }\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 1);
+    }
+
+    #[test]
+    fn probability_module_with_newtype_passes() {
+        let ds = check(
+            "utility.rs",
+            "use crate::probability::Probability;\npub fn u(p: Probability) {}\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn other_modules_not_required() {
+        let ds = check("peak.rs", "pub fn detect() {}\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn mention_in_string_does_not_count() {
+        // "Probability" appearing only inside a string literal is masked out.
+        let ds = check("interarrival.rs", "const NAME: &str = \"Probability\";\n");
+        assert_eq!(ds.len(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! `pub-docs`: every `pub fn` in pulse-core carries a doc comment.
+//!
+//! pulse-core is the contract boundary of the whole reproduction: the
+//! simulator, runtime, and experiment harness all call it. A public function
+//! whose pre/post-conditions live only in the author's head is how the
+//! Algorithm 1/2 invariants rot. `pub(crate)` and test functions are exempt.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct PubDocs;
+
+impl Rule for PubDocs {
+    fn name(&self) -> &'static str {
+        "pub-docs"
+    }
+
+    fn description(&self) -> &'static str {
+        "every non-test `pub fn` in pulse-core has a /// doc comment"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-core"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, line) in file.masked_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            let Some(name) = pub_fn_name(line) else {
+                continue;
+            };
+            if !documented(file, i) {
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        lineno,
+                        "pub-docs",
+                        format!("public function `{name}` lacks a doc comment"),
+                    )
+                    .with_hint(format!(
+                        "add `/// ...` above `{name}` stating its contract \
+                         (inputs, ranges, what it returns)"
+                    )),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// If `line` declares a `pub fn` (not `pub(crate)`/`pub(super)`), return the
+/// function name.
+fn pub_fn_name(line: &str) -> Option<String> {
+    let mut rest = line.trim_start().strip_prefix("pub ")?.trim_start();
+    for qualifier in ["const ", "async ", "unsafe "] {
+        if let Some(r) = rest.strip_prefix(qualifier) {
+            rest = r.trim_start();
+        }
+    }
+    let after_fn = rest.strip_prefix("fn ")?;
+    let name: String = after_fn
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Walk upward from the `pub fn` at 0-based line `i`, skipping attribute
+/// lines, until a doc comment (documented) or anything else (undocumented).
+fn documented(file: &SourceFile, i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let code = file.masked_lines[j].trim();
+        let comment = file.comment_lines[j].trim_start();
+        if comment.starts_with("///") || comment.starts_with("/**") {
+            return true;
+        }
+        // Attribute lines (possibly the tail of a multi-line attribute) sit
+        // between the doc comment and the item.
+        if !code.is_empty() && (code.starts_with("#[") || code.ends_with(']')) {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-core", text);
+        PubDocs.check(&f)
+    }
+
+    #[test]
+    fn undocumented_pub_fn_flagged() {
+        let ds = check("pub fn naked(x: u64) -> u64 { x }\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("`naked`"));
+    }
+
+    #[test]
+    fn documented_pub_fn_passes() {
+        let ds =
+            check("/// Doubles the minute counter.\npub fn doubled(x: u64) -> u64 { x * 2 }\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn attributes_between_doc_and_fn_are_skipped() {
+        let ds = check("/// Documented.\n#[must_use]\n#[inline]\npub fn f() -> u64 { 1 }\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn pub_crate_and_private_are_exempt() {
+        let ds = check("pub(crate) fn internal() {}\nfn private() {}\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn qualifiers_are_recognized() {
+        let ds = check("pub const fn c() -> u64 { 1 }\npub unsafe fn u() {}\n");
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn test_fns_exempt() {
+        let ds = check("#[cfg(test)]\nmod t {\n    pub fn helper() {}\n}\n");
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! `wall-clock`: no ambient time or entropy in deterministic paths.
+//!
+//! pulse-core and pulse-sim must replay a trace bit-identically given the
+//! same seed — that is what makes the paper's 1000-run methodology and the
+//! test suite meaningful. Ambient clocks (`Instant::now`, `SystemTime::now`)
+//! and ambient entropy (`thread_rng`, `from_entropy`, `rand::random`) break
+//! that. Time is the trace's minute counter; randomness is a seeded RNG
+//! passed in by the caller.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct WallClock;
+
+const TOKENS: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "ambient clock `Instant::now` in a deterministic path",
+    ),
+    (
+        "SystemTime::now",
+        "ambient clock `SystemTime::now` in a deterministic path",
+    ),
+    (
+        "thread_rng",
+        "ambient entropy `thread_rng` in a deterministic path",
+    ),
+    (
+        "from_entropy",
+        "ambient entropy `from_entropy` in a deterministic path",
+    ),
+    (
+        "rand::random",
+        "ambient entropy `rand::random` in a deterministic path",
+    ),
+];
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant::now/SystemTime::now/thread_rng/from_entropy in pulse-core or pulse-sim"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-core", "pulse-sim"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, line) in file.masked_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            for &(tok, what) in TOKENS {
+                if line.contains(tok) {
+                    out.push(
+                        Diagnostic::new(file.path.clone(), lineno, "wall-clock", what).with_hint(
+                            "take the minute counter or a seeded RNG as an explicit parameter",
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
+        WallClock.check(&f)
+    }
+
+    #[test]
+    fn flags_clock_and_entropy_tokens() {
+        let ds = check(
+            "pulse-sim",
+            "let t = std::time::Instant::now();\nlet mut r = rand::thread_rng();\n",
+        );
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn seeded_rng_is_fine() {
+        let ds = check("pulse-sim", "let mut r = SmallRng::seed_from_u64(seed);\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let ds = check(
+            "pulse-core",
+            "#[cfg(test)]\nmod t { fn f() { let t = Instant::now(); } }\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn experiments_crate_out_of_scope() {
+        assert!(!WallClock.scope().includes("pulse-experiments"));
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the audit pipeline: multi-file, multi-rule fixtures
+//! through the public [`pulse_audit::audit_files`] entry point, plus a
+//! self-check that the workspace the audit ships in passes its own rules.
+
+use std::path::{Path, PathBuf};
+
+use pulse_audit::source::SourceFile;
+use pulse_audit::{audit_files, audit_workspace};
+
+fn file(path: &str, krate: &str, text: &str) -> SourceFile {
+    SourceFile::parse(PathBuf::from(path), krate, text)
+}
+
+#[test]
+fn mixed_fixture_fires_expected_rules_only() {
+    let files = vec![
+        // unwrap in library code of a scoped crate → fires.
+        file(
+            "crates/pulse-sim/src/a.rs",
+            "pulse-sim",
+            "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n",
+        ),
+        // Same text inside #[cfg(test)] → exempt.
+        file(
+            "crates/pulse-sim/src/b.rs",
+            "pulse-sim",
+            "#[cfg(test)]\nmod tests {\n    fn g(v: Option<u8>) -> u8 { v.unwrap() }\n}\n",
+        ),
+        // Raw cast in pulse-core policy math → fires; waived line → silent.
+        file(
+            "crates/pulse-core/src/c.rs",
+            "pulse-core",
+            concat!(
+                "/// Doc.\npub fn h(n: usize) -> f64 {\n",
+                "    let bad = n as f64;\n",
+                "    // audit:allow(cast): fixture justification\n",
+                "    let good = n as f64;\n",
+                "    bad + good\n}\n",
+            ),
+        ),
+        // Float equality on a probability-looking value → fires.
+        file(
+            "crates/pulse-core/src/d.rs",
+            "pulse-core",
+            "/// Doc.\npub fn z(p: f64) -> bool { p == 0.5 }\n",
+        ),
+        // Wall-clock in a deterministic crate → fires.
+        file(
+            "crates/pulse-sim/src/e.rs",
+            "pulse-sim",
+            "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        ),
+        // Undocumented pub fn in pulse-core → fires.
+        file(
+            "crates/pulse-core/src/f.rs",
+            "pulse-core",
+            "pub fn undoc() {}\n",
+        ),
+    ];
+    let out = audit_files(&files);
+    assert_eq!(out.files_scanned, 6);
+    let fired: Vec<(&str, &str)> = out
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.to_str().unwrap(), d.rule))
+        .collect();
+    assert!(fired.contains(&("crates/pulse-sim/src/a.rs", "unwrap")));
+    assert!(fired.contains(&("crates/pulse-core/src/c.rs", "cast")));
+    assert!(fired.contains(&("crates/pulse-core/src/d.rs", "float-cmp")));
+    assert!(fired.contains(&("crates/pulse-sim/src/e.rs", "wall-clock")));
+    assert!(fired.contains(&("crates/pulse-core/src/f.rs", "pub-docs")));
+    // The #[cfg(test)] file and the waived line stay silent.
+    assert!(!fired.iter().any(|(p, _)| *p == "crates/pulse-sim/src/b.rs"));
+    assert_eq!(
+        out.diagnostics
+            .iter()
+            .filter(|d| d.path.to_str() == Some("crates/pulse-core/src/c.rs"))
+            .count(),
+        1,
+        "only the unwaived cast fires"
+    );
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_flagged() {
+    let files = vec![file(
+        "crates/pulse-core/src/w.rs",
+        "pulse-core",
+        "// audit:allow(no-such-rule): bogus\n/// Doc.\npub fn ok() {}\n",
+    )];
+    let out = audit_files(&files);
+    assert_eq!(out.diagnostics.len(), 1);
+    assert_eq!(out.diagnostics[0].rule, "waiver");
+}
+
+#[test]
+fn workspace_audit_is_self_clean() {
+    // CARGO_MANIFEST_DIR = crates/pulse-audit → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists");
+    let out = audit_workspace(root).expect("workspace walk succeeds");
+    assert!(out.files_scanned > 50, "walk found the workspace sources");
+    assert!(
+        out.is_clean(),
+        "workspace must pass its own audit:\n{}",
+        out.diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -11,14 +11,41 @@
 //!    flags a peak, Algorithm 2's downgrade actions are returned for the
 //!    platform to apply (cross-function optimization).
 
+use crate::convert::window_to_len;
 use crate::global::{flatten_peak, AliveModel, FlattenOutcome};
 use crate::individual::{IndividualOptimizer, KeepAliveSchedule};
 use crate::interarrival::{GapProbabilities, InterArrivalModel};
 use crate::peak::PeakDetector;
 use crate::priority::PriorityStructure;
 use crate::thresholds::{SchemeT1, SchemeT2, ThresholdScheme};
-use crate::types::{FuncId, Minute, PulseConfig, SchemeKind};
+use crate::types::{ConfigError, FuncId, Minute, PulseConfig, SchemeKind};
 use pulse_models::ModelFamily;
+use std::fmt;
+
+/// Why [`PulseEngine::try_new`] rejected its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PulseInitError {
+    /// The configuration failed [`PulseConfig::validate`].
+    Config(ConfigError),
+    /// `families[index]` failed its own validation.
+    Family {
+        /// Index of the rejected family.
+        index: usize,
+        /// The family's validation message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PulseInitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid PulseConfig: {e}"),
+            Self::Family { index, reason } => write!(f, "invalid family {index}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PulseInitError {}
 
 /// Stateful PULSE policy over a fixed set of functions, each assigned one
 /// model family.
@@ -37,21 +64,36 @@ impl PulseEngine {
     /// model family assigned to function `f`.
     ///
     /// # Panics
-    /// Panics if the configuration or any family is invalid.
+    /// Panics if the configuration or any family is invalid; fallible
+    /// callers should use [`Self::try_new`].
     pub fn new(families: Vec<ModelFamily>, config: PulseConfig) -> Self {
-        config.validate().expect("invalid PulseConfig");
-        for f in &families {
-            f.validate().expect("invalid family");
+        match Self::try_new(families, config) {
+            Ok(engine) => engine,
+            // audit:allow(unwrap): documented panicking convenience constructor; fallible callers use try_new
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible construction: validates the configuration and every family,
+    /// returning a typed error instead of panicking.
+    pub fn try_new(
+        families: Vec<ModelFamily>,
+        config: PulseConfig,
+    ) -> Result<Self, PulseInitError> {
+        config.validate().map_err(PulseInitError::Config)?;
+        for (index, f) in families.iter().enumerate() {
+            f.validate()
+                .map_err(|reason| PulseInitError::Family { index, reason })?;
         }
         let n = families.len();
-        Self {
+        Ok(Self {
             families,
             arrivals: vec![InterArrivalModel::new(); n],
             priority: PriorityStructure::new(n),
-            detector: PeakDetector::new(config.km_threshold, config.local_window as usize),
+            detector: PeakDetector::new(config.km_threshold, window_to_len(config.local_window)),
             optimizer: IndividualOptimizer::new(config.keepalive_minutes),
             config,
-        }
+        })
     }
 
     /// Number of functions managed.
@@ -167,6 +209,7 @@ impl PulseEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
     use pulse_models::zoo;
@@ -248,7 +291,7 @@ mod tests {
         assert!(out.final_kam_mb <= 1100.0 + 1e-9);
         assert!(!out.actions.is_empty());
         let total_bumps: u64 = (0..3).map(|m| e.priority().count(m)).sum();
-        assert_eq!(total_bumps as usize, out.actions.len());
+        assert_eq!(usize::try_from(total_bumps).unwrap(), out.actions.len());
     }
 
     #[test]
@@ -306,5 +349,23 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use crate::types::ConfigError;
+        let err = PulseEngine::try_new(
+            vec![zoo::gpt()],
+            PulseConfig {
+                keepalive_minutes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, PulseInitError::Config(ConfigError::ZeroKeepalive));
+        assert!(err.to_string().contains("invalid PulseConfig"));
+
+        let ok = PulseEngine::try_new(vec![zoo::gpt()], PulseConfig::default());
+        assert!(ok.is_ok());
     }
 }

@@ -10,6 +10,7 @@
 //! future downgrades via the normalized `Pr` component.
 
 use crate::priority::PriorityStructure;
+use crate::probability::Probability;
 use crate::types::FuncId;
 use crate::utility::utility_value;
 use pulse_models::{ModelFamily, VariantId};
@@ -100,8 +101,10 @@ pub fn flatten_peak(
         |m, fam, pr| {
             utility_value(
                 fam.accuracy_improvement(m.variant),
-                pr,
-                m.invocation_probability.clamp(0.0, 1.0),
+                // Normalized priorities are in [0, 1] by construction.
+                Probability::from_invariant(pr),
+                // Ip is a caller-filled field; saturate out-of-range input.
+                Probability::saturating(m.invocation_probability),
             )
         },
     )
@@ -129,19 +132,27 @@ pub fn flatten_peak_with(
         let pr = priority.normalized();
 
         // "For every model that is kept-alive in t: compute Ai and Pr;
-        //  Uv ← Ai + Pr + Ip" — then downgrade the minimum.
-        let (idx, _) = alive
+        //  Uv ← Ai + Pr + Ip" — then downgrade the minimum. `total_cmp`
+        // gives a total order even for a pathological NaN score from a
+        // caller-supplied ablation closure (NaN sorts above every number,
+        // so it is never chosen as the minimum victim over a real score).
+        let scored = alive
             .iter()
             .enumerate()
             .map(|(i, m)| (i, score(m, &families[m.func], pr[m.func])))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("Uv is finite"))
-            .expect("alive is non-empty in loop");
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        let Some((idx, _)) = scored else {
+            break; // unreachable: the loop condition keeps `alive` non-empty
+        };
 
         let func = alive[idx].func;
         let from = alive[idx].variant;
         let fam = &families[func];
         if from > 0 {
             let freed = fam.variant(from).memory_mb - fam.variant(from - 1).memory_mb;
+            // Algorithm 2 invariant: ladders are ordered by memory, so a
+            // one-rung downgrade never *adds* memory.
+            debug_assert!(freed >= 0.0, "downgrade must not grow memory: {freed}");
             alive[idx].variant = from - 1;
             kam -= freed;
             actions.push(DowngradeAction::Downgrade {
@@ -158,6 +169,16 @@ pub fn flatten_peak_with(
         priority.bump(func);
     }
 
+    // Algorithm 2 postcondition: the loop only exits at the target or with
+    // every container evicted; bookkeeping must agree.
+    debug_assert!(
+        kam <= target_kam_mb || alive.is_empty(),
+        "flatten loop exited above target with models still alive"
+    );
+    debug_assert!(
+        kam <= current_kam_mb,
+        "flattening must not increase keep-alive memory"
+    );
     FlattenOutcome {
         actions,
         final_kam_mb: kam,
@@ -166,6 +187,7 @@ pub fn flatten_peak_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
     use pulse_models::zoo;

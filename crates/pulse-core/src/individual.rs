@@ -13,6 +13,7 @@
 //! * higher probability minutes get higher-accuracy variants (the monotone
 //!   threshold principle).
 
+use crate::convert::{gap_to_index, len_to_u32, len_to_u64, window_to_len};
 use crate::interarrival::GapProbabilities;
 use crate::thresholds::ThresholdScheme;
 use crate::types::Minute;
@@ -41,13 +42,13 @@ impl KeepAliveSchedule {
     pub fn constant(invoked_at: Minute, variant: VariantId, window: u32) -> Self {
         Self {
             invoked_at,
-            plan: vec![variant; window as usize],
+            plan: vec![variant; window_to_len(window)],
         }
     }
 
     /// Window length in minutes.
     pub fn window(&self) -> u32 {
-        self.plan.len() as u32
+        len_to_u32(self.plan.len())
     }
 
     /// Variant kept alive at minute-offset `m` (1-based), `None` outside the
@@ -56,7 +57,7 @@ impl KeepAliveSchedule {
         if m == 0 {
             return None;
         }
-        self.plan.get(m as usize - 1).copied()
+        self.plan.get(gap_to_index(m - 1)).copied()
     }
 
     /// Variant kept alive at absolute minute `t`, `None` outside the window.
@@ -67,7 +68,7 @@ impl KeepAliveSchedule {
 
     /// Last minute covered by the window.
     pub fn expires_at(&self) -> Minute {
-        self.invoked_at + self.plan.len() as u64
+        self.invoked_at + len_to_u64(self.plan.len())
     }
 
     /// Iterate `(absolute minute, variant)` pairs of the plan.
@@ -75,15 +76,17 @@ impl KeepAliveSchedule {
         self.plan
             .iter()
             .enumerate()
-            .map(move |(i, &v)| (self.invoked_at + 1 + i as u64, v))
+            .map(move |(i, &v)| (self.invoked_at + 1 + len_to_u64(i), v))
     }
 
     /// Mutable access for the global optimizer's downgrades: replace the
     /// variant at absolute minute `t` (no-op outside the window).
     pub fn set_variant_at(&mut self, t: Minute, v: VariantId) {
         if let Some(m) = t.checked_sub(self.invoked_at) {
-            if m >= 1 && (m as usize) <= self.plan.len() {
-                self.plan[m as usize - 1] = v;
+            if m >= 1 {
+                if let Some(slot) = self.plan.get_mut(gap_to_index(m - 1)) {
+                    *slot = v;
+                }
             }
         }
     }
@@ -112,8 +115,8 @@ impl IndividualOptimizer {
         n_variants: usize,
         scheme: &dyn ThresholdScheme,
     ) -> KeepAliveSchedule {
-        let plan = (1..=self.window as u64)
-            .map(|m| scheme.select(probs.at(m).clamp(0.0, 1.0), n_variants))
+        let plan = (1..=u64::from(self.window))
+            .map(|m| scheme.select(probs.prob(m), n_variants))
             .collect();
         KeepAliveSchedule::new(invoked_at, plan)
     }

@@ -11,7 +11,13 @@
 //! total number of inter-arrival times"), each distribution divides the count
 //! of gap `k` by the total number of gaps — including gaps longer than the
 //! window — so the in-window probabilities need not sum to 1.
+//!
+//! Every estimate is carried as the validated [`Probability`] newtype from
+//! the moment it leaves the count ratios, so downstream policy code never
+//! sees an unvalidated float.
 
+use crate::convert::{gap_to_index, len_to_u64, u64_to_f64, window_to_len};
+use crate::probability::Probability;
 use crate::types::Minute;
 use serde::{Deserialize, Serialize};
 
@@ -21,24 +27,21 @@ use serde::{Deserialize, Serialize};
 /// construction) and always 0.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GapProbabilities {
-    probs: Vec<f64>,
+    probs: Vec<Probability>,
 }
 
 impl GapProbabilities {
     /// All-zero distribution over a window of `w` minutes (no history).
     pub fn zeros(w: u32) -> Self {
         Self {
-            probs: vec![0.0; w as usize + 1],
+            probs: vec![Probability::ZERO; window_to_len(w) + 1],
         }
     }
 
-    fn from_probs(probs: Vec<f64>) -> Self {
-        Self { probs }
-    }
-
-    /// Build from raw per-gap probabilities (crate-internal; used by the
-    /// incremental model, which derives them from its own counters).
-    pub(crate) fn from_probs_unchecked(probs: Vec<f64>) -> Self {
+    /// Build from validated per-gap probabilities (crate-internal; the
+    /// reference and incremental models derive them from count ratios, which
+    /// are in `[0, 1]` by construction).
+    pub(crate) fn from_probabilities(probs: Vec<Probability>) -> Self {
         Self { probs }
     }
 
@@ -50,37 +53,48 @@ impl GapProbabilities {
             (true, true) => GapProbabilities::zeros(window),
             (true, false) => global.clone(),
             (false, true) => local.clone(),
-            (false, false) => GapProbabilities::from_probs(
+            (false, false) => GapProbabilities::from_probabilities(
                 local
                     .probs
                     .iter()
                     .zip(global.probs.iter())
-                    .map(|(&l, &g)| (l + g) / 2.0)
+                    .map(|(&l, &g)| l.average(g))
                     .collect(),
             ),
         }
     }
 
-    /// Probability of a gap of exactly `k` minutes (0 when out of window).
+    /// Probability of a gap of exactly `k` minutes, as a validated
+    /// [`Probability`] (zero when out of window).
+    #[inline]
+    pub fn prob(&self, k: u64) -> Probability {
+        self.probs
+            .get(gap_to_index(k))
+            .copied()
+            .unwrap_or(Probability::ZERO)
+    }
+
+    /// Probability of a gap of exactly `k` minutes as a bare `f64`
+    /// (convenience over [`Self::prob`] for reporting and tests).
     #[inline]
     pub fn at(&self, k: u64) -> f64 {
-        self.probs.get(k as usize).copied().unwrap_or(0.0)
+        self.prob(k).value()
     }
 
     /// Window length (max representable gap).
     #[inline]
     pub fn window(&self) -> u64 {
-        (self.probs.len() - 1) as u64
+        len_to_u64(self.probs.len().saturating_sub(1))
     }
 
     /// Total in-window probability mass (≤ 1).
     pub fn mass(&self) -> f64 {
-        self.probs.iter().sum()
+        self.probs.iter().map(|p| p.value()).sum()
     }
 
     /// True when no history informed this estimate.
     pub fn is_uninformed(&self) -> bool {
-        self.probs.iter().all(|&p| p == 0.0)
+        self.probs.iter().all(|p| p.is_zero())
     }
 }
 
@@ -136,7 +150,7 @@ impl InterArrivalModel {
     /// for gaps up to `window` minutes. Denominator is the total number of
     /// gaps in the range, including gaps longer than `window`.
     fn distribution_in(&self, from: Minute, to: Minute, window: u32) -> GapProbabilities {
-        let mut counts = vec![0u64; window as usize + 1];
+        let mut counts = vec![0u64; window_to_len(window) + 1];
         let mut total = 0u64;
         let mut prev: Option<Minute> = None;
         for &a in &self.arrivals {
@@ -149,8 +163,8 @@ impl InterArrivalModel {
             if let Some(p) = prev {
                 let gap = a - p;
                 total += 1;
-                if gap <= window as u64 {
-                    counts[gap as usize] += 1;
+                if gap <= u64::from(window) {
+                    counts[gap_to_index(gap)] += 1;
                 }
             }
             prev = Some(a);
@@ -158,7 +172,13 @@ impl InterArrivalModel {
         if total == 0 {
             return GapProbabilities::zeros(window);
         }
-        GapProbabilities::from_probs(counts.iter().map(|&c| c as f64 / total as f64).collect())
+        // c <= total by construction, so each ratio is a valid probability.
+        GapProbabilities::from_probabilities(
+            counts
+                .iter()
+                .map(|&c| Probability::from_invariant(u64_to_f64(c) / u64_to_f64(total)))
+                .collect(),
+        )
     }
 
     /// Empirical gap distribution over the full history.
@@ -177,7 +197,7 @@ impl InterArrivalModel {
         local_window: u32,
         window: u32,
     ) -> GapProbabilities {
-        let from = now.saturating_sub(local_window as u64);
+        let from = now.saturating_sub(u64::from(local_window));
         self.distribution_in(from, now, window)
     }
 
@@ -193,6 +213,7 @@ impl InterArrivalModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
 
@@ -225,7 +246,7 @@ mod tests {
         let p = m.probabilities(10, 60, 10);
         assert!((p.at(2) - 1.0).abs() < 1e-12);
         for k in [1u64, 3, 4, 5, 10] {
-            assert_eq!(p.at(k), 0.0);
+            assert!(p.prob(k).is_zero());
         }
         assert!((p.mass() - 1.0).abs() < 1e-12);
     }
@@ -300,7 +321,7 @@ mod tests {
     #[test]
     fn gap_index_zero_is_always_zero() {
         let m = model_with(&[0, 1, 2, 3]);
-        assert_eq!(m.global_distribution(10).at(0), 0.0);
+        assert!(m.global_distribution(10).prob(0).is_zero());
     }
 
     #[test]
@@ -308,7 +329,7 @@ mod tests {
         let m = model_with(&[0, 10]);
         let g = m.global_distribution(10);
         assert!((g.at(10) - 1.0).abs() < 1e-12);
-        assert_eq!(g.at(11), 0.0); // out of range lookup is 0, not a panic
+        assert!(g.prob(11).is_zero()); // out of range lookup is 0, not a panic
         assert_eq!(g.window(), 10);
     }
 
@@ -321,5 +342,14 @@ mod tests {
             assert!((0.0..=1.0).contains(&v));
         }
         assert!(p.mass() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn typed_and_untyped_accessors_agree() {
+        let m = model_with(&[0, 2, 4, 6]);
+        let p = m.probabilities(6, 60, 10);
+        for k in 0..=10 {
+            assert_eq!(p.prob(k).value(), p.at(k));
+        }
     }
 }

@@ -42,6 +42,8 @@
 //! assert!(schedule.variant_at_offset(2).unwrap() > 0);
 //! ```
 
+mod convert;
+
 pub mod engine;
 pub mod global;
 pub mod individual;
@@ -49,16 +51,18 @@ pub mod interarrival;
 pub mod online;
 pub mod peak;
 pub mod priority;
+pub mod probability;
 pub mod thresholds;
 pub mod types;
 pub mod utility;
 
-pub use engine::PulseEngine;
+pub use engine::{PulseEngine, PulseInitError};
 pub use individual::{IndividualOptimizer, KeepAliveSchedule};
 pub use interarrival::{GapProbabilities, InterArrivalModel};
 pub use online::OnlineInterArrival;
 pub use peak::PeakDetector;
 pub use priority::PriorityStructure;
-pub use thresholds::{SchemeT1, SchemeT2, ThresholdScheme};
-pub use types::{FuncId, Minute, PulseConfig};
+pub use probability::{Probability, ProbabilityError};
+pub use thresholds::{CustomThresholds, SchemeT1, SchemeT2, ThresholdError, ThresholdScheme};
+pub use types::{ConfigError, FuncId, Minute, PulseConfig};
 pub use utility::utility_value;

@@ -15,7 +15,9 @@
 //! The observable behaviour is bit-identical to the reference model; the
 //! `prop` test suite and the unit tests below enforce the equivalence.
 
+use crate::convert::{gap_to_index, u64_to_f64, window_to_len};
 use crate::interarrival::GapProbabilities;
+use crate::probability::Probability;
 use crate::types::Minute;
 use std::collections::VecDeque;
 
@@ -32,14 +34,14 @@ struct GapCounts {
 impl GapCounts {
     fn new(window: u32) -> Self {
         Self {
-            counts: vec![0; window as usize + 1],
+            counts: vec![0; window_to_len(window) + 1],
             total: 0,
         }
     }
 
     fn add(&mut self, gap: u64) {
         self.total += 1;
-        if let Some(c) = self.counts.get_mut(gap as usize) {
+        if let Some(c) = self.counts.get_mut(gap_to_index(gap)) {
             *c += 1;
         }
     }
@@ -47,7 +49,7 @@ impl GapCounts {
     fn remove(&mut self, gap: u64) {
         debug_assert!(self.total > 0);
         self.total -= 1;
-        if let Some(c) = self.counts.get_mut(gap as usize) {
+        if let Some(c) = self.counts.get_mut(gap_to_index(gap)) {
             debug_assert!(*c > 0);
             *c -= 1;
         }
@@ -57,10 +59,11 @@ impl GapCounts {
         if self.total == 0 {
             return GapProbabilities::zeros(window);
         }
-        GapProbabilities::from_probs_unchecked(
+        // c <= total by construction, so each ratio is a valid probability.
+        GapProbabilities::from_probabilities(
             self.counts
                 .iter()
-                .map(|&c| c as f64 / self.total as f64)
+                .map(|&c| Probability::from_invariant(u64_to_f64(c) / u64_to_f64(self.total)))
                 .collect(),
         )
     }
@@ -134,7 +137,7 @@ impl OnlineInterArrival {
     pub fn advance_to(&mut self, now: Minute) {
         assert!(now >= self.now, "the clock only moves forward");
         self.now = now;
-        let from = now.saturating_sub(self.local_window as u64);
+        let from = now.saturating_sub(u64::from(self.local_window));
         while let Some(&oldest) = self.recent.front() {
             if oldest >= from {
                 break;

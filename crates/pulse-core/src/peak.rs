@@ -20,6 +20,7 @@
 //! * for every later minute of a keep-alive period → prior = the previous
 //!   minute's memory.
 
+use crate::convert::count_to_f64;
 use serde::{Deserialize, Serialize};
 
 /// Algorithm 1: peak detection over the keep-alive memory series.
@@ -48,6 +49,13 @@ impl PeakDetector {
     /// The `ISPEAK` predicate of Algorithm 1.
     #[inline]
     pub fn is_peak(&self, current_kam: f64, prior_kam: f64) -> bool {
+        // Algorithm 1 precondition: keep-alive memory is a non-negative sum
+        // of variant sizes; the prior may additionally be ∞ (never active).
+        debug_assert!(
+            current_kam >= 0.0 && current_kam.is_finite(),
+            "C_KaM must be finite and non-negative: {current_kam}"
+        );
+        debug_assert!(prior_kam >= 0.0, "P_KaM must be non-negative: {prior_kam}");
         current_kam > prior_kam + self.km_threshold * prior_kam
     }
 
@@ -59,6 +67,19 @@ impl PeakDetector {
     /// minute of a keep-alive period, i.e. activity just resumed) from the
     /// `t > 1` branch (prior = previous minute's memory).
     pub fn prior_kam(&self, history: &[f64], first_minute_of_period: bool) -> f64 {
+        // Algorithm 1 precondition: the memory series is non-negative.
+        debug_assert!(
+            history.iter().all(|&q| q >= 0.0 && q.is_finite()),
+            "keep-alive memory history must be finite and non-negative"
+        );
+        let prior = self.prior_kam_inner(history, first_minute_of_period);
+        // Algorithm 1 postcondition: the prior is either a memory level seen
+        // in (or averaged over) history, or the ∞ sentinel — never negative.
+        debug_assert!(prior >= 0.0, "P_KaM must be non-negative: {prior}");
+        prior
+    }
+
+    fn prior_kam_inner(&self, history: &[f64], first_minute_of_period: bool) -> f64 {
         if history.is_empty() {
             return f64::INFINITY;
         }
@@ -68,7 +89,7 @@ impl PeakDetector {
         // t == 1 branch.
         let w = self.local_window.min(history.len());
         let tail = &history[history.len() - w..];
-        let avg = tail.iter().sum::<f64>() / w as f64;
+        let avg = tail.iter().sum::<f64>() / count_to_f64(w);
         if history.len() >= 2 * self.local_window && avg > 0.0 {
             avg
         } else {
@@ -99,6 +120,7 @@ impl PeakDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
 

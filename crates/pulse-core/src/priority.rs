@@ -10,6 +10,7 @@
 //! "To minimize memory overhead, the priority structure is implemented as an
 //! array."
 
+use crate::convert::u64_to_f64;
 use pulse_models::stats::normalize_min_max;
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +54,7 @@ impl PriorityStructure {
     /// the most-downgraded model at 1, with the all-equal case yielding all
     /// zeros.
     pub fn normalized(&self) -> Vec<f64> {
-        let xs: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let xs: Vec<f64> = self.counts.iter().map(|&c| u64_to_f64(c)).collect();
         normalize_min_max(&xs)
     }
 
@@ -66,6 +67,7 @@ impl PriorityStructure {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
 

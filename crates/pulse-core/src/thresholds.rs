@@ -5,15 +5,22 @@
 //! variant to keep alive during that minute. Both schemes follow the paper's
 //! "general principle of keeping alive the variant with the highest accuracy
 //! at higher invocation probabilities".
+//!
+//! Probabilities arrive as the validated [`Probability`] newtype, so the
+//! schemes never see NaN or out-of-range input; each `select` additionally
+//! debug-asserts its postcondition (the chosen index lies on the ladder).
 
+use crate::convert::{count_to_f64, floor_index};
+use crate::probability::Probability;
 use pulse_models::VariantId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Maps an invocation probability to the quality variant to keep alive.
 pub trait ThresholdScheme {
-    /// Select a variant index in `0..n_variants` for probability `p ∈ [0,1]`.
+    /// Select a variant index in `0..n_variants` for probability `p`.
     /// Index 0 is the lowest-accuracy variant.
-    fn select(&self, p: f64, n_variants: usize) -> VariantId;
+    fn select(&self, p: Probability, n_variants: usize) -> VariantId;
 
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
@@ -23,8 +30,14 @@ pub trait ThresholdScheme {
     fn thresholds(&self, n_variants: usize) -> Vec<f64>;
 }
 
-fn check_p(p: f64) {
-    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+/// Postcondition shared by every scheme: the selected rung is on the ladder.
+#[inline]
+fn check_selection(v: VariantId, n_variants: usize) -> VariantId {
+    debug_assert!(
+        v < n_variants,
+        "scheme selected rung {v} outside ladder of {n_variants}"
+    );
+    v
 }
 
 /// **T1** — the scheme of the paper's main design: divide `[0, 1]` into `N`
@@ -35,11 +48,10 @@ fn check_p(p: f64) {
 pub struct SchemeT1;
 
 impl ThresholdScheme for SchemeT1 {
-    fn select(&self, p: f64, n_variants: usize) -> VariantId {
+    fn select(&self, p: Probability, n_variants: usize) -> VariantId {
         assert!(n_variants >= 1, "a family has at least one variant");
-        check_p(p);
-        let n = n_variants as f64;
-        ((p * n).floor() as usize).min(n_variants - 1)
+        let n = count_to_f64(n_variants);
+        check_selection(floor_index(p.value() * n).min(n_variants - 1), n_variants)
     }
 
     fn name(&self) -> &'static str {
@@ -48,7 +60,7 @@ impl ThresholdScheme for SchemeT1 {
 
     fn thresholds(&self, n_variants: usize) -> Vec<f64> {
         (1..n_variants)
-            .map(|k| k as f64 / n_variants as f64)
+            .map(|k| count_to_f64(k) / count_to_f64(n_variants))
             .collect()
     }
 }
@@ -61,17 +73,19 @@ impl ThresholdScheme for SchemeT1 {
 pub struct SchemeT2;
 
 impl ThresholdScheme for SchemeT2 {
-    fn select(&self, p: f64, n_variants: usize) -> VariantId {
+    fn select(&self, p: Probability, n_variants: usize) -> VariantId {
         assert!(n_variants >= 1, "a family has at least one variant");
-        check_p(p);
-        if p == 0.0 || n_variants == 1 {
+        if p.is_zero() || n_variants == 1 {
             return 0;
         }
         if n_variants == 2 {
             return 1;
         }
-        let bands = (n_variants - 1) as f64;
-        1 + ((p * bands).floor() as usize).min(n_variants - 2)
+        let bands = count_to_f64(n_variants - 1);
+        check_selection(
+            1 + floor_index(p.value() * bands).min(n_variants - 2),
+            n_variants,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -83,10 +97,40 @@ impl ThresholdScheme for SchemeT2 {
             return Vec::new();
         }
         (1..n_variants - 1)
-            .map(|k| k as f64 / (n_variants - 1) as f64)
+            .map(|k| count_to_f64(k) / count_to_f64(n_variants - 1))
             .collect()
     }
 }
+
+/// Error returned by [`CustomThresholds::new`] for invalid band boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdError {
+    /// Adjacent thresholds are not strictly increasing.
+    NotIncreasing {
+        /// The offending pair, in input order.
+        pair: (f64, f64),
+    },
+    /// A threshold lies outside the open interval `(0, 1)` (or is NaN).
+    OutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotIncreasing { pair: (a, b) } => {
+                write!(f, "thresholds must be strictly increasing: {a} !< {b}")
+            }
+            Self::OutOfRange { value } => {
+                write!(f, "thresholds must lie strictly inside (0, 1): {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
 
 /// **Custom thresholds** — the paper notes "the greedy optimization can be
 /// tuned by the provider based on available resources and specific needs";
@@ -100,40 +144,41 @@ pub struct CustomThresholds {
 }
 
 impl CustomThresholds {
-    /// Build from explicit band boundaries.
-    ///
-    /// # Panics
-    /// Panics unless the thresholds are strictly increasing and within
-    /// `(0, 1)`.
-    pub fn new(thresholds: Vec<f64>) -> Self {
+    /// Build from explicit band boundaries. Rejects thresholds that are not
+    /// strictly increasing or that fall outside the open interval `(0, 1)`.
+    pub fn new(thresholds: Vec<f64>) -> Result<Self, ThresholdError> {
         for w in thresholds.windows(2) {
-            assert!(w[0] < w[1], "thresholds must be strictly increasing");
+            if w[0] >= w[1] {
+                return Err(ThresholdError::NotIncreasing { pair: (w[0], w[1]) });
+            }
         }
         for &t in &thresholds {
-            assert!(
-                (0.0..1.0).contains(&t) && t > 0.0,
-                "thresholds must lie strictly inside (0, 1)"
-            );
+            if !(t > 0.0 && t < 1.0) {
+                return Err(ThresholdError::OutOfRange { value: t });
+            }
         }
-        Self { thresholds }
+        Ok(Self { thresholds })
     }
 
     /// A scheme biased toward cheap variants: the top rung is reserved for
     /// near-certain invocations (`p > hi`), the bottom for `p ≤ lo`.
-    pub fn conservative(lo: f64, hi: f64) -> Self {
+    /// Rejects `lo`/`hi` that do not satisfy `0 < lo < hi < 1`.
+    pub fn conservative(lo: f64, hi: f64) -> Result<Self, ThresholdError> {
         Self::new(vec![lo, hi])
     }
 }
 
 impl ThresholdScheme for CustomThresholds {
-    fn select(&self, p: f64, n_variants: usize) -> VariantId {
+    fn select(&self, p: Probability, n_variants: usize) -> VariantId {
         assert!(n_variants >= 1, "a family has at least one variant");
-        check_p(p);
-        self.thresholds
-            .iter()
-            .filter(|&&t| p > t)
-            .count()
-            .min(n_variants - 1)
+        check_selection(
+            self.thresholds
+                .iter()
+                .filter(|&&t| p.value() > t)
+                .count()
+                .min(n_variants - 1),
+            n_variants,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -153,30 +198,34 @@ impl ThresholdScheme for CustomThresholds {
 mod tests {
     use super::*;
 
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
     #[test]
     fn t1_three_variants_bands() {
         let s = SchemeT1;
         // thresholds at 1/3 and 2/3
-        assert_eq!(s.select(0.0, 3), 0);
-        assert_eq!(s.select(0.2, 3), 0);
-        assert_eq!(s.select(1.0 / 3.0 + 1e-9, 3), 1);
-        assert_eq!(s.select(0.5, 3), 1);
-        assert_eq!(s.select(2.0 / 3.0 + 1e-9, 3), 2);
-        assert_eq!(s.select(1.0, 3), 2);
+        assert_eq!(s.select(p(0.0), 3), 0);
+        assert_eq!(s.select(p(0.2), 3), 0);
+        assert_eq!(s.select(p(1.0 / 3.0 + 1e-9), 3), 1);
+        assert_eq!(s.select(p(0.5), 3), 1);
+        assert_eq!(s.select(p(2.0 / 3.0 + 1e-9), 3), 2);
+        assert_eq!(s.select(p(1.0), 3), 2);
     }
 
     #[test]
     fn t1_two_variants_bands() {
         let s = SchemeT1;
-        assert_eq!(s.select(0.49, 2), 0);
-        assert_eq!(s.select(0.51, 2), 1);
+        assert_eq!(s.select(p(0.49), 2), 0);
+        assert_eq!(s.select(p(0.51), 2), 1);
     }
 
     #[test]
     fn t1_single_variant_always_zero() {
         let s = SchemeT1;
-        for p in [0.0, 0.3, 1.0] {
-            assert_eq!(s.select(p, 1), 0);
+        for v in [0.0, 0.3, 1.0] {
+            assert_eq!(s.select(p(v), 1), 0);
         }
     }
 
@@ -190,18 +239,18 @@ mod tests {
     #[test]
     fn t2_zero_probability_reserves_lowest() {
         let s = SchemeT2;
-        assert_eq!(s.select(0.0, 3), 0);
+        assert_eq!(s.select(Probability::ZERO, 3), 0);
         // Any nonzero probability skips the lowest variant.
-        assert_eq!(s.select(1e-6, 3), 1);
+        assert_eq!(s.select(p(1e-6), 3), 1);
     }
 
     #[test]
     fn t2_three_variants_bands() {
         let s = SchemeT2;
         // (0,1] split into 2 areas; threshold at 1/2.
-        assert_eq!(s.select(0.3, 3), 1);
-        assert_eq!(s.select(0.6, 3), 2);
-        assert_eq!(s.select(1.0, 3), 2);
+        assert_eq!(s.select(p(0.3), 3), 1);
+        assert_eq!(s.select(p(0.6), 3), 2);
+        assert_eq!(s.select(p(1.0), 3), 2);
     }
 
     #[test]
@@ -214,9 +263,9 @@ mod tests {
     #[test]
     fn t2_two_variants() {
         let s = SchemeT2;
-        assert_eq!(s.select(0.0, 2), 0);
-        assert_eq!(s.select(0.2, 2), 1);
-        assert_eq!(s.select(1.0, 2), 1);
+        assert_eq!(s.select(Probability::ZERO, 2), 0);
+        assert_eq!(s.select(p(0.2), 2), 1);
+        assert_eq!(s.select(p(1.0), 2), 1);
     }
 
     #[test]
@@ -224,10 +273,14 @@ mod tests {
         for n in 1..=5usize {
             for scheme in [&SchemeT1 as &dyn ThresholdScheme, &SchemeT2] {
                 let mut prev = 0usize;
-                for i in 0..=100 {
-                    let p = i as f64 / 100.0;
-                    let v = scheme.select(p, n);
-                    assert!(v >= prev, "{} not monotone at p={p}, n={n}", scheme.name());
+                for i in 0..=100u32 {
+                    let prob = p(f64::from(i) / 100.0);
+                    let v = scheme.select(prob, n);
+                    assert!(
+                        v >= prev,
+                        "{} not monotone at p={prob}, n={n}",
+                        scheme.name()
+                    );
                     assert!(v < n);
                     prev = v;
                 }
@@ -238,61 +291,70 @@ mod tests {
     #[test]
     fn max_probability_selects_highest() {
         for n in 1..=5usize {
-            assert_eq!(SchemeT1.select(1.0, n), n - 1);
-            assert_eq!(SchemeT2.select(1.0, n), n - 1);
+            assert_eq!(SchemeT1.select(Probability::ONE, n), n - 1);
+            assert_eq!(SchemeT2.select(Probability::ONE, n), n - 1);
         }
     }
 
     #[test]
     fn custom_scheme_respects_explicit_bands() {
-        let s = CustomThresholds::new(vec![0.25, 0.9]);
-        assert_eq!(s.select(0.1, 3), 0);
-        assert_eq!(s.select(0.25, 3), 0); // boundary stays in lower band
-        assert_eq!(s.select(0.5, 3), 1);
-        assert_eq!(s.select(0.95, 3), 2);
+        let s = CustomThresholds::new(vec![0.25, 0.9]).unwrap();
+        assert_eq!(s.select(p(0.1), 3), 0);
+        assert_eq!(s.select(p(0.25), 3), 0); // boundary stays in lower band
+        assert_eq!(s.select(p(0.5), 3), 1);
+        assert_eq!(s.select(p(0.95), 3), 2);
     }
 
     #[test]
     fn custom_scheme_clamps_to_small_ladders() {
-        let s = CustomThresholds::new(vec![0.2, 0.4, 0.6, 0.8]);
-        assert_eq!(s.select(0.99, 2), 1);
-        assert_eq!(s.select(0.5, 2), 1);
-        assert_eq!(s.select(0.1, 2), 0);
+        let s = CustomThresholds::new(vec![0.2, 0.4, 0.6, 0.8]).unwrap();
+        assert_eq!(s.select(p(0.99), 2), 1);
+        assert_eq!(s.select(p(0.5), 2), 1);
+        assert_eq!(s.select(p(0.1), 2), 0);
     }
 
     #[test]
     fn conservative_scheme_reserves_top_rung() {
-        let s = CustomThresholds::conservative(0.3, 0.95);
-        assert_eq!(s.select(0.9, 3), 1);
-        assert_eq!(s.select(0.96, 3), 2);
+        let s = CustomThresholds::conservative(0.3, 0.95).unwrap();
+        assert_eq!(s.select(p(0.9), 3), 1);
+        assert_eq!(s.select(p(0.96), 3), 2);
     }
 
     #[test]
     fn custom_scheme_is_monotone() {
-        let s = CustomThresholds::new(vec![0.1, 0.5, 0.7]);
+        let s = CustomThresholds::new(vec![0.1, 0.5, 0.7]).unwrap();
         let mut prev = 0;
-        for i in 0..=100 {
-            let v = s.select(i as f64 / 100.0, 4);
+        for i in 0..=100u32 {
+            let v = s.select(p(f64::from(i) / 100.0), 4);
             assert!(v >= prev);
             prev = v;
         }
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
     fn unsorted_custom_thresholds_rejected() {
-        CustomThresholds::new(vec![0.5, 0.3]);
+        let err = CustomThresholds::new(vec![0.5, 0.3]).unwrap_err();
+        assert_eq!(err, ThresholdError::NotIncreasing { pair: (0.5, 0.3) });
+        assert!(err.to_string().contains("strictly increasing"));
     }
 
     #[test]
-    #[should_panic(expected = "inside (0, 1)")]
     fn out_of_range_custom_thresholds_rejected() {
-        CustomThresholds::new(vec![0.0, 0.5]);
+        let err = CustomThresholds::new(vec![0.0, 0.5]).unwrap_err();
+        assert_eq!(err, ThresholdError::OutOfRange { value: 0.0 });
+        assert!(err.to_string().contains("inside (0, 1)"));
+        assert!(CustomThresholds::new(vec![0.5, 1.0]).is_err());
+        assert!(CustomThresholds::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn equal_custom_thresholds_rejected() {
+        assert!(CustomThresholds::new(vec![0.4, 0.4]).is_err());
     }
 
     #[test]
     fn custom_thresholds_report_truncates_to_ladder() {
-        let s = CustomThresholds::new(vec![0.2, 0.4, 0.6]);
+        let s = CustomThresholds::new(vec![0.2, 0.4, 0.6]).unwrap();
         assert_eq!(s.thresholds(3), vec![0.2, 0.4]);
         assert_eq!(s.thresholds(10), vec![0.2, 0.4, 0.6]);
     }

@@ -1,6 +1,7 @@
 //! Shared types and tunables of the PULSE policy.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Simulation/policy time in minutes since the start of the trace. The paper
 /// works at minute resolution throughout ("the time resolution used for
@@ -52,17 +53,40 @@ impl Default for PulseConfig {
     }
 }
 
+/// Why a [`PulseConfig`] was rejected by [`PulseConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `keepalive_minutes` is 0 (the policy needs at least one minute).
+    ZeroKeepalive,
+    /// `local_window` is 0 (the sliding window needs at least one minute).
+    ZeroLocalWindow,
+    /// `km_threshold` is NaN, infinite, or negative.
+    InvalidKmThreshold,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroKeepalive => write!(f, "keepalive_minutes must be >= 1"),
+            Self::ZeroLocalWindow => write!(f, "local_window must be >= 1"),
+            Self::InvalidKmThreshold => write!(f, "km_threshold must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl PulseConfig {
-    /// Validate tunables; the engine calls this on construction.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate tunables; every engine construction path calls this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.keepalive_minutes == 0 {
-            return Err("keepalive_minutes must be >= 1".into());
+            return Err(ConfigError::ZeroKeepalive);
         }
         if self.local_window == 0 {
-            return Err("local_window must be >= 1".into());
+            return Err(ConfigError::ZeroLocalWindow);
         }
         if !self.km_threshold.is_finite() || self.km_threshold < 0.0 {
-            return Err("km_threshold must be finite and >= 0".into());
+            return Err(ConfigError::InvalidKmThreshold);
         }
         Ok(())
     }
@@ -88,7 +112,7 @@ mod tests {
             local_window: 0,
             ..Default::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLocalWindow));
     }
 
     #[test]
@@ -97,7 +121,7 @@ mod tests {
             keepalive_minutes: 0,
             ..Default::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroKeepalive));
     }
 
     #[test]
@@ -106,6 +130,19 @@ mod tests {
             km_threshold: -0.1,
             ..Default::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::InvalidKmThreshold));
+        let nan = PulseConfig {
+            km_threshold: f64::NAN,
+            ..Default::default()
+        };
+        assert_eq!(nan.validate(), Err(ConfigError::InvalidKmThreshold));
+    }
+
+    #[test]
+    fn config_errors_display_the_constraint() {
+        assert!(ConfigError::ZeroKeepalive.to_string().contains("keepalive"));
+        assert!(ConfigError::InvalidKmThreshold
+            .to_string()
+            .contains("km_threshold"));
     }
 }

@@ -9,43 +9,59 @@
 //! * `Ai` — accuracy improvement of the chosen variant over the next-lower
 //!   variant (or, at the lowest variant, that variant's accuracy in decimal
 //!   form), see [`pulse_models::ModelFamily::accuracy_improvement`];
-//! * `Pr` — the model's normalized downgrade priority (Equation 1);
+//! * `Pr` — the model's normalized downgrade priority (Equation 1), carried
+//!   as a validated [`Probability`]-typed unit-interval value;
 //! * `Ip` — the probability of invocation derived in the individual
-//!   optimization.
+//!   optimization, likewise a [`Probability`].
 //!
 //! Each component lies in `[0, 1]` and they are *equally weighted* "to ensure
 //! a balanced assessment and prevent bias". The model with the lowest `Uv`
 //! is downgraded first.
 
+use crate::probability::Probability;
 use pulse_models::{ModelFamily, VariantId};
 
 /// Equation 2: `Uv = Ai + Pr + Ip`.
 ///
-/// Debug-asserts each component is in `[0, 1]` (the paper's stated ranges).
+/// `Pr` and `Ip` are unit-interval by type; `Ai` (an accuracy delta, not a
+/// probability) is debug-asserted into the paper's stated `[0, 1]` range.
 #[inline]
-pub fn utility_value(ai: f64, pr: f64, ip: f64) -> f64 {
+pub fn utility_value(ai: f64, pr: Probability, ip: Probability) -> f64 {
     debug_assert!((0.0..=1.0).contains(&ai), "Ai out of range: {ai}");
-    debug_assert!((0.0..=1.0).contains(&pr), "Pr out of range: {pr}");
-    debug_assert!((0.0..=1.0).contains(&ip), "Ip out of range: {ip}");
-    ai + pr + ip
+    let uv = ai + pr.value() + ip.value();
+    debug_assert!((0.0..=3.0).contains(&uv), "Uv out of range: {uv}");
+    uv
 }
 
 /// Convenience: compute `Uv` for keeping `variant` of `family` alive, given
 /// the normalized priority and invocation probability.
-pub fn utility_for(family: &ModelFamily, variant: VariantId, pr: f64, ip: f64) -> f64 {
+pub fn utility_for(
+    family: &ModelFamily,
+    variant: VariantId,
+    pr: Probability,
+    ip: Probability,
+) -> f64 {
     utility_value(family.accuracy_improvement(variant), pr, ip)
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
     use pulse_models::zoo;
 
+    fn p(v: f64) -> Probability {
+        Probability::new(v).unwrap()
+    }
+
     #[test]
     fn utility_is_sum_of_components() {
-        assert!((utility_value(0.2, 0.3, 0.4) - 0.9).abs() < 1e-12);
-        assert_eq!(utility_value(0.0, 0.0, 0.0), 0.0);
-        assert_eq!(utility_value(1.0, 1.0, 1.0), 3.0);
+        assert!((utility_value(0.2, p(0.3), p(0.4)) - 0.9).abs() < 1e-12);
+        assert_eq!(
+            utility_value(0.0, Probability::ZERO, Probability::ZERO),
+            0.0
+        );
+        assert_eq!(utility_value(1.0, Probability::ONE, Probability::ONE), 3.0);
     }
 
     #[test]
@@ -53,7 +69,7 @@ mod tests {
         for ai in [0.0, 0.5, 1.0] {
             for pr in [0.0, 0.5, 1.0] {
                 for ip in [0.0, 0.5, 1.0] {
-                    let uv = utility_value(ai, pr, ip);
+                    let uv = utility_value(ai, p(pr), p(ip));
                     assert!((0.0..=3.0).contains(&uv));
                 }
             }
@@ -64,7 +80,7 @@ mod tests {
     fn lowest_variant_uses_own_accuracy_as_ai() {
         // The paper's YOLO example: lowest variant accuracy 56.8 % ⇒ Ai = 0.568.
         let yolo = zoo::yolo();
-        let uv = utility_for(&yolo, 0, 0.0, 0.0);
+        let uv = utility_for(&yolo, 0, Probability::ZERO, Probability::ZERO);
         assert!((uv - 0.568).abs() < 1e-9);
     }
 
@@ -74,22 +90,24 @@ mod tests {
         // (56.8 %) on Ai alone, so GPT would never be downgraded first...
         let gpt = zoo::gpt();
         let yolo = zoo::yolo();
-        assert!(utility_for(&gpt, 0, 0.0, 0.0) > utility_for(&yolo, 0, 0.0, 0.0));
+        let zero = Probability::ZERO;
+        assert!(utility_for(&gpt, 0, zero, zero) > utility_for(&yolo, 0, zero, zero));
         // ...until the priority structure compensates.
-        assert!(utility_for(&gpt, 0, 0.0, 0.0) < utility_for(&yolo, 0, 1.0, 0.0));
+        assert!(utility_for(&gpt, 0, zero, zero) < utility_for(&yolo, 0, Probability::ONE, zero));
     }
 
     #[test]
     fn interior_variant_ai_is_step_gain() {
         let gpt = zoo::gpt();
         // GPT-Large over GPT-Medium: 93.45 − 92.35 = 1.10 points = 0.011.
-        let uv = utility_for(&gpt, 2, 0.0, 0.0);
+        let uv = utility_for(&gpt, 2, Probability::ZERO, Probability::ZERO);
         assert!((uv - 0.011).abs() < 1e-9);
     }
 
     #[test]
     fn higher_invocation_probability_protects_model() {
         let bert = zoo::bert();
-        assert!(utility_for(&bert, 1, 0.0, 0.9) > utility_for(&bert, 1, 0.0, 0.1));
+        let zero = Probability::ZERO;
+        assert!(utility_for(&bert, 1, zero, p(0.9)) > utility_for(&bert, 1, zero, p(0.1)));
     }
 }

@@ -21,6 +21,7 @@ use pulse_core::individual::{IndividualOptimizer, KeepAliveSchedule};
 use pulse_core::interarrival::InterArrivalModel;
 use pulse_core::peak::PeakDetector;
 use pulse_core::priority::PriorityStructure;
+use pulse_core::probability::Probability;
 use pulse_core::thresholds::SchemeT1;
 use pulse_core::types::{FuncId, Minute, PulseConfig};
 use pulse_core::utility::utility_value;
@@ -175,7 +176,9 @@ impl KeepAlivePolicy for AblationPolicy {
                 let ai = fam.accuracy_improvement(m.variant);
                 let ip = m.invocation_probability.clamp(0.0, 1.0);
                 match mode {
-                    UtilityMode::Full => utility_value(ai, pr, ip),
+                    UtilityMode::Full => {
+                        utility_value(ai, Probability::saturating(pr), Probability::saturating(ip))
+                    }
                     UtilityMode::NoPriority => ai + ip,
                     UtilityMode::NoProbability => ai + pr,
                     UtilityMode::AccuracyOnly => ai,

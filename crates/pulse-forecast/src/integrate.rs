@@ -113,7 +113,7 @@ impl KeepAlivePolicy for WildPulsePolicy {
             t,
             d.keepalive_min,
             |m| d.covers(m),
-            |m| SchemeT1.select(probs.at(m).clamp(0.0, 1.0), n),
+            |m| SchemeT1.select(probs.prob(m), n),
         )
     }
 
@@ -251,7 +251,7 @@ impl KeepAlivePolicy for IceBreakerPulsePolicy {
             t,
             horizon,
             |m| active.contains(&m),
-            |m| SchemeT1.select(probs.at(m).clamp(0.0, 1.0), n),
+            |m| SchemeT1.select(probs.prob(m), n),
         )
     }
 

@@ -18,6 +18,7 @@ use crate::milp::{MilpProblem, MilpResult, SolveStats};
 use crate::simplex::{Constraint, LinearProgram, Relation};
 use pulse_core::global::AliveModel;
 use pulse_core::priority::PriorityStructure;
+use pulse_core::probability::Probability;
 use pulse_core::utility::utility_value;
 use pulse_models::{ModelFamily, VariantId};
 
@@ -44,7 +45,11 @@ pub struct MilpDowngrader;
 /// The per-(model, level) utility: `Ai + Pr + Ip` of *keeping* the model at
 /// `level` (the same terms Algorithm 2 scores), 0 for eviction.
 fn level_utility(fam: &ModelFamily, level: VariantId, pr: f64, ip: f64) -> f64 {
-    utility_value(fam.accuracy_improvement(level), pr, ip.clamp(0.0, 1.0))
+    utility_value(
+        fam.accuracy_improvement(level),
+        Probability::saturating(pr),
+        Probability::saturating(ip),
+    )
 }
 
 impl MilpDowngrader {

@@ -7,7 +7,6 @@
 //! ResNet/DenseNet workloads.
 
 use pulse_models::ModelFamily;
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Draw one family per function, uniformly with replacement from `zoo`.
@@ -18,7 +17,7 @@ pub fn random_assignment<R: Rng + ?Sized>(
 ) -> Vec<ModelFamily> {
     assert!(!zoo.is_empty(), "zoo must be non-empty");
     (0..n_functions)
-        .map(|_| zoo.choose(rng).expect("non-empty zoo").clone())
+        .map(|_| zoo[rng.gen_range(0..zoo.len())].clone())
         .collect()
 }
 

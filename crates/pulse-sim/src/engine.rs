@@ -118,7 +118,7 @@ impl Simulator {
                 .collect();
             let current_kam = self.keepalive_memory(&schedules, t);
             let first_minute = invoked_last_minute
-                || (current_kam > 0.0 && demand_history.last().is_none_or(|&m| m == 0.0));
+                || (current_kam > 0.0 && demand_history.last().is_none_or(|&m| m <= 0.0));
             let actions =
                 policy.adjust_minute(t, &demand_history, first_minute, current_kam, &mut alive);
             demand_history.push(current_kam);
@@ -194,6 +194,7 @@ impl Simulator {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
     use crate::policies::{FixedVariant, IdealOracle, OpenWhiskFixed, PulsePolicy};

@@ -91,7 +91,9 @@ impl RunMetrics {
     /// Percentage improvement of `self` over a `baseline` for a
     /// lower-is-better quantity (cost, service time): positive means `self`
     /// is cheaper/faster.
+    #[allow(clippy::float_cmp)]
     pub fn improvement_pct(ours: f64, baseline: f64) -> f64 {
+        // audit:allow(float-cmp): exactly 0.0 is the only invalid divisor; near-zero baselines must still divide
         if baseline == 0.0 {
             0.0
         } else {
@@ -152,6 +154,7 @@ impl Aggregate {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
 

@@ -172,6 +172,7 @@ impl KeepAlivePolicy for CapacityPulse {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
 mod tests {
     use super::*;
     use crate::engine::Simulator;

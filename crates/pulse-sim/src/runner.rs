@@ -62,9 +62,9 @@ pub fn run_many(
         .max(1)
         .min(cfg.n_runs.max(1));
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunMetrics>>> = Mutex::new(vec![None; cfg.n_runs]);
+    let results: Mutex<Vec<(usize, RunMetrics)>> = Mutex::new(Vec::with_capacity(cfg.n_runs));
 
-    crossbeam::thread::scope(|s| {
+    let scope_result = crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| {
                 let mut local: Vec<(usize, RunMetrics)> = Vec::new();
@@ -84,20 +84,20 @@ pub fn run_many(
                     m.cost_series_usd = Vec::new();
                     local.push((r, m));
                 }
-                let mut guard = results.lock();
-                for (r, m) in local {
-                    guard[r] = Some(m);
-                }
+                results.lock().extend(local);
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
+    if let Err(panic) = scope_result {
+        // A worker panicked: surface the original panic to the caller
+        // instead of wrapping it in a second, less informative one.
+        std::panic::resume_unwind(panic);
+    }
 
-    results
-        .into_inner()
-        .into_iter()
-        .map(|m| m.expect("every run completed"))
-        .collect()
+    let mut runs = results.into_inner();
+    runs.sort_by_key(|&(r, _)| r);
+    debug_assert_eq!(runs.len(), cfg.n_runs, "every run produces one result");
+    runs.into_iter().map(|(_, m)| m).collect()
 }
 
 /// Fold per-run metrics into a streaming aggregate.

@@ -2,6 +2,8 @@
 //! accounting invariants, and an independent reconstruction of the fixed
 //! policy's cost from first principles.
 
+#![allow(clippy::cast_possible_truncation)] // test-local minute counts fit usize
+
 use proptest::prelude::*;
 use pulse_core::types::PulseConfig;
 use pulse_models::{CostModel, ModelFamily};

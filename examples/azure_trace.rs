@@ -15,6 +15,8 @@
 //! cargo run --release --example azure_trace
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail fast on demo input
+
 use pulse::prelude::*;
 use pulse::trace::{csv, interarrival, peaks, MINUTES_PER_DAY};
 

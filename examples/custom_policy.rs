@@ -10,6 +10,8 @@
 //! cargo run --release --example custom_policy
 //! ```
 
+#![allow(clippy::cast_possible_truncation)] // demo window arithmetic stays tiny
+
 use pulse::core::individual::KeepAliveSchedule;
 use pulse::core::types::{FuncId, Minute, PulseConfig};
 use pulse::models::{ModelFamily, VariantId};

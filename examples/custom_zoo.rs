@@ -10,6 +10,8 @@
 //! cargo run --release --example custom_zoo
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail fast on demo input
+
 use pulse::models::catalog;
 use pulse::prelude::*;
 use pulse::trace::synth::{Archetype, PeakSpec, SynthConfig};

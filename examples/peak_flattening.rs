@@ -9,6 +9,8 @@
 //! cargo run --release --example peak_flattening
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail fast on demo input
+
 use pulse::core::global::{AliveModel, DowngradeAction};
 use pulse::core::{PulseConfig, PulseEngine};
 

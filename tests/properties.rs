@@ -1,10 +1,13 @@
 //! Property-based tests (proptest) on the core invariants, spanning crates.
 
+#![allow(clippy::cast_possible_truncation)] // test-local minute counts fit usize
+
 use proptest::prelude::*;
 use pulse::core::global::{flatten_peak, AliveModel};
 use pulse::core::interarrival::InterArrivalModel;
 use pulse::core::peak::PeakDetector;
 use pulse::core::priority::PriorityStructure;
+use pulse::core::probability::Probability;
 use pulse::core::thresholds::{SchemeT1, SchemeT2, ThresholdScheme};
 use pulse::milp::MilpDowngrader;
 use pulse::models::stats::normalize_min_max;
@@ -41,7 +44,7 @@ proptest! {
         for scheme in [&SchemeT1 as &dyn ThresholdScheme, &SchemeT2] {
             let mut prev = 0usize;
             for i in 0..=steps {
-                let p = i as f64 / steps as f64;
+                let p = Probability::new(i as f64 / steps as f64).unwrap();
                 let v = scheme.select(p, n);
                 prop_assert!(v < n);
                 prop_assert!(v >= prev);

@@ -1,6 +1,8 @@
 //! Failure-injection and robustness tests: pathological traces and
 //! misbehaving policies must not corrupt the platform's accounting.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests compare exact values; counts fit usize
+
 use pulse::core::global::{AliveModel, DowngradeAction};
 use pulse::core::individual::KeepAliveSchedule;
 use pulse::core::types::{FuncId, Minute, PulseConfig};

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! Only [`thread::scope`] is provided (the one API the workspace uses),
+//! implemented on top of `std::thread::scope`, which has offered the same
+//! structured-concurrency guarantee since Rust 1.63.
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+
+    /// Result type of [`scope`]: `Err` carries a child-thread panic payload.
+    pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure and to each spawned child.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread inside the scope. As in crossbeam, the
+        /// closure receives the scope handle so children can spawn further
+        /// children.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Create a scope; all children are joined before `scope` returns.
+    ///
+    /// Unlike `std::thread::scope` (which re-panics), a child panic is
+    /// reported as `Err`, matching crossbeam's contract. The first panic
+    /// payload observed is returned.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let handle = Scope { inner: s };
+                f(&handle)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_children() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn children_can_spawn_children() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
