@@ -11,7 +11,7 @@
 //! * [`Probability::saturating`] clamps caller-supplied values where the
 //!   policy's documented behaviour is "treat out-of-range as the nearest
 //!   valid probability" (e.g. `AliveModel::invocation_probability`);
-//! * [`Probability::from_invariant`] (crate-internal) is for values the
+//! * `Probability::from_invariant` (crate-internal) is for values the
 //!   surrounding algorithm already guarantees are in range — it
 //!   `debug_assert!`s the guarantee and clamps in release builds so a
 //!   violated invariant degrades instead of propagating garbage;

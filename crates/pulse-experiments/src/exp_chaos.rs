@@ -1,0 +1,167 @@
+//! **Extension: chaos harness** — how the keep-alive policies behave on an
+//! *unreliable* platform.
+//!
+//! The paper evaluates PULSE on a platform where provisioning always
+//! succeeds and containers never crash. This experiment sweeps the
+//! fault-injection layer of `pulse-runtime` across increasing fault rates
+//! and compares PULSE against the OpenWhisk-style fixed baseline and the
+//! intelligent per-function oracle on four axes at once: keep-alive cost,
+//! availability, delivered accuracy (after fault-driven ladder
+//! degradation), and tail latency (which absorbs the retry/backoff
+//! schedules).
+//!
+//! The interesting question is whether PULSE's mixed-quality ladders are a
+//! *resilience* asset: a family with more rungs has more fallback room
+//! before a provisioning outage turns into failed requests, so accuracy
+//! should degrade gracefully where a single-variant policy goes unavailable.
+
+use crate::common::ExpConfig;
+use crate::report::{fmt, Table};
+use pulse_core::types::PulseConfig;
+use pulse_runtime::{FaultPlan, Runtime, RuntimeConfig, RuntimeSummary};
+use pulse_sim::assignment::round_robin_assignment;
+use pulse_sim::policies::{IntelligentOracle, OpenWhiskFixed, PulsePolicy};
+
+/// SLO used for the goodput column, ms (generous: cold start + headroom).
+const SLO_MS: u64 = 60_000;
+
+/// The swept fault rates: (label, provision failure, variant-load failure,
+/// mid-execution crash). Rates are per-attempt probabilities.
+const LEVELS: &[(&str, f64, f64, f64)] = &[
+    ("none", 0.0, 0.0, 0.0),
+    ("low", 0.05, 0.02, 0.01),
+    ("mid", 0.20, 0.10, 0.05),
+    ("high", 0.50, 0.30, 0.15),
+];
+
+fn run_one(
+    cfg: &ExpConfig,
+    label: &str,
+    plan: &FaultPlan,
+    table: &mut Table,
+) -> Vec<(String, RuntimeSummary)> {
+    let trace = cfg.trace();
+    let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(cfg.seed),
+            ..RuntimeConfig::default()
+        },
+    );
+
+    let mut out = Vec::new();
+    let summaries: Vec<(&str, RuntimeSummary)> = vec![
+        (
+            "openwhisk",
+            rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), plan),
+        ),
+        (
+            "intelligent",
+            rt.run_with_faults(&mut IntelligentOracle::new(&fams, trace.clone()), plan),
+        ),
+        (
+            "pulse",
+            rt.run_with_faults(
+                &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+                plan,
+            ),
+        ),
+    ];
+    for (policy, s) in summaries {
+        table.row(vec![
+            label.into(),
+            policy.into(),
+            fmt(s.keepalive_cost_usd, 4),
+            fmt(s.availability() * 100.0, 2),
+            fmt(s.goodput(SLO_MS) * 100.0, 2),
+            fmt(s.avg_accuracy_pct(), 2),
+            s.degradations.to_string(),
+            (s.provision_retries + s.request_retries).to_string(),
+            s.timeouts.to_string(),
+            fmt(s.latency_p99_ms(), 0),
+        ]);
+        out.push((policy.to_string(), s));
+    }
+    out
+}
+
+/// Run the chaos sweep and render the comparison table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut table = Table::new(
+        "Chaos sweep: cost / availability / delivered accuracy under faults",
+        &[
+            "Faults",
+            "Policy",
+            "Cost ($)",
+            "Avail (%)",
+            "Goodput (%)",
+            "Accuracy (%)",
+            "Degr",
+            "Retries",
+            "Timeouts",
+            "p99 (ms)",
+        ],
+    );
+
+    let mut clean_cost = f64::NAN;
+    let mut worst: Vec<(String, RuntimeSummary)> = Vec::new();
+    for (i, &(label, prov, load, crash)) in LEVELS.iter().enumerate() {
+        let plan =
+            FaultPlan::uniform(prov, load, crash, cfg.seed ^ 0x000C_4A05).with_timeout_ms(120_000);
+        let out = run_one(cfg, label, &plan, &mut table);
+        if i == 0 {
+            if let Some((_, s)) = out.iter().find(|(p, _)| p == "pulse") {
+                clean_cost = s.keepalive_cost_usd;
+            }
+        }
+        worst = out;
+    }
+
+    let pulse_worst = worst
+        .iter()
+        .find(|(p, _)| p == "pulse")
+        .map(|(_, s)| (s.availability(), s.keepalive_cost_usd));
+    let note = match pulse_worst {
+        Some((avail, cost)) => format!(
+            "pulse at the highest fault level: availability {:.1}%, cost {:.4} vs {:.4} clean \
+             (ladder degradation trades accuracy for availability; billing stays schedule-driven)",
+            avail * 100.0,
+            cost,
+            clean_cost
+        ),
+        None => String::new(),
+    };
+    format!("{}\n{}\n", table.render(), note)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            seed: 42,
+            horizon: 300,
+            n_runs: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_levels_and_policies() {
+        let out = run(&tiny());
+        for level in ["none", "low", "mid", "high"] {
+            assert!(out.contains(level), "missing level {level}:\n{out}");
+        }
+        for policy in ["openwhisk", "intelligent", "pulse"] {
+            assert!(out.contains(policy), "missing policy {policy}:\n{out}");
+        }
+        assert!(out.contains("ladder degradation"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        assert_eq!(run(&tiny()), run(&tiny()));
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod common;
 pub mod exp_ablation;
+pub mod exp_chaos;
 pub mod exp_characterize;
 pub mod exp_fig1_fig2;
 pub mod exp_fig4_fig7;
@@ -57,6 +58,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "scalability",
     "window",
     "validate",
+    "chaos",
     "characterize",
     "predictors",
     "nodes",
@@ -86,6 +88,7 @@ pub fn run_experiment(name: &str, cfg: &ExpConfig) -> Result<String, String> {
         "scalability" => exp_scalability::run_scalability(cfg),
         "window" => exp_scalability::run_window(cfg),
         "validate" => exp_validation::run(cfg),
+        "chaos" => exp_chaos::run(cfg),
         "characterize" => exp_characterize::run(cfg),
         "predictors" => exp_predictors::run(cfg),
         "nodes" => exp_nodes::run(cfg),

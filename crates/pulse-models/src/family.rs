@@ -102,6 +102,15 @@ impl ModelFamily {
         &self.variants[id]
     }
 
+    /// The next rung *down* the quality ladder from `id`, or `None` when
+    /// `id` is already the lowest variant. This is the fallback step both of
+    /// PULSE's downgrade move and of the runtime's fault-driven graceful
+    /// degradation (a variant that cannot be provisioned falls back here).
+    #[inline]
+    pub fn next_lower(&self, id: VariantId) -> Option<VariantId> {
+        (id > 0 && id < self.n_variants()).then(|| id - 1)
+    }
+
     /// The paper's *accuracy improvement* term `Ai` for keeping variant `id`
     /// alive: the accuracy gain (as a fraction) of `id` over the next-lower
     /// variant, or — when `id` is already the lowest variant — the accuracy of
@@ -139,6 +148,15 @@ mod tests {
         assert_eq!(f.highest().name, "DenseNet-201");
         assert_eq!(f.highest_id(), 2);
         assert_eq!(f.n_variants(), 3);
+    }
+
+    #[test]
+    fn next_lower_walks_the_ladder_down() {
+        let f = three_tier();
+        assert_eq!(f.next_lower(2), Some(1));
+        assert_eq!(f.next_lower(1), Some(0));
+        assert_eq!(f.next_lower(0), None, "lowest rung has no fallback");
+        assert_eq!(f.next_lower(99), None, "out-of-range id has no fallback");
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub enum ContainerState {
     Warm,
     /// Executing one or more requests (still warm for new arrivals).
     Executing,
+    /// Dead: provisioning exhausted the family's whole quality ladder, or
+    /// the container crashed. A reaped container never serves again; the
+    /// runtime drops it from the function slot once recorded.
+    Reaped,
 }
 
 /// A live (or in-flight) container of one function.
@@ -59,6 +63,11 @@ impl LiveContainer {
         matches!(self.state, ContainerState::Warm | ContainerState::Executing)
     }
 
+    /// Whether the container is dead (crashed or ladder-exhausted).
+    pub fn is_reaped(&self) -> bool {
+        matches!(self.state, ContainerState::Reaped)
+    }
+
     /// Begin executing one request.
     pub fn begin_exec(&mut self) {
         debug_assert!(self.is_warm(), "cannot execute on a cold container");
@@ -102,6 +111,14 @@ mod tests {
         c.end_exec();
         assert_eq!(c.state, ContainerState::Warm);
         assert_eq!(c.busy, 0);
+    }
+
+    #[test]
+    fn reaped_cannot_serve() {
+        let mut c = LiveContainer::warm(1, 0, 1);
+        c.state = ContainerState::Reaped;
+        assert!(!c.is_warm());
+        assert!(c.is_reaped());
     }
 
     #[test]

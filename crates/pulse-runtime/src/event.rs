@@ -32,6 +32,40 @@ pub enum Event {
         /// Request id.
         req: usize,
     },
+    /// A provisioning attempt failed (fault injection). Same staleness
+    /// semantics as [`Event::ProvisionDone`].
+    ProvisionFailed {
+        /// Owning function.
+        func: usize,
+        /// Provisioning epoch of the failed attempt.
+        epoch: u64,
+    },
+    /// The container crashed partway through executing `req` (fault
+    /// injection).
+    ExecFailed {
+        /// Owning function.
+        func: usize,
+        /// Request whose execution was aborted.
+        req: usize,
+        /// Epoch of the container that was executing — if the function has
+        /// since swapped containers, the replacement is not reaped.
+        epoch: u64,
+    },
+    /// `req` exceeded its per-request SLO budget (fault plans with a
+    /// timeout). Ignored when the request already completed.
+    RequestTimeout {
+        /// Owning function.
+        func: usize,
+        /// Request id.
+        req: usize,
+    },
+    /// Re-attempt `req` after a crash-retry backoff.
+    RetryRequest {
+        /// Owning function.
+        func: usize,
+        /// Request id.
+        req: usize,
+    },
     /// A minute boundary: apply keep-alive schedules, run the policy's
     /// cross-function adjustment, meter memory.
     MinuteTick {

@@ -24,6 +24,10 @@
 //! 2. **Fidelity experiments** the minute engine cannot express: queueing
 //!    delay under bounded container concurrency, sub-minute latency
 //!    percentiles, cold-start tail behaviour.
+//! 3. **Resilience experiments** — a seeded, deterministic fault-injection
+//!    layer ([`fault`]) with retry/backoff, per-request SLO timeouts, and
+//!    graceful ladder degradation (see `Runtime::run_with_faults` and
+//!    `pulse-exp chaos`).
 //!
 //! ```
 //! use pulse_runtime::{Runtime, RuntimeConfig};
@@ -40,12 +44,14 @@
 
 pub mod container;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod runtime;
 
 pub use container::{ContainerState, LiveContainer};
 pub use event::{Event, EventQueue};
-pub use metrics::RuntimeSummary;
+pub use fault::{FaultInjector, FaultPlan, FaultRates, RetryPolicy};
+pub use metrics::{RequestRecord, RuntimeSummary};
 pub use runtime::{Runtime, RuntimeConfig};
 
 /// Milliseconds per simulated minute.

@@ -1,23 +1,30 @@
 //! Millisecond-resolution accounting: per-request latency records,
-//! warm/cold counts, GB-millisecond keep-alive billing.
+//! warm/cold counts, GB-millisecond keep-alive billing, and — under fault
+//! injection — failure/retry/degradation/timeout counters with availability
+//! and goodput.
 
 use pulse_models::stats;
 
-/// One served request.
+/// One served (or failed) request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
     /// Arrival time, ms.
     pub arrival_ms: u64,
-    /// Completion time, ms.
+    /// Completion time, ms (time of final failure for failed requests).
     pub done_ms: u64,
-    /// Whether the request hit a warm container.
+    /// Whether the request hit a warm container *at arrival* (requests that
+    /// later fail keep their arrival classification).
     pub warm: bool,
-    /// Accuracy (percent) of the variant that served it.
+    /// Accuracy (percent) of the variant that served it. Reflects the
+    /// delivered rung after any fault-driven ladder degradation.
     pub accuracy_pct: f64,
+    /// The request never completed: provisioning exhausted the quality
+    /// ladder, its execution crashed past the retry budget, or it timed out.
+    pub failed: bool,
 }
 
 impl RequestRecord {
-    /// End-to-end latency, ms.
+    /// End-to-end latency, ms (arrival → completion or final failure).
     pub fn latency_ms(&self) -> u64 {
         self.done_ms - self.arrival_ms
     }
@@ -26,7 +33,7 @@ impl RequestRecord {
 /// Summary of one runtime execution.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeSummary {
-    /// All served requests, completion-ordered.
+    /// All requests, completion-ordered.
     pub records: Vec<RequestRecord>,
     /// Keep-alive cost, USD (billed per GB-ms of warm container time).
     pub keepalive_cost_usd: f64,
@@ -34,15 +41,41 @@ pub struct RuntimeSummary {
     pub memory_at_tick_mb: Vec<f64>,
     /// Downgrade/evict actions taken by the policy's global layer.
     pub downgrades: u64,
+    /// Provisioning attempts that failed (fault injection), including
+    /// attempts that started as minute-boundary variant loads.
+    pub provision_failures: u64,
+    /// Provisioning retries scheduled after a failure (capped backoff).
+    pub provision_retries: u64,
+    /// Proactive minute-boundary variant loads that failed and fell back to
+    /// the provisioning path.
+    pub variant_load_failures: u64,
+    /// Executions whose container crashed partway through.
+    pub exec_crashes: u64,
+    /// Request re-executions scheduled after a crash.
+    pub request_retries: u64,
+    /// Fault-driven ladder degradations: a variant's provisioning exhausted
+    /// its retry budget and the runtime fell one rung (distinct from the
+    /// policy-initiated `downgrades`).
+    pub degradations: u64,
+    /// Waiting requests re-pointed to a lower rung by a degradation.
+    pub degraded_requests: u64,
+    /// Accuracy given up by degradations, summed over re-pointed requests
+    /// (percentage points).
+    pub accuracy_penalty_pct: f64,
+    /// Requests failed by the per-request SLO timeout.
+    pub timeouts: u64,
+    /// Containers reaped because the *cheapest* variant also failed to
+    /// provision (the ladder offered no further fallback).
+    pub reaped: u64,
 }
 
 impl RuntimeSummary {
-    /// Number of requests served.
+    /// Number of requests (served and failed).
     pub fn requests(&self) -> u64 {
         self.records.len() as u64
     }
 
-    /// Warm-served request count.
+    /// Warm-classified request count (classification at arrival).
     pub fn warm_starts(&self) -> u64 {
         self.records.iter().filter(|r| r.warm).count() as u64
     }
@@ -52,36 +85,98 @@ impl RuntimeSummary {
         self.requests() - self.warm_starts()
     }
 
-    /// Total service time across requests, seconds (the minute engine's
-    /// metric, for cross-validation).
+    /// Requests that completed successfully.
+    pub fn successful_requests(&self) -> u64 {
+        self.records.iter().filter(|r| !r.failed).count() as u64
+    }
+
+    /// Requests that never completed (ladder exhausted, crash-retry budget
+    /// exhausted, or timed out).
+    pub fn failed_requests(&self) -> u64 {
+        self.requests() - self.successful_requests()
+    }
+
+    /// Fraction of requests that completed successfully; 1.0 with no
+    /// traffic (an idle platform is trivially available).
+    pub fn availability(&self) -> f64 {
+        if self.records.is_empty() {
+            1.0
+        } else {
+            self.successful_requests() as f64 / self.requests() as f64
+        }
+    }
+
+    /// Fraction of *all* requests that completed successfully within
+    /// `slo_ms` of arrival — the delivered-under-SLO share. 1.0 with no
+    /// traffic.
+    pub fn goodput(&self, slo_ms: u64) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        let good = self
+            .records
+            .iter()
+            .filter(|r| !r.failed && r.latency_ms() <= slo_ms)
+            .count();
+        good as f64 / self.records.len() as f64
+    }
+
+    /// Total service time across successful requests, seconds (the minute
+    /// engine's metric, for cross-validation).
     pub fn service_time_s(&self) -> f64 {
         self.records
             .iter()
+            .filter(|r| !r.failed)
             .map(|r| r.latency_ms() as f64 / 1000.0)
             .sum()
     }
 
-    /// Mean delivered accuracy, percent.
+    /// Mean delivered accuracy over successful requests, percent.
     pub fn avg_accuracy_pct(&self) -> f64 {
-        if self.records.is_empty() {
+        let ok: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.failed)
+            .map(|r| r.accuracy_pct)
+            .collect();
+        if ok.is_empty() {
             0.0
         } else {
-            self.records.iter().map(|r| r.accuracy_pct).sum::<f64>() / self.records.len() as f64
+            ok.iter().sum::<f64>() / ok.len() as f64
         }
     }
 
+    /// Latencies of successful requests (failed requests have no meaningful
+    /// completion latency).
     fn latencies(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.latency_ms() as f64).collect()
+        self.records
+            .iter()
+            .filter(|r| !r.failed)
+            .map(|r| r.latency_ms() as f64)
+            .collect()
     }
 
-    /// Median request latency, ms.
+    /// Median request latency over successful requests, ms. Explicitly 0.0
+    /// when no request completed (no reliance on empty-slice behaviour of
+    /// the percentile helper).
     pub fn latency_p50_ms(&self) -> f64 {
-        stats::percentile(&self.latencies(), 50.0)
+        self.latency_percentile_ms(50.0)
     }
 
-    /// Tail (p99) request latency, ms.
+    /// Tail (p99) request latency over successful requests, ms; 0.0 when no
+    /// request completed.
     pub fn latency_p99_ms(&self) -> f64 {
-        stats::percentile(&self.latencies(), 99.0)
+        self.latency_percentile_ms(99.0)
+    }
+
+    /// Latency percentile `p` in `[0, 100]` over successful requests; 0.0
+    /// when no request completed.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        let xs = self.latencies();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        stats::percentile(&xs, p)
     }
 
     /// Peak sampled keep-alive memory, MB.
@@ -105,23 +200,27 @@ mod tests {
                     done_ms: 1000,
                     warm: false,
                     accuracy_pct: 80.0,
+                    failed: false,
                 },
                 RequestRecord {
                     arrival_ms: 500,
                     done_ms: 700,
                     warm: true,
                     accuracy_pct: 90.0,
+                    failed: false,
                 },
                 RequestRecord {
                     arrival_ms: 900,
                     done_ms: 1100,
                     warm: true,
                     accuracy_pct: 90.0,
+                    failed: false,
                 },
             ],
             keepalive_cost_usd: 0.5,
             memory_at_tick_mb: vec![100.0, 300.0, 200.0],
             downgrades: 2,
+            ..Default::default()
         }
     }
 
@@ -134,6 +233,8 @@ mod tests {
         assert!((s.service_time_s() - (1.0 + 0.2 + 0.2)).abs() < 1e-12);
         assert!((s.avg_accuracy_pct() - (80.0 + 90.0 + 90.0) / 3.0).abs() < 1e-12);
         assert_eq!(s.peak_memory_mb(), 300.0);
+        assert_eq!(s.failed_requests(), 0);
+        assert_eq!(s.availability(), 1.0);
     }
 
     #[test]
@@ -150,5 +251,59 @@ mod tests {
         assert_eq!(s.avg_accuracy_pct(), 0.0);
         assert_eq!(s.latency_p50_ms(), 0.0);
         assert_eq!(s.peak_memory_mb(), 0.0);
+    }
+
+    #[test]
+    fn zero_request_percentiles_are_explicitly_zero() {
+        // The zero-request case must not depend on the stats helper's
+        // empty-slice convention: p50/p99/any-p all report 0.0 directly.
+        let s = RuntimeSummary::default();
+        assert_eq!(s.latency_p50_ms(), 0.0);
+        assert_eq!(s.latency_p99_ms(), 0.0);
+        assert_eq!(s.latency_percentile_ms(0.0), 0.0);
+        assert_eq!(s.latency_percentile_ms(100.0), 0.0);
+        assert_eq!(s.availability(), 1.0, "idle platform is available");
+        assert_eq!(s.goodput(1), 1.0);
+    }
+
+    #[test]
+    fn all_failed_percentiles_are_zero_too() {
+        // Records exist but none completed: latency percentiles must be 0.0
+        // (only successful requests have completion latencies), while
+        // availability reports the outage.
+        let s = RuntimeSummary {
+            records: vec![RequestRecord {
+                arrival_ms: 0,
+                done_ms: 9_000,
+                warm: false,
+                accuracy_pct: 80.0,
+                failed: true,
+            }],
+            ..Default::default()
+        };
+        assert_eq!(s.latency_p50_ms(), 0.0);
+        assert_eq!(s.latency_p99_ms(), 0.0);
+        assert_eq!(s.availability(), 0.0);
+        assert_eq!(s.successful_requests(), 0);
+        assert_eq!(s.failed_requests(), 1);
+        assert_eq!(s.avg_accuracy_pct(), 0.0);
+        assert_eq!(s.service_time_s(), 0.0);
+    }
+
+    #[test]
+    fn failed_and_slow_requests_reduce_goodput() {
+        let mut s = summary();
+        s.records.push(RequestRecord {
+            arrival_ms: 0,
+            done_ms: 60_000,
+            warm: true,
+            accuracy_pct: 90.0,
+            failed: true,
+        });
+        assert!((s.availability() - 0.75).abs() < 1e-12);
+        // SLO 500 ms: of the three successes, only the 200 ms ones qualify.
+        assert!((s.goodput(500) - 0.5).abs() < 1e-12);
+        // SLO 1 s: all three successes qualify.
+        assert!((s.goodput(1_000) - 0.75).abs() < 1e-12);
     }
 }

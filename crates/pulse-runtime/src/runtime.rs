@@ -21,10 +21,45 @@
 //!
 //! What this engine adds over the minute engine: millisecond latency
 //! accounting (queueing behind provisioning, optional per-container
-//! concurrency limits) and a per-request record stream.
+//! concurrency limits), a per-request record stream, and — via
+//! [`Runtime::run_with_faults`] — a fault-injection and resilience layer.
+//!
+//! # Fault semantics
+//!
+//! Under a non-trivial [`FaultPlan`]:
+//!
+//! * a **provisioning attempt** (cold start, retry, or a failed proactive
+//!   variant load) may fail after its full provisioning duration; failed
+//!   attempts are retried with capped exponential backoff + jitter, and
+//!   after `max_retries` retries the runtime **degrades one ladder rung**
+//!   (re-pointing queued requests at the lower variant and recording the
+//!   accuracy penalty). Only when the cheapest variant also exhausts its
+//!   retries is the container reaped and its queued requests failed;
+//! * a **proactive variant load** at a minute tick may fail, demoting the
+//!   pre-warm to the provisioning path above (the minute is still billed
+//!   from the schedule footprint, exactly as in the fault-free engine —
+//!   billing is schedule-driven and crashes can never double-bill);
+//! * an **execution** may crash its container partway through: the
+//!   container is reaped, sibling in-flight executions run to completion
+//!   (their results were already materialized), queued requests wait for a
+//!   replacement container provisioned on the spot, and the crashed request
+//!   is retried with backoff up to `max_retries` times before failing;
+//! * with a **request timeout** configured, a request that has not
+//!   completed within its budget is failed and counted as a timeout; an
+//!   execution already in flight runs on (billing is unaffected) but its
+//!   record keeps the timeout classification.
+//!
+//! Faults draw from a dedicated seeded RNG ([`FaultInjector`]) that never
+//! touches the duration sampler's stream, so the same
+//! `RuntimeConfig.stochastic_seed` + `FaultPlan` reproduce identical
+//! failure sequences, retry schedules and summary counters; and
+//! [`FaultPlan::none`] consumes no randomness and schedules no extra
+//! events, making `run_with_faults(policy, &FaultPlan::none())`
+//! bit-identical to [`Runtime::run`].
 
-use crate::container::LiveContainer;
+use crate::container::{ContainerState, LiveContainer};
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{RequestRecord, RuntimeSummary};
 use crate::MS_PER_MINUTE;
 use pulse_core::global::{AliveModel, DowngradeAction};
@@ -110,6 +145,233 @@ struct FnState {
     /// Last minute for which the policy was asked for a schedule.
     scheduled_minute: Option<u64>,
     epoch: u64,
+    /// Failed provisioning attempts of the current rung (fault injection).
+    provision_attempts: u32,
+}
+
+/// The mutable machinery of one execution: event queue, per-function and
+/// per-request state, samplers, and the summary being accumulated. Grouping
+/// it lets the fault handlers be methods instead of 10-argument functions.
+struct RunState {
+    queue: EventQueue,
+    fns: Vec<FnState>,
+    records: Vec<RequestRecord>,
+    /// Variant serving each request (re-pointed on ladder degradation).
+    req_warm_variant: Vec<VariantId>,
+    /// Crash retries consumed per request.
+    req_retries: Vec<u32>,
+    /// Whether each request reached a terminal state (done or failed).
+    req_done: Vec<bool>,
+    summary: RuntimeSummary,
+    sampler: DurationSampler,
+    injector: FaultInjector,
+    cap: u32,
+}
+
+impl RunState {
+    /// Begin executing `req` on `func`'s warm container, drawing the
+    /// execution duration and (under faults) a possible mid-execution crash.
+    fn start_exec(&mut self, fam: &ModelFamily, func: usize, req: usize, now: u64) {
+        self.fns[func].in_flight += 1;
+        let mut epoch = 0;
+        if let Some(c) = self.fns[func].container.as_mut() {
+            c.begin_exec();
+            epoch = c.epoch;
+        }
+        let v = self.req_warm_variant[req];
+        let exec = self.sampler.warm_ms(fam.variant(v));
+        if self.injector.exec_crashes(func, v) {
+            let at = now + self.injector.crash_point_ms(exec);
+            self.queue.push(at, Event::ExecFailed { func, req, epoch });
+        } else {
+            self.queue.push(now + exec, Event::ExecDone { func, req });
+        }
+    }
+
+    /// Start provisioning variant `v` for `func` after `delay_ms` of
+    /// backoff, drawing the provisioning duration and (under faults) the
+    /// attempt's outcome. Bumps the epoch so stale completions are ignored.
+    fn begin_provision(
+        &mut self,
+        fam: &ModelFamily,
+        func: usize,
+        v: VariantId,
+        now: u64,
+        delay_ms: u64,
+    ) {
+        let dur = self.sampler.provision_ms(fam.variant(v));
+        let ready = now + delay_ms + dur;
+        let st = &mut self.fns[func];
+        st.epoch += 1;
+        st.container = Some(LiveContainer::provisioning(v, ready, st.epoch));
+        let epoch = st.epoch;
+        if self.injector.provision_fails(func, v) {
+            self.queue
+                .push(ready, Event::ProvisionFailed { func, epoch });
+        } else {
+            self.queue.push(ready, Event::ProvisionDone { func, epoch });
+        }
+    }
+
+    /// Start as many waiting requests as the concurrency cap allows.
+    fn drain_waiting(&mut self, fam: &ModelFamily, func: usize, now: u64) {
+        let can_serve = self.fns[func]
+            .container
+            .as_ref()
+            .is_some_and(|c| c.is_warm());
+        if !can_serve {
+            return;
+        }
+        while self.fns[func].in_flight < self.cap {
+            let Some(req) = self.fns[func].waiting.pop_front() else {
+                break;
+            };
+            self.start_exec(fam, func, req, now);
+        }
+    }
+
+    /// Mark `req` as terminally failed at `now`.
+    fn fail_request(&mut self, req: usize, now: u64) {
+        if self.req_done[req] {
+            return;
+        }
+        self.req_done[req] = true;
+        self.records[req].failed = true;
+        self.records[req].done_ms = now;
+    }
+
+    /// A provisioning attempt failed: retry with backoff, or — once the
+    /// rung's retry budget is spent — degrade one ladder rung, reaping the
+    /// container only when the cheapest variant is also out of retries.
+    fn on_provision_failed(&mut self, fam: &ModelFamily, func: usize, epoch: u64, now: u64) {
+        let Some(c) = self.fns[func].container.as_ref() else {
+            return;
+        };
+        if c.epoch != epoch || c.state != ContainerState::Provisioning {
+            return;
+        }
+        let v = c.variant;
+        self.summary.provision_failures += 1;
+        self.fns[func].provision_attempts += 1;
+        let attempts = self.fns[func].provision_attempts;
+        if attempts <= self.injector.plan().retry.max_retries {
+            self.summary.provision_retries += 1;
+            let backoff = self.injector.backoff_ms(attempts);
+            self.begin_provision(fam, func, v, now, backoff);
+        } else if let Some(lower) = fam.next_lower(v) {
+            // Graceful degradation: Algorithm 2's downgrade move, applied as
+            // a failure response — one rung down instead of failing requests.
+            self.summary.degradations += 1;
+            let new_acc = fam.variant(lower).accuracy_pct;
+            let waiting: Vec<usize> = self.fns[func].waiting.iter().copied().collect();
+            for r in waiting {
+                if self.req_warm_variant[r] != lower {
+                    self.summary.degraded_requests += 1;
+                    self.summary.accuracy_penalty_pct +=
+                        (self.records[r].accuracy_pct - new_acc).max(0.0);
+                    self.records[r].accuracy_pct = new_acc;
+                    self.req_warm_variant[r] = lower;
+                }
+            }
+            self.fns[func].provision_attempts = 0;
+            self.begin_provision(fam, func, lower, now, 0);
+        } else {
+            // The cheapest variant failed too: the ladder is exhausted.
+            self.summary.reaped += 1;
+            if let Some(c) = self.fns[func].container.as_mut() {
+                c.state = ContainerState::Reaped;
+            }
+            self.fns[func].container = None;
+            self.fns[func].provision_attempts = 0;
+            while let Some(r) = self.fns[func].waiting.pop_front() {
+                self.fail_request(r, now);
+            }
+        }
+    }
+
+    /// A container crashed mid-execution: reap it (unless already
+    /// replaced), retry the aborted request with backoff, and re-provision
+    /// for any queued requests.
+    fn on_exec_failed(&mut self, fam: &ModelFamily, func: usize, req: usize, epoch: u64, now: u64) {
+        self.summary.exec_crashes += 1;
+        self.fns[func].in_flight = self.fns[func].in_flight.saturating_sub(1);
+        let same_container = self.fns[func]
+            .container
+            .as_ref()
+            .is_some_and(|c| c.epoch == epoch);
+        if same_container {
+            if let Some(c) = self.fns[func].container.as_mut() {
+                c.state = ContainerState::Reaped;
+            }
+            self.fns[func].container = None;
+        }
+        if !self.req_done[req] {
+            self.req_retries[req] += 1;
+            if self.req_retries[req] <= self.injector.plan().retry.max_retries {
+                self.summary.request_retries += 1;
+                let backoff = self.injector.backoff_ms(self.req_retries[req]);
+                self.queue
+                    .push(now + backoff, Event::RetryRequest { func, req });
+            } else {
+                self.fail_request(req, now);
+            }
+        }
+        // Queued requests lost their container: provision a replacement at
+        // the rung they are assigned to.
+        if self.fns[func].container.is_none() {
+            if let Some(&front) = self.fns[func].waiting.front() {
+                let v = self.req_warm_variant[front];
+                self.fns[func].provision_attempts = 0;
+                self.begin_provision(fam, func, v, now, 0);
+            }
+        }
+    }
+
+    /// Re-attempt a crashed request after its backoff.
+    fn on_retry_request(&mut self, fam: &ModelFamily, func: usize, req: usize, now: u64) {
+        if self.req_done[req] {
+            return;
+        }
+        let warm_variant = self.fns[func]
+            .container
+            .as_ref()
+            .and_then(|c| c.is_warm().then_some(c.variant));
+        match (warm_variant, self.fns[func].container.is_some()) {
+            (Some(v), _) => {
+                // The retried execution runs on whatever rung is now live.
+                if self.req_warm_variant[req] != v {
+                    self.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                    self.req_warm_variant[req] = v;
+                }
+                if self.fns[func].in_flight < self.cap {
+                    self.start_exec(fam, func, req, now);
+                } else {
+                    self.fns[func].waiting.push_back(req);
+                }
+            }
+            (None, true) => self.fns[func].waiting.push_back(req),
+            (None, false) => {
+                let v = self.req_warm_variant[req];
+                self.fns[func].waiting.push_back(req);
+                self.fns[func].provision_attempts = 0;
+                self.begin_provision(fam, func, v, now, 0);
+            }
+        }
+    }
+
+    /// A request blew its SLO budget: fail it and drop it from the waiting
+    /// queue. An execution already in flight runs on; its completion event
+    /// only does container bookkeeping.
+    fn on_timeout(&mut self, func: usize, req: usize, now: u64) {
+        if self.req_done[req] {
+            return;
+        }
+        self.summary.timeouts += 1;
+        self.fail_request(req, now);
+        if let Some(pos) = self.fns[func].waiting.iter().position(|&r| r == req) {
+            self.fns[func].waiting.remove(pos);
+        }
+    }
 }
 
 impl Runtime {
@@ -129,19 +391,52 @@ impl Runtime {
             .filter(|&v| v != HOLE)
     }
 
-    /// Execute the whole trace under `policy`.
-    #[allow(clippy::needless_range_loop)] // parallel per-function tables
+    /// Execute the whole trace under `policy` on a perfectly reliable
+    /// platform (equivalent to [`Self::run_with_faults`] with
+    /// [`FaultPlan::none`]).
     pub fn run(&self, policy: &mut dyn KeepAlivePolicy) -> RuntimeSummary {
+        self.run_with_faults(policy, &FaultPlan::none())
+    }
+
+    /// Execute the whole trace under `policy` with faults injected per
+    /// `plan`. See the module docs for the fault semantics; with
+    /// [`FaultPlan::none`] this is bit-identical to [`Self::run`].
+    #[allow(clippy::needless_range_loop)] // parallel per-function tables
+    pub fn run_with_faults(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+    ) -> RuntimeSummary {
         let n = self.families.len();
         let minutes = self.trace.minutes() as u64;
-        let mut queue = EventQueue::new();
-        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut rs = RunState {
+            queue: EventQueue::new(),
+            fns: (0..n)
+                .map(|_| FnState {
+                    container: None,
+                    schedule: None,
+                    waiting: VecDeque::new(),
+                    in_flight: 0,
+                    scheduled_minute: None,
+                    epoch: 0,
+                    provision_attempts: 0,
+                })
+                .collect(),
+            records: Vec::new(),
+            req_warm_variant: Vec::new(),
+            req_retries: Vec::new(),
+            req_done: Vec::new(),
+            summary: RuntimeSummary::default(),
+            sampler: DurationSampler::new(self.config.stochastic_seed),
+            injector: FaultInjector::new(plan),
+            cap: self.config.max_concurrency.unwrap_or(u32::MAX),
+        };
         let mut req_func: Vec<usize> = Vec::new();
-        let mut req_warm_variant: Vec<VariantId> = Vec::new(); // variant serving each request
 
         // Minute ticks.
         for m in 0..minutes {
-            queue.push(m * MS_PER_MINUTE, Event::MinuteTick { minute: m });
+            rs.queue
+                .push(m * MS_PER_MINUTE, Event::MinuteTick { minute: m });
         }
         // Arrivals, spread across each active minute (offset ≥ 1 ms so the
         // tick always precedes them).
@@ -154,37 +449,41 @@ impl Runtime {
                 let stride = (MS_PER_MINUTE - 2) / count;
                 for k in 0..count {
                     let at = m * MS_PER_MINUTE + 1 + k * stride;
-                    let req = records.len();
-                    records.push(RequestRecord {
+                    let req = rs.records.len();
+                    rs.records.push(RequestRecord {
                         arrival_ms: at,
                         done_ms: at,
                         warm: false,
                         accuracy_pct: 0.0,
+                        failed: false,
                     });
                     req_func.push(f);
-                    req_warm_variant.push(0);
-                    queue.push(at, Event::Arrival { func: f, req });
+                    rs.req_warm_variant.push(0);
+                    rs.req_retries.push(0);
+                    rs.req_done.push(false);
+                    rs.queue.push(at, Event::Arrival { func: f, req });
                 }
             }
         }
+        // SLO timers (only when the plan configures a timeout, so fault-free
+        // runs schedule no extra events).
+        if let Some(t) = plan.request_timeout_ms {
+            for req in 0..rs.records.len() {
+                let at = rs.records[req].arrival_ms.saturating_add(t);
+                rs.queue.push(
+                    at,
+                    Event::RequestTimeout {
+                        func: req_func[req],
+                        req,
+                    },
+                );
+            }
+        }
 
-        let mut fns: Vec<FnState> = (0..n)
-            .map(|_| FnState {
-                container: None,
-                schedule: None,
-                waiting: VecDeque::new(),
-                in_flight: 0,
-                scheduled_minute: None,
-                epoch: 0,
-            })
-            .collect();
         let mut demand_history: Vec<f64> = Vec::with_capacity(minutes as usize);
         let mut invoked_this_minute = false;
-        let mut summary = RuntimeSummary::default();
-        let cap = self.config.max_concurrency.unwrap_or(u32::MAX);
-        let mut sampler = DurationSampler::new(self.config.stochastic_seed);
 
-        while let Some((now, event)) = queue.pop() {
+        while let Some((now, event)) = rs.queue.pop() {
             match event {
                 Event::MinuteTick { minute } => {
                     let invoked_last_minute = std::mem::take(&mut invoked_this_minute);
@@ -192,7 +491,7 @@ impl Runtime {
                     // Demand from schedules.
                     let mut alive: Vec<AliveModel> = Vec::new();
                     let mut kam = 0.0f64;
-                    for (f, st) in fns.iter().enumerate() {
+                    for (f, st) in rs.fns.iter().enumerate() {
                         if let Some(v) = Self::schedule_variant(&st.schedule, minute) {
                             kam += self.families[f].variant(v).memory_mb;
                             alive.push(AliveModel {
@@ -212,11 +511,11 @@ impl Runtime {
                         &mut alive,
                     );
                     demand_history.push(kam);
-                    summary.downgrades += actions.len() as u64;
+                    rs.summary.downgrades += actions.len() as u64;
                     for a in &actions {
                         match *a {
                             DowngradeAction::Downgrade { func, to, .. } => {
-                                if let Some(s) = fns[func].schedule.as_mut() {
+                                if let Some(s) = rs.fns[func].schedule.as_mut() {
                                     if let Some(v) = s.variant_at(minute) {
                                         if v != HOLE && v > to {
                                             s.set_variant_at(minute, to);
@@ -225,7 +524,7 @@ impl Runtime {
                                 }
                             }
                             DowngradeAction::Evict { func, .. } => {
-                                if let Some(s) = fns[func].schedule.as_mut() {
+                                if let Some(s) = rs.fns[func].schedule.as_mut() {
                                     s.set_variant_at(minute, HOLE);
                                 }
                             }
@@ -233,193 +532,177 @@ impl Runtime {
                     }
 
                     // Materialize containers per the post-adjustment plan and
-                    // bill the minute.
+                    // bill the minute. Billing is schedule-driven: fault
+                    // outcomes below never change what this minute costs.
                     let mut billed = 0.0f64;
                     for f in 0..n {
-                        let desired = Self::schedule_variant(&fns[f].schedule, minute);
+                        let desired = Self::schedule_variant(&rs.fns[f].schedule, minute);
                         if let Some(v) = desired {
                             billed += self.families[f].variant(v).memory_mb;
                         }
-                        let st = &mut fns[f];
-                        match (&mut st.container, desired) {
-                            (Some(c), Some(v)) => {
-                                if c.is_warm() && c.variant != v {
+                        let held = rs.fns[f]
+                            .container
+                            .as_ref()
+                            .map(|c| (c.is_warm(), c.variant));
+                        match (held, desired) {
+                            (Some((true, cur)), Some(v)) if cur != v => {
+                                // Proactive variant swap: warm by assumption,
+                                // unless the variant load fails.
+                                if rs.injector.variant_load_fails(f, v) {
+                                    rs.summary.variant_load_failures += 1;
+                                    rs.fns[f].provision_attempts = 0;
+                                    rs.begin_provision(&self.families[f], f, v, now, 0);
+                                } else {
+                                    let st = &mut rs.fns[f];
                                     st.epoch += 1;
                                     st.container = Some(LiveContainer::warm(v, now, st.epoch));
                                 }
-                                // Provisioning containers are left alone: the
-                                // pending cold start completes first.
                             }
-                            (Some(c), None) => {
-                                if c.is_warm() {
-                                    st.container = None;
-                                }
+                            (Some((true, _)), None) => {
+                                rs.fns[f].container = None;
+                            }
+                            (Some(_), _) => {
+                                // Provisioning containers are left alone: the
+                                // pending cold start completes first. A warm
+                                // container at the desired variant stays.
                             }
                             (None, Some(v)) => {
-                                st.epoch += 1;
-                                st.container = Some(LiveContainer::warm(v, now, st.epoch));
+                                // Proactive pre-warm.
+                                if rs.injector.variant_load_fails(f, v) {
+                                    rs.summary.variant_load_failures += 1;
+                                    rs.fns[f].provision_attempts = 0;
+                                    rs.begin_provision(&self.families[f], f, v, now, 0);
+                                } else {
+                                    let st = &mut rs.fns[f];
+                                    st.epoch += 1;
+                                    st.container = Some(LiveContainer::warm(v, now, st.epoch));
+                                }
                             }
                             (None, None) => {}
                         }
                     }
-                    summary.keepalive_cost_usd +=
+                    rs.summary.keepalive_cost_usd +=
                         self.config.cost.keepalive_cost_usd_per_minutes(billed, 1.0);
-                    summary.memory_at_tick_mb.push(billed);
+                    rs.summary.memory_at_tick_mb.push(billed);
                 }
 
                 Event::Arrival { func, req } => {
                     invoked_this_minute = true;
                     let minute = now / MS_PER_MINUTE;
                     let fam = &self.families[func];
-                    let need_schedule = fns[func].scheduled_minute != Some(minute);
+                    let need_schedule = rs.fns[func].scheduled_minute != Some(minute);
 
-                    match &mut fns[func].container {
-                        Some(c) if c.is_warm() => {
-                            let v = c.variant;
-                            records[req].warm = true;
-                            records[req].accuracy_pct = fam.variant(v).accuracy_pct;
-                            req_warm_variant[req] = v;
-                            if fns[func].in_flight < cap {
-                                fns[func].in_flight += 1;
-                                if let Some(c) = fns[func].container.as_mut() {
-                                    c.begin_exec();
-                                }
-                                let exec = sampler.warm_ms(fam.variant(v));
-                                queue.push(now + exec, Event::ExecDone { func, req });
+                    let held = rs.fns[func]
+                        .container
+                        .as_ref()
+                        .map(|c| (c.is_warm(), c.variant));
+                    match held {
+                        Some((true, v)) => {
+                            rs.records[req].warm = true;
+                            rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                            rs.req_warm_variant[req] = v;
+                            if rs.fns[func].in_flight < rs.cap {
+                                rs.start_exec(fam, func, req, now);
                             } else {
-                                fns[func].waiting.push_back(req);
+                                rs.fns[func].waiting.push_back(req);
                             }
                         }
-                        Some(c) => {
+                        Some((false, v)) => {
                             // Provisioning: queue behind the pending cold
                             // start. Counts as warm (the container exists),
                             // matching the minute engine.
-                            let v = c.variant;
-                            records[req].warm = true;
-                            records[req].accuracy_pct = fam.variant(v).accuracy_pct;
-                            req_warm_variant[req] = v;
-                            fns[func].waiting.push_back(req);
+                            rs.records[req].warm = true;
+                            rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                            rs.req_warm_variant[req] = v;
+                            rs.fns[func].waiting.push_back(req);
                         }
                         None => {
                             // Cold start.
                             let v = policy.cold_start_variant(func, minute);
-                            records[req].warm = false;
-                            records[req].accuracy_pct = fam.variant(v).accuracy_pct;
-                            req_warm_variant[req] = v;
-                            let ready = now + sampler.provision_ms(fam.variant(v));
-                            let st = &mut fns[func];
-                            st.epoch += 1;
-                            st.container = Some(LiveContainer::provisioning(v, ready, st.epoch));
-                            st.waiting.push_back(req);
-                            queue.push(
-                                ready,
-                                Event::ProvisionDone {
-                                    func,
-                                    epoch: st.epoch,
-                                },
-                            );
+                            rs.records[req].warm = false;
+                            rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                            rs.req_warm_variant[req] = v;
+                            rs.fns[func].provision_attempts = 0;
+                            rs.begin_provision(fam, func, v, now, 0);
+                            rs.fns[func].waiting.push_back(req);
                         }
                     }
 
                     if need_schedule {
-                        fns[func].scheduled_minute = Some(minute);
-                        fns[func].schedule = Some(policy.schedule_on_invocation(func, minute));
+                        rs.fns[func].scheduled_minute = Some(minute);
+                        rs.fns[func].schedule = Some(policy.schedule_on_invocation(func, minute));
                     }
                 }
 
                 Event::ProvisionDone { func, epoch } => {
-                    let stale = fns[func]
+                    let stale = rs.fns[func]
                         .container
                         .as_ref()
                         .is_none_or(|c| c.epoch != epoch);
                     if stale {
                         continue;
                     }
-                    if let Some(c) = fns[func].container.as_mut() {
-                        c.state = crate::container::ContainerState::Warm;
+                    if let Some(c) = rs.fns[func].container.as_mut() {
+                        c.state = ContainerState::Warm;
                     }
-                    self.drain_waiting(
-                        func,
-                        now,
-                        &mut fns,
-                        &mut queue,
-                        &req_warm_variant,
-                        cap,
-                        &mut sampler,
-                    );
+                    rs.fns[func].provision_attempts = 0;
+                    rs.drain_waiting(&self.families[func], func, now);
                     // If the schedule does not cover the current minute, the
                     // container exists only for the in-flight work: drop it
                     // once idle so later arrivals cold-start (as the minute
                     // engine would count them).
                     let minute = now / MS_PER_MINUTE;
-                    if Self::schedule_variant(&fns[func].schedule, minute).is_none() {
-                        if let Some(c) = &fns[func].container {
-                            if c.busy == 0 && fns[func].waiting.is_empty() {
-                                fns[func].container = None;
+                    if Self::schedule_variant(&rs.fns[func].schedule, minute).is_none() {
+                        if let Some(c) = &rs.fns[func].container {
+                            if c.busy == 0 && rs.fns[func].waiting.is_empty() {
+                                rs.fns[func].container = None;
                             }
                         }
                     }
                 }
 
+                Event::ProvisionFailed { func, epoch } => {
+                    rs.on_provision_failed(&self.families[func], func, epoch, now);
+                }
+
                 Event::ExecDone { func, req } => {
-                    records[req].done_ms = now;
-                    fns[func].in_flight -= 1;
-                    if let Some(c) = fns[func].container.as_mut() {
+                    if !rs.req_done[req] {
+                        rs.records[req].done_ms = now;
+                        rs.req_done[req] = true;
+                    }
+                    rs.fns[func].in_flight -= 1;
+                    if let Some(c) = rs.fns[func].container.as_mut() {
                         if c.busy > 0 {
                             c.end_exec();
                         }
                     }
-                    self.drain_waiting(
-                        func,
-                        now,
-                        &mut fns,
-                        &mut queue,
-                        &req_warm_variant,
-                        cap,
-                        &mut sampler,
-                    );
+                    rs.drain_waiting(&self.families[func], func, now);
+                }
+
+                Event::ExecFailed { func, req, epoch } => {
+                    rs.on_exec_failed(&self.families[func], func, req, epoch, now);
+                }
+
+                Event::RequestTimeout { func, req } => {
+                    rs.on_timeout(func, req, now);
+                }
+
+                Event::RetryRequest { func, req } => {
+                    rs.on_retry_request(&self.families[func], func, req, now);
                 }
             }
         }
 
-        summary.records = records;
+        let mut summary = rs.summary;
+        summary.records = rs.records;
         summary
-    }
-
-    /// Start as many waiting requests as the concurrency cap allows.
-    #[allow(clippy::too_many_arguments)]
-    fn drain_waiting(
-        &self,
-        func: usize,
-        now: u64,
-        fns: &mut [FnState],
-        queue: &mut EventQueue,
-        req_warm_variant: &[VariantId],
-        cap: u32,
-        sampler: &mut DurationSampler,
-    ) {
-        let can_serve = fns[func].container.as_ref().is_some_and(|c| c.is_warm());
-        if !can_serve {
-            return;
-        }
-        while fns[func].in_flight < cap {
-            let Some(req) = fns[func].waiting.pop_front() else {
-                break;
-            };
-            fns[func].in_flight += 1;
-            if let Some(c) = fns[func].container.as_mut() {
-                c.begin_exec();
-            }
-            let v = req_warm_variant[req];
-            let exec = sampler.warm_ms(self.families[func].variant(v));
-            queue.push(now + exec, Event::ExecDone { func, req });
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultRates, RetryPolicy};
     use pulse_core::types::PulseConfig;
     use pulse_sim::assignment::round_robin_assignment;
     use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
@@ -597,6 +880,152 @@ mod tests {
         let a = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
         let b = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
         assert_eq!(a.records, b.records);
+        assert_eq!(a.keepalive_cost_usd, b.keepalive_cost_usd);
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_run() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(31, 240);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(5),
+                ..Default::default()
+            },
+        );
+        let plain = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        let faulted = rt.run_with_faults(
+            &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+            &FaultPlan::none(),
+        );
+        assert_eq!(plain.records, faulted.records);
+        assert_eq!(plain.keepalive_cost_usd, faulted.keepalive_cost_usd);
+        assert_eq!(faulted.provision_failures, 0);
+        assert_eq!(faulted.exec_crashes, 0);
+        assert_eq!(faulted.timeouts, 0);
+        assert_eq!(faulted.degradations, 0);
+    }
+
+    #[test]
+    fn provisioning_failure_retries_then_degrades_one_rung() {
+        // bert has 2 rungs; faults scoped to the top rung only.
+        let (trace, fams) = one_func(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let top = fams[0].highest_id();
+        let plan = FaultPlan {
+            default_rates: FaultRates {
+                provision_failure: 1.0,
+                variant_load_failure: 1.0,
+                exec_crash: 0.0,
+                min_faulty_variant: Some(top),
+            },
+            retry: RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+            ..FaultPlan::none()
+        };
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+        assert_eq!(s.requests(), 1);
+        assert_eq!(s.failed_requests(), 0, "one rung down, not failed");
+        // Every cycle at the faulty top rung is 1 initial attempt + 2
+        // retries, then a degradation (the keep-alive schedule re-demands
+        // the top variant each minute, so the cycle repeats per tick).
+        assert!(s.degradations >= 1);
+        assert_eq!(s.provision_failures, 3 * s.degradations);
+        assert_eq!(s.provision_retries, 2 * s.degradations);
+        assert_eq!(s.degraded_requests, 1);
+        let lower_acc = fams[0].variant(top - 1).accuracy_pct;
+        assert_eq!(s.records[0].accuracy_pct, lower_acc);
+        assert!(s.accuracy_penalty_pct > 0.0);
+        // Latency absorbed the retries: slower than a clean cold start.
+        let clean = (fams[0].highest().cold_service_time_s() * 1000.0) as u64;
+        assert!(s.records[0].latency_ms() > clean);
+    }
+
+    #[test]
+    fn whole_ladder_failure_reaps_and_fails_requests() {
+        let (trace, fams) = one_func(&[2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let plan = FaultPlan {
+            default_rates: FaultRates {
+                provision_failure: 1.0,
+                variant_load_failure: 1.0,
+                exec_crash: 0.0,
+                min_faulty_variant: None,
+            },
+            retry: RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
+            ..FaultPlan::none()
+        };
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.failed_requests(), 2, "no rung could provision");
+        assert!(s.reaped >= 1);
+        assert_eq!(s.availability(), 0.0);
+        // Every rung was tried: (1 initial + 1 retry) × 2 rungs at least.
+        assert!(s.provision_failures >= 4);
+    }
+
+    #[test]
+    fn exec_crashes_retry_and_eventually_serve() {
+        let (trace, fams) = one_func(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        // Crash the first execution attempt ~always at rate 1.0 would loop
+        // past the budget; use a seeded intermediate rate instead.
+        let plan = FaultPlan::uniform(0.0, 0.0, 0.5, 11);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+        assert_eq!(s.requests(), 1);
+        // Either it crashed (and retried) or it ran clean — both must leave
+        // coherent accounting.
+        assert_eq!(s.exec_crashes, s.request_retries + s.failed_requests());
+        if s.exec_crashes == 0 {
+            assert_eq!(s.failed_requests(), 0);
+        }
+    }
+
+    #[test]
+    fn request_timeout_fails_slow_requests() {
+        let (trace, fams) = one_func(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        // bert cold start is seconds; a 10 ms budget must time out.
+        let plan = FaultPlan::none().with_timeout_ms(10);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let s = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.failed_requests(), 1);
+        assert_eq!(s.records[0].latency_ms(), 10);
+        assert_eq!(s.availability(), 0.0);
+        assert_eq!(s.goodput(10_000), 0.0);
+    }
+
+    #[test]
+    fn fault_runs_replay_bit_identically() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(37, 180);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let plan = FaultPlan::uniform(0.3, 0.2, 0.1, 99).with_timeout_ms(90_000);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(3),
+                ..Default::default()
+            },
+        );
+        let a = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+        let b = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.provision_failures, b.provision_failures);
+        assert_eq!(a.provision_retries, b.provision_retries);
+        assert_eq!(a.variant_load_failures, b.variant_load_failures);
+        assert_eq!(a.exec_crashes, b.exec_crashes);
+        assert_eq!(a.request_retries, b.request_retries);
+        assert_eq!(a.degradations, b.degradations);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.reaped, b.reaped);
         assert_eq!(a.keepalive_cost_usd, b.keepalive_cost_usd);
     }
 }

@@ -63,6 +63,9 @@ pub fn run_many(
         .min(cfg.n_runs.max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, RunMetrics)>> = Mutex::new(Vec::with_capacity(cfg.n_runs));
+    // First failed run's diagnostic context (run index, seed, assignment),
+    // so a 1000-run campaign that dies names the exact run to replay.
+    let failure: Mutex<Option<String>> = Mutex::new(None);
 
     let scope_result = crossbeam::thread::scope(|s| {
         for _ in 0..threads {
@@ -76,21 +79,54 @@ pub fn run_many(
                     let seed = cfg.base_seed + r as u64;
                     let mut rng = SmallRng::seed_from_u64(seed);
                     let assignment = random_assignment(zoo, trace.n_functions(), &mut rng);
-                    let sim = Simulator::new(trace.clone(), assignment.clone());
-                    let mut policy = factory(&assignment, seed);
-                    let mut m = sim.run(policy.as_mut());
-                    // Series are per-minute × n_runs — drop to bound memory.
-                    m.memory_series_mb = Vec::new();
-                    m.cost_series_usd = Vec::new();
-                    local.push((r, m));
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let sim = Simulator::new(trace.clone(), assignment.clone());
+                        let mut policy = factory(&assignment, seed);
+                        sim.run(policy.as_mut())
+                    }));
+                    match run {
+                        Ok(mut m) => {
+                            // Series are per-minute × n_runs — drop to bound
+                            // memory.
+                            m.memory_series_mb = Vec::new();
+                            m.cost_series_usd = Vec::new();
+                            local.push((r, m));
+                        }
+                        Err(payload) => {
+                            let cause = panic_message(payload.as_ref());
+                            let zoo_idx: Vec<String> = assignment
+                                .iter()
+                                .map(|f| {
+                                    zoo.iter()
+                                        .position(|z| z.name == f.name)
+                                        .map_or_else(|| "?".to_string(), |i| i.to_string())
+                                })
+                                .collect();
+                            let msg = format!(
+                                "run {r} (seed {seed}, zoo assignment [{}]) panicked: {cause}",
+                                zoo_idx.join(",")
+                            );
+                            let mut slot = failure.lock();
+                            if slot.is_none() {
+                                *slot = Some(msg);
+                            }
+                            break;
+                        }
+                    }
                 }
                 results.lock().extend(local);
             });
         }
     });
+    if let Some(msg) = failure.into_inner() {
+        // Re-raise the worker's panic enriched with the failing run's
+        // replay coordinates (the bare payload rarely identifies the run).
+        std::panic::resume_unwind(Box::new(msg));
+    }
     if let Err(panic) = scope_result {
-        // A worker panicked: surface the original panic to the caller
-        // instead of wrapping it in a second, less informative one.
+        // A worker panicked outside a simulated run: surface the original
+        // panic to the caller instead of wrapping it in a less informative
+        // one.
         std::panic::resume_unwind(panic);
     }
 
@@ -98,6 +134,17 @@ pub fn run_many(
     runs.sort_by_key(|&(r, _)| r);
     debug_assert_eq!(runs.len(), cfg.n_runs, "every run produces one result");
     runs.into_iter().map(|(_, m)| m).collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Fold per-run metrics into a streaming aggregate.
@@ -173,6 +220,43 @@ mod tests {
             Box::new(|fams, _| Box::new(OpenWhiskFixed::new(fams)));
         let runs = run_many(&trace, &z, &small_cfg(2), factory.as_ref());
         assert!(runs.iter().all(|m| m.memory_series_mb.is_empty()));
+    }
+
+    #[test]
+    fn worker_panic_carries_run_seed_and_assignment() {
+        let trace = synth::azure_like_12_with_horizon(3, 100);
+        let z = zoo::standard();
+        // The factory blows up on one specific run; the re-raised panic must
+        // name that run's replay coordinates.
+        let factory: Box<PolicyFactory<'_>> = Box::new(|fams, seed| {
+            assert_ne!(seed, 9, "injected factory failure");
+            Box::new(OpenWhiskFixed::new(fams))
+        });
+        let cfg = small_cfg(4); // seeds 7..=10 — seed 9 is run 2
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_many(&trace, &z, &cfg, factory.as_ref())
+        }))
+        .expect_err("run 2 must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("enriched payload is a String");
+        assert!(msg.contains("run 2"), "missing run index: {msg}");
+        assert!(msg.contains("seed 9"), "missing seed: {msg}");
+        assert!(
+            msg.contains("zoo assignment ["),
+            "missing assignment: {msg}"
+        );
+        assert!(
+            msg.contains("injected factory failure"),
+            "missing cause: {msg}"
+        );
+        // The assignment list has one zoo index per function.
+        let idx = msg
+            .split("zoo assignment [")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .expect("bracketed list");
+        assert_eq!(idx.split(',').count(), trace.n_functions());
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //!   day; [`merge_azure_days`] concatenates consecutive days into a
 //!   two-week [`Trace`], so the real trace can be dropped into the
 //!   reproduction when available.
+//!
+//! Both parsers are **strict by default**: the first malformed row aborts
+//! the parse with a [`ParseError`]. Real production dumps are messier than
+//! fixtures, so each has a `_lenient` twin ([`from_simple_csv_lenient`],
+//! [`parse_azure_day_lenient`]) that *quarantines* malformed rows — ragged
+//! column counts, unparsable/negative/NaN count cells — into a
+//! [`QuarantineReport`] and parses everything else, failing only when no
+//! usable row survives.
 
 use crate::trace::{FunctionTrace, Trace};
 use crate::MINUTES_PER_DAY;
@@ -55,6 +63,54 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// One row set aside by a lenient parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// The row's function name / key as far as it could be read (first
+    /// cell(s)); empty when even that was missing.
+    pub name: String,
+    /// Why the row was quarantined.
+    pub reason: ParseError,
+}
+
+/// The malformed rows a lenient parse set aside instead of aborting on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Quarantined rows, in input order.
+    pub rows: Vec<QuarantinedRow>,
+    /// Rows that parsed cleanly.
+    pub accepted: usize,
+}
+
+impl QuarantineReport {
+    /// True when every row parsed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of quarantined rows.
+    pub fn quarantined(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl std::fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} row(s) accepted, {} quarantined",
+            self.accepted,
+            self.quarantined()
+        )?;
+        for r in &self.rows {
+            writeln!(f, "  line {}: {:?}: {}", r.line, r.name, r.reason)?;
+        }
+        Ok(())
+    }
+}
+
 /// Serialize a workload in the simple one-row-per-function format.
 pub fn to_simple_csv(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.n_functions() * trace.minutes() * 2);
@@ -75,7 +131,30 @@ pub fn to_simple_csv(trace: &Trace) -> String {
     out
 }
 
-/// Parse the simple one-row-per-function format.
+/// Parse one data row of the simple format (`name,c0,c1,…`).
+fn parse_simple_row(line: &str, lineno: usize, want: usize) -> Result<FunctionTrace, ParseError> {
+    let mut cells = line.split(',');
+    let name = cells.next().unwrap_or("").to_string();
+    let counts: Vec<u32> = cells
+        .map(|c| {
+            c.trim().parse::<u32>().map_err(|_| ParseError::BadCount {
+                line: lineno,
+                cell: c.to_string(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if counts.len() + 1 != want {
+        return Err(ParseError::ColumnCount {
+            line: lineno,
+            got: counts.len() + 1,
+            want,
+        });
+    }
+    Ok(FunctionTrace::new(name, counts))
+}
+
+/// Parse the simple one-row-per-function format, aborting on the first
+/// malformed row. See [`from_simple_csv_lenient`] for the quarantining twin.
 pub fn from_simple_csv(s: &str) -> Result<Trace, ParseError> {
     let mut lines = s.lines().enumerate();
     let (_, header) = lines.next().ok_or(ParseError::Empty)?;
@@ -85,30 +164,44 @@ pub fn from_simple_csv(s: &str) -> Result<Trace, ParseError> {
         if line.trim().is_empty() {
             continue;
         }
-        let mut cells = line.split(',');
-        let name = cells.next().unwrap_or("").to_string();
-        let counts: Result<Vec<u32>, _> = cells
-            .map(|c| {
-                c.trim().parse::<u32>().map_err(|_| ParseError::BadCount {
-                    line: i + 1,
-                    cell: c.to_string(),
-                })
-            })
-            .collect();
-        let counts = counts?;
-        if counts.len() + 1 != want {
-            return Err(ParseError::ColumnCount {
-                line: i + 1,
-                got: counts.len() + 1,
-                want,
-            });
-        }
-        functions.push(FunctionTrace::new(name, counts));
+        functions.push(parse_simple_row(line, i + 1, want)?);
     }
     if functions.is_empty() {
         return Err(ParseError::Empty);
     }
     Ok(Trace::new(functions))
+}
+
+/// Parse the simple format, quarantining malformed rows (ragged columns,
+/// unparsable / negative / NaN count cells) instead of aborting. Errors only
+/// when the input has no header or no row parses; the report records every
+/// row that was set aside.
+pub fn from_simple_csv_lenient(s: &str) -> Result<(Trace, QuarantineReport), ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+    let want = header.split(',').count();
+    let mut functions = Vec::new();
+    let mut report = QuarantineReport::default();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_simple_row(line, i + 1, want) {
+            Ok(f) => {
+                report.accepted += 1;
+                functions.push(f);
+            }
+            Err(reason) => report.rows.push(QuarantinedRow {
+                line: i + 1,
+                name: line.split(',').next().unwrap_or("").to_string(),
+                reason,
+            }),
+        }
+    }
+    if functions.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok((Trace::new(functions), report))
 }
 
 /// Serialize one day of a workload in the Azure schema
@@ -151,10 +244,35 @@ pub struct AzureDay {
     pub functions: BTreeMap<String, Vec<u32>>,
 }
 
-/// Parse one Azure day file (`HashOwner,HashApp,HashFunction,Trigger,1..1440`).
-pub fn parse_azure_day(s: &str) -> Result<AzureDay, ParseError> {
-    let mut lines = s.lines().enumerate();
-    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+/// Parse one Azure data row into `(key, counts)`.
+fn parse_azure_row(
+    line: &str,
+    lineno: usize,
+    want: usize,
+) -> Result<(String, Vec<u32>), ParseError> {
+    let cells: Vec<&str> = line.split(',').collect();
+    if cells.len() != want {
+        return Err(ParseError::ColumnCount {
+            line: lineno,
+            got: cells.len(),
+            want,
+        });
+    }
+    let key = format!("{}/{}/{}", cells[0], cells[1], cells[2]);
+    let counts: Vec<u32> = cells[4..]
+        .iter()
+        .map(|c| {
+            c.trim().parse::<u32>().map_err(|_| ParseError::BadCount {
+                line: lineno,
+                cell: c.to_string(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((key, counts))
+}
+
+/// Validate an Azure header line, returning its column count.
+fn azure_header_width(header: &str) -> Result<usize, ParseError> {
     let want = header.split(',').count();
     if want < 5 {
         return Err(ParseError::ColumnCount {
@@ -163,35 +281,65 @@ pub fn parse_azure_day(s: &str) -> Result<AzureDay, ParseError> {
             want: 4 + MINUTES_PER_DAY,
         });
     }
+    Ok(want)
+}
+
+/// Parse one Azure day file (`HashOwner,HashApp,HashFunction,Trigger,1..1440`),
+/// aborting on the first malformed row. See [`parse_azure_day_lenient`] for
+/// the quarantining twin.
+pub fn parse_azure_day(s: &str) -> Result<AzureDay, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+    let want = azure_header_width(header)?;
     let mut functions = BTreeMap::new();
     for (i, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
-        let cells: Vec<&str> = line.split(',').collect();
-        if cells.len() != want {
-            return Err(ParseError::ColumnCount {
-                line: i + 1,
-                got: cells.len(),
-                want,
-            });
-        }
-        let key = format!("{}/{}/{}", cells[0], cells[1], cells[2]);
-        let counts: Result<Vec<u32>, _> = cells[4..]
-            .iter()
-            .map(|c| {
-                c.trim().parse::<u32>().map_err(|_| ParseError::BadCount {
-                    line: i + 1,
-                    cell: c.to_string(),
-                })
-            })
-            .collect();
-        functions.insert(key, counts?);
+        let (key, counts) = parse_azure_row(line, i + 1, want)?;
+        functions.insert(key, counts);
     }
     if functions.is_empty() {
         return Err(ParseError::Empty);
     }
     Ok(AzureDay { functions })
+}
+
+/// Parse one Azure day file, quarantining malformed rows instead of
+/// aborting. The header must still be well-formed (a broken header means the
+/// file is not this format at all), and at least one row must parse.
+pub fn parse_azure_day_lenient(s: &str) -> Result<(AzureDay, QuarantineReport), ParseError> {
+    let mut lines = s.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::Empty)?;
+    let want = azure_header_width(header)?;
+    let mut functions = BTreeMap::new();
+    let mut report = QuarantineReport::default();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_azure_row(line, i + 1, want) {
+            Ok((key, counts)) => {
+                report.accepted += 1;
+                functions.insert(key, counts);
+            }
+            Err(reason) => report.rows.push(QuarantinedRow {
+                line: i + 1,
+                name: {
+                    let c: Vec<&str> = line.splitn(4, ',').collect();
+                    match c.as_slice() {
+                        [o, a, f, ..] => format!("{o}/{a}/{f}"),
+                        _ => line.split(',').next().unwrap_or("").to_string(),
+                    }
+                },
+                reason,
+            }),
+        }
+    }
+    if functions.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    Ok((AzureDay { functions }, report))
 }
 
 /// Concatenate consecutive Azure day files into one workload. Functions
@@ -280,6 +428,53 @@ mod tests {
         assert_eq!(t.n_functions(), 1);
     }
 
+    #[test]
+    fn lenient_quarantines_bad_rows_and_keeps_good_ones() {
+        // Row 3 has a negative count (unparsable as u32), row 4 is ragged,
+        // row 5 has a NaN-ish cell; rows 2 and 6 are clean.
+        let csv = "function,0,1\nfa,1,2\nfb,-1,2\nfc,1\nfd,NaN,0\nfe,0,9\n";
+        let (t, report) = from_simple_csv_lenient(csv).unwrap();
+        assert_eq!(t.n_functions(), 2);
+        assert!(t.by_name("fa").is_some());
+        assert!(t.by_name("fe").is_some());
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.quarantined(), 3);
+        assert!(!report.is_clean());
+        assert_eq!(report.rows[0].line, 3);
+        assert_eq!(report.rows[0].name, "fb");
+        assert!(matches!(report.rows[0].reason, ParseError::BadCount { .. }));
+        assert!(matches!(
+            report.rows[1].reason,
+            ParseError::ColumnCount {
+                line: 4,
+                got: 2,
+                want: 3
+            }
+        ));
+        // Strict mode aborts on the same input.
+        assert!(from_simple_csv(csv).is_err());
+        // The report prints one line per quarantined row.
+        assert_eq!(report.to_string().lines().count(), 4);
+    }
+
+    #[test]
+    fn lenient_clean_input_matches_strict() {
+        let csv = to_simple_csv(&small_trace());
+        let (t, report) = from_simple_csv_lenient(&csv).unwrap();
+        assert_eq!(t, from_simple_csv(&csv).unwrap());
+        assert!(report.is_clean());
+        assert_eq!(report.accepted, 2);
+    }
+
+    #[test]
+    fn lenient_errors_when_nothing_survives() {
+        assert_eq!(from_simple_csv_lenient("").unwrap_err(), ParseError::Empty);
+        assert_eq!(
+            from_simple_csv_lenient("function,0\nfa,x\n").unwrap_err(),
+            ParseError::Empty
+        );
+    }
+
     fn azure_line(owner: &str, app: &str, func: &str, counts: &[u32]) -> String {
         let mut s = format!("{owner},{app},{func},http");
         for c in counts {
@@ -348,6 +543,30 @@ mod tests {
             parse_azure_day(&file),
             Err(ParseError::BadCount { .. })
         ));
+    }
+
+    #[test]
+    fn azure_lenient_quarantines_and_still_merges() {
+        let good = azure_line("o", "a", "f1", &[1, 2]);
+        let bad = azure_line("o", "a", "f2", &[1, 2]).replace('1', "-7");
+        let ragged = "o,a,f3,http,5".to_string();
+        let file = azure_file(&[good, bad, ragged], 2);
+        let (day, report) = parse_azure_day_lenient(&file).unwrap();
+        assert_eq!(day.functions.len(), 1);
+        assert_eq!(day.functions["o/a/f1"], vec![1, 2]);
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.quarantined(), 2);
+        assert_eq!(report.rows[0].name, "o/a/f2");
+        assert_eq!(report.rows[1].name, "o/a/f3");
+        // Strict mode aborts on the same file; the lenient day still merges.
+        assert!(parse_azure_day(&file).is_err());
+        let t = merge_azure_days(&[day]).unwrap();
+        assert_eq!(t.n_functions(), 1);
+    }
+
+    #[test]
+    fn azure_lenient_still_requires_valid_header() {
+        assert!(parse_azure_day_lenient("a,b,c\n").is_err());
     }
 
     #[test]

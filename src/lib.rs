@@ -57,6 +57,7 @@ pub use pulse_trace as trace;
 pub mod prelude {
     pub use pulse_core::{PulseConfig, PulseEngine};
     pub use pulse_models::{CostModel, ModelFamily, VariantSpec};
+    pub use pulse_runtime::{FaultPlan, FaultRates, RetryPolicy, Runtime, RuntimeConfig};
     pub use pulse_sim::policies::{
         FixedVariant, IdealOracle, IntelligentOracle, OpenWhiskFixed, PulsePolicy, RandomMix,
     };

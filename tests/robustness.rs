@@ -155,6 +155,256 @@ fn runtime_survives_chaotic_policy_too() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection scenarios (the `pulse::runtime::fault` layer).
+//
+// CI's chaos job re-runs these under several seeds via PULSE_CHAOS_SEED.
+// ---------------------------------------------------------------------------
+
+/// Seed for the fault scenarios; CI sweeps it, local runs default to 7.
+fn chaos_seed() -> u64 {
+    std::env::var("PULSE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+#[test]
+fn zero_fault_plan_is_bitwise_identical_for_every_policy() {
+    use pulse::runtime::{FaultPlan, Runtime, RuntimeConfig};
+    use pulse::sim::policies::{
+        CapacityPulse, CapacityRandom, FixedVariant, IdealOracle, IntelligentOracle,
+        OpenWhiskFixed, PulsePolicy, RandomMix,
+    };
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+
+    // One factory per policy in pulse-sim/src/policies/: the trivial fault
+    // plan must not perturb a single bit of any of their summaries.
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn KeepAlivePolicy>>;
+    let factories: Vec<(&str, PolicyFactory)> = vec![
+        ("openwhisk", {
+            let f = fams.clone();
+            Box::new(move || Box::new(OpenWhiskFixed::new(&f)))
+        }),
+        ("pulse", {
+            let f = fams.clone();
+            Box::new(move || Box::new(PulsePolicy::new(f.clone(), PulseConfig::default())))
+        }),
+        ("intelligent", {
+            let (f, t) = (fams.clone(), trace.clone());
+            Box::new(move || Box::new(IntelligentOracle::new(&f, t.clone())))
+        }),
+        ("ideal", {
+            let (f, t) = (fams.clone(), trace.clone());
+            Box::new(move || Box::new(IdealOracle::new(&f, t.clone())))
+        }),
+        ("random-mix", {
+            let f = fams.clone();
+            Box::new(move || {
+                let mut rng = SmallRng::seed_from_u64(11);
+                Box::new(RandomMix::new(&f, &mut rng))
+            })
+        }),
+        ("fixed-low", {
+            let f = fams.clone();
+            Box::new(move || Box::new(FixedVariant::all_low(&f)))
+        }),
+        ("capacity-pulse", {
+            let f = fams.clone();
+            Box::new(move || {
+                Box::new(CapacityPulse::new(
+                    f.clone(),
+                    PulseConfig::default(),
+                    4000.0,
+                ))
+            })
+        }),
+        ("capacity-random", {
+            let f = fams.clone();
+            Box::new(move || {
+                Box::new(CapacityRandom::new(
+                    OpenWhiskFixed::new(&f),
+                    f.clone(),
+                    4000.0,
+                    13,
+                ))
+            })
+        }),
+    ];
+
+    for (name, make) in &factories {
+        let plain = rt.run(make().as_mut());
+        let faulted = rt.run_with_faults(make().as_mut(), &FaultPlan::none());
+        assert_eq!(plain.records, faulted.records, "{name}: records diverged");
+        assert_eq!(
+            plain.keepalive_cost_usd.to_bits(),
+            faulted.keepalive_cost_usd.to_bits(),
+            "{name}: cost not bitwise equal"
+        );
+        assert_eq!(plain.warm_starts(), faulted.warm_starts(), "{name}");
+        assert_eq!(plain.cold_starts(), faulted.cold_starts(), "{name}");
+        let plain_mem: Vec<u64> = plain
+            .memory_at_tick_mb
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        let fault_mem: Vec<u64> = faulted
+            .memory_at_tick_mb
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(plain_mem, fault_mem, "{name}: memory series diverged");
+        assert_eq!(faulted.provision_failures, 0, "{name}");
+        assert_eq!(faulted.exec_crashes, 0, "{name}");
+        assert_eq!(faulted.degradations, 0, "{name}");
+        assert_eq!(faulted.timeouts, 0, "{name}");
+        assert_eq!(faulted.failed_requests(), 0, "{name}");
+    }
+}
+
+#[test]
+fn top_rung_outage_degrades_every_request_one_rung_and_never_corrupts_billing() {
+    use pulse::runtime::{FaultPlan, FaultRates, Runtime, RuntimeConfig};
+
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(chaos_seed(), 120);
+    let fams = zoo12();
+    // 100% provisioning *and* variant-load failure, scoped per function to
+    // its top rung only (ladder lengths differ across the zoo).
+    let mut plan = FaultPlan::none();
+    for (f, fam) in fams.iter().enumerate() {
+        plan = plan.with_function(
+            f,
+            FaultRates {
+                provision_failure: 1.0,
+                variant_load_failure: 1.0,
+                exec_crash: 0.0,
+                min_faulty_variant: Some(fam.highest_id()),
+            },
+        );
+    }
+    let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+    let s = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+    let clean = rt.run(&mut OpenWhiskFixed::new(&fams));
+
+    assert_eq!(s.requests(), trace.total_invocations());
+    assert_eq!(s.failed_requests(), 0, "degradation must absorb the outage");
+    assert_eq!(s.availability(), 1.0);
+    assert!(s.degradations > 0);
+    assert!(s.provision_failures > 0);
+    // OpenWhisk pins the top rung; with it dark, every request must be
+    // served exactly one rung lower — never the top, never two rungs down.
+    // Check via the accuracy each record delivered: it must match some
+    // family's one-below-top accuracy.
+    let below_top: Vec<f64> = fams
+        .iter()
+        .map(|f| f.variant(f.highest_id() - 1).accuracy_pct)
+        .collect();
+    for r in &s.records {
+        assert!(
+            below_top.contains(&r.accuracy_pct),
+            "request served at unexpected rung: {}",
+            r.accuracy_pct
+        );
+    }
+    // Billing is schedule-driven: the outage must not change a single bit
+    // of keep-alive cost or the per-minute memory footprint.
+    assert_eq!(
+        s.keepalive_cost_usd.to_bits(),
+        clean.keepalive_cost_usd.to_bits()
+    );
+    assert_eq!(s.memory_at_tick_mb.len(), clean.memory_at_tick_mb.len());
+    for (a, b) in s.memory_at_tick_mb.iter().zip(&clean.memory_at_tick_mb) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn mid_execution_crashes_never_double_bill_gbms() {
+    use pulse::runtime::{FaultPlan, Runtime, RuntimeConfig};
+
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+    let plan = FaultPlan::uniform(0.0, 0.0, 0.4, seed);
+    let crashed = rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), &plan);
+    let clean = rt.run(&mut OpenWhiskFixed::new(&fams));
+
+    assert!(crashed.exec_crashes > 0, "rate 0.4 must hit something");
+    assert!(crashed.request_retries > 0);
+    // Keep-alive billing is metered from the schedule footprint at minute
+    // ticks — a crashed-and-replaced container must not be billed twice.
+    assert_eq!(
+        crashed.keepalive_cost_usd.to_bits(),
+        clean.keepalive_cost_usd.to_bits()
+    );
+    for (a, b) in crashed
+        .memory_at_tick_mb
+        .iter()
+        .zip(&clean.memory_at_tick_mb)
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(crashed.requests(), clean.requests());
+}
+
+#[test]
+fn fault_scenarios_replay_identically_under_the_chaos_seed() {
+    use pulse::runtime::{FaultPlan, Runtime, RuntimeConfig};
+
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 150);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace,
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    let plan = FaultPlan::uniform(0.25, 0.1, 0.1, seed).with_timeout_ms(120_000);
+    let a = rt.run_with_faults(
+        &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+        &plan,
+    );
+    let b = rt.run_with_faults(
+        &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+        &plan,
+    );
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.provision_failures, b.provision_failures);
+    assert_eq!(a.provision_retries, b.provision_retries);
+    assert_eq!(a.variant_load_failures, b.variant_load_failures);
+    assert_eq!(a.exec_crashes, b.exec_crashes);
+    assert_eq!(a.request_retries, b.request_retries);
+    assert_eq!(a.degradations, b.degradations);
+    assert_eq!(a.degraded_requests, b.degraded_requests);
+    assert_eq!(a.timeouts, b.timeouts);
+    assert_eq!(a.reaped, b.reaped);
+    assert_eq!(
+        a.keepalive_cost_usd.to_bits(),
+        b.keepalive_cost_usd.to_bits()
+    );
+    assert_eq!(
+        a.accuracy_penalty_pct.to_bits(),
+        b.accuracy_penalty_pct.to_bits()
+    );
+}
+
 #[test]
 fn one_minute_horizon_works() {
     let trace = Trace::new(vec![FunctionTrace::new("f", vec![3])]);
