@@ -1,0 +1,233 @@
+//! **Extension: overload sweep** — the policies on a *finite* node.
+//!
+//! Every paper experiment assumes the node is infinitely large and the
+//! request queue infinitely deep. This experiment turns on the cluster
+//! robustness layer of `pulse-runtime` and runs two overload scenarios:
+//!
+//! * **storm** — a cold-start storm: the workload is near-idle, then every
+//!   function fires a synchronized burst in the same minute. Admission is
+//!   bounded, so the backlog past the limit is shed rather than queued
+//!   forever; the shed rate and availability show how much of the storm
+//!   each policy's warm pool absorbs.
+//! * **crunch** — a capacity crunch: the steady 12-function workload on a
+//!   node whose keep-alive cap is well below the all-high footprint. The
+//!   enforcer flattens the overage with Algorithm 2's utility-ordered
+//!   downgrades, so the interesting columns are evictions, pressure
+//!   downgrades and the accuracy that survives them.
+//!
+//! Both scenarios also run PULSE wrapped in the policy watchdog
+//! (`pulse_sim::watchdog`): if the pressure drives PULSE's SLO-violation
+//! rate past the guardrail, the watchdog benches it for the fixed
+//! 10-minute baseline and the fallback-minutes column records the stay.
+
+use crate::common::ExpConfig;
+use crate::report::{fmt, Table};
+use pulse_core::types::PulseConfig;
+use pulse_runtime::{
+    AdmissionControl, ClusterConfig, FaultPlan, NodeCapacity, Runtime, RuntimeConfig,
+    RuntimeSummary,
+};
+use pulse_sim::assignment::round_robin_assignment;
+use pulse_sim::policies::{IntelligentOracle, OpenWhiskFixed, PulsePolicy};
+use pulse_sim::{KeepAlivePolicy, Watchdog, WatchdogConfig};
+use pulse_trace::{FunctionTrace, Trace};
+
+/// Backlog bound for the storm scenario: past this many waiting requests,
+/// arrivals are shed.
+const STORM_MAX_PENDING: usize = 16;
+
+/// Requests per function in each synchronized storm burst.
+const STORM_BURST: u32 = 20;
+
+/// Minutes between storm bursts.
+const STORM_PERIOD: usize = 30;
+
+/// The crunch node's keep-alive cap as a fraction of the all-high footprint.
+const CRUNCH_CAP_FRAC: f64 = 0.3;
+
+/// An idle workload punctuated by synchronized all-function bursts. The
+/// inter-burst gap exceeds every policy's keep-alive horizon, so each burst
+/// lands cold and the whole cluster provisions at once — the worst case for
+/// the pending backlog.
+fn storm_trace(n_functions: usize, minutes: usize) -> Trace {
+    Trace::new(
+        (0..n_functions)
+            .map(|f| {
+                let counts = (0..minutes)
+                    .map(|m| {
+                        if m % STORM_PERIOD == 5 {
+                            STORM_BURST
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                FunctionTrace::new(format!("f{f}"), counts)
+            })
+            .collect(),
+    )
+}
+
+fn run_policies(
+    scenario: &str,
+    trace: &Trace,
+    cfg: &ExpConfig,
+    cluster: &ClusterConfig,
+    table: &mut Table,
+) -> Vec<(String, RuntimeSummary)> {
+    let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(cfg.seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    let plan = FaultPlan::none();
+
+    let mut policies: Vec<(&str, Box<dyn KeepAlivePolicy>)> = vec![
+        ("openwhisk", Box::new(OpenWhiskFixed::new(&fams))),
+        (
+            "intelligent",
+            Box::new(IntelligentOracle::new(&fams, trace.clone())),
+        ),
+        (
+            "pulse",
+            Box::new(PulsePolicy::new(fams.clone(), PulseConfig::default())),
+        ),
+        (
+            "pulse+watchdog",
+            Box::new(Watchdog::new(
+                PulsePolicy::new(fams.clone(), PulseConfig::default()),
+                &fams,
+                WatchdogConfig::default(),
+            )),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (name, policy) in &mut policies {
+        let s = rt.run_with_cluster(policy.as_mut(), &plan, cluster);
+        table.row(vec![
+            scenario.into(),
+            (*name).into(),
+            fmt(s.keepalive_cost_usd, 4),
+            fmt(s.availability() * 100.0, 2),
+            s.shed_requests.to_string(),
+            s.evictions.to_string(),
+            s.pressure_downgrades.to_string(),
+            s.pressure_minutes.to_string(),
+            s.fallback_minutes.to_string(),
+            fmt(s.avg_accuracy_pct(), 2),
+            fmt(s.latency_p99_ms(), 0),
+        ]);
+        out.push((name.to_string(), s));
+    }
+    out
+}
+
+/// Run both overload scenarios and render the comparison table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut table = Table::new(
+        "Overload sweep: bounded admission (storm) and node capacity (crunch)",
+        &[
+            "Scenario",
+            "Policy",
+            "Cost ($)",
+            "Avail (%)",
+            "Shed",
+            "Evict",
+            "PrDown",
+            "PressMin",
+            "FbMin",
+            "Accuracy (%)",
+            "p99 (ms)",
+        ],
+    );
+
+    // Storm: unlimited memory, bounded backlog.
+    let storm = storm_trace(12, cfg.horizon);
+    let storm_cluster = ClusterConfig {
+        admission: AdmissionControl::bounded(STORM_MAX_PENDING),
+        ..ClusterConfig::unlimited()
+    };
+    let storm_out = run_policies("storm", &storm, cfg, &storm_cluster, &mut table);
+
+    // Crunch: unbounded backlog, a node far smaller than the all-high plan.
+    let trace = cfg.trace();
+    let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
+    let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    let crunch_cluster = ClusterConfig {
+        capacity: NodeCapacity::mb(all_high * CRUNCH_CAP_FRAC),
+        ..ClusterConfig::unlimited()
+    };
+    let crunch_out = run_policies("crunch", &trace, cfg, &crunch_cluster, &mut table);
+
+    let shed_note = storm_out
+        .iter()
+        .map(|(p, s)| {
+            format!(
+                "{p} {:.1}%",
+                100.0 * s.shed_requests as f64 / s.requests() as f64
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let press_note = crunch_out
+        .iter()
+        .map(|(p, s)| format!("{p} {}", s.pressure_minutes))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{}\nstorm shed rate: {}\ncrunch pressure minutes ({}% node): {}\n",
+        table.render(),
+        shed_note,
+        (CRUNCH_CAP_FRAC * 100.0) as u32,
+        press_note
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            seed: 42,
+            horizon: 300,
+            n_runs: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_both_scenarios_and_all_policies() {
+        let out = run(&tiny());
+        for scenario in ["storm", "crunch"] {
+            assert!(
+                out.contains(scenario),
+                "missing scenario {scenario}:\n{out}"
+            );
+        }
+        for policy in ["openwhisk", "intelligent", "pulse", "pulse+watchdog"] {
+            assert!(out.contains(policy), "missing policy {policy}:\n{out}");
+        }
+        assert!(out.contains("shed rate"));
+        assert!(out.contains("pressure minutes"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        assert_eq!(run(&tiny()), run(&tiny()));
+    }
+
+    #[test]
+    fn storm_trace_has_synchronized_bursts() {
+        let t = storm_trace(12, 120);
+        assert_eq!(t.n_functions(), 12);
+        for f in 0..12 {
+            assert_eq!(t.function(f).at(5), STORM_BURST);
+            assert_eq!(t.function(f).at(35), STORM_BURST);
+        }
+    }
+}

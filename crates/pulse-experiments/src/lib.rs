@@ -25,6 +25,7 @@ pub mod exp_fig5_fig6;
 pub mod exp_fig8;
 pub mod exp_fig9;
 pub mod exp_nodes;
+pub mod exp_overload;
 pub mod exp_predictors;
 pub mod exp_scalability;
 pub mod exp_sensitivity;
@@ -62,6 +63,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "characterize",
     "predictors",
     "nodes",
+    "overload",
 ];
 
 /// Run one experiment by name. Unknown names return an error string listing
@@ -92,6 +94,7 @@ pub fn run_experiment(name: &str, cfg: &ExpConfig) -> Result<String, String> {
         "characterize" => exp_characterize::run(cfg),
         "predictors" => exp_predictors::run(cfg),
         "nodes" => exp_nodes::run(cfg),
+        "overload" => exp_overload::run(cfg),
         other => {
             return Err(format!(
                 "unknown experiment {other:?}; valid: {}",

@@ -7,8 +7,9 @@
 //! * `--quick` (default): 4-day trace, 30 runs — minutes of wall clock.
 //! * `--full`: the paper-scale setup — 14-day trace, 1000 runs.
 //! * experiments: `table1 fig1 fig2 table2 fig4 fig5 fig6a fig6b fig7 fig8
-//!   fig9 fig10 fig11 fig12`, extensions such as `validate` and `chaos`
-//!   (fault-injection sweep), or `all`.
+//!   fig9 fig10 fig11 fig12`, extensions such as `validate`, `chaos`
+//!   (fault-injection sweep) and `overload` (bounded admission + node
+//!   capacity + watchdog), or `all`.
 
 use pulse_experiments::{run_experiment, ExpConfig, EXPERIMENTS};
 

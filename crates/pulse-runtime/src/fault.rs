@@ -260,19 +260,22 @@ impl FaultInjector {
     }
 
     /// Backoff before retry number `attempt` (1-based): capped exponential
-    /// plus uniform jitter.
+    /// plus uniform jitter. All arithmetic is checked/saturating, so an
+    /// arbitrarily large attempt count saturates at `max_backoff_ms` rather
+    /// than overflowing `u64` before the cap applies.
     pub fn backoff_ms(&mut self, attempt: u32) -> u64 {
         let p = self.plan.retry;
-        let exp = attempt.saturating_sub(1).min(32);
+        let exp = attempt.saturating_sub(1);
+        let factor = 1u64.checked_shl(exp).unwrap_or(u64::MAX);
         let backoff = p
             .base_backoff_ms
-            .saturating_mul(1u64 << exp)
+            .saturating_mul(factor)
             .min(p.max_backoff_ms);
         let jitter_cap = (backoff as f64 * p.jitter_frac.clamp(0.0, 1.0)) as u64;
         if jitter_cap == 0 {
             backoff
         } else {
-            backoff + self.rng.gen_range(0..=jitter_cap)
+            backoff.saturating_add(self.rng.gen_range(0..=jitter_cap))
         }
     }
 }
@@ -376,6 +379,39 @@ mod tests {
         assert_eq!(inj.backoff_ms(4), 800);
         assert_eq!(inj.backoff_ms(5), 1_000);
         assert_eq!(inj.backoff_ms(9), 1_000, "cap holds");
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap_without_overflow() {
+        let plan = FaultPlan {
+            retry: RetryPolicy {
+                max_retries: u32::MAX,
+                base_backoff_ms: 100,
+                max_backoff_ms: 5_000,
+                jitter_frac: 0.0,
+            },
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(&plan);
+        // attempt = 63 → shift of 62: the exponential alone is ~4.6e20 ms
+        // and must saturate, not wrap.
+        assert_eq!(inj.backoff_ms(63), 5_000);
+        assert_eq!(inj.backoff_ms(64), 5_000, "shift of exactly 63");
+        assert_eq!(inj.backoff_ms(65), 5_000, "shift past the u64 width");
+        assert_eq!(inj.backoff_ms(u32::MAX), 5_000);
+        // Degenerate cap larger than any exponential: saturating, not
+        // wrapping, even when the product overflows u64.
+        let plan = FaultPlan {
+            retry: RetryPolicy {
+                max_retries: u32::MAX,
+                base_backoff_ms: u64::MAX / 2,
+                max_backoff_ms: u64::MAX,
+                jitter_frac: 0.0,
+            },
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.backoff_ms(63), u64::MAX);
     }
 
     #[test]

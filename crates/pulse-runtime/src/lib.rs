@@ -28,6 +28,12 @@
 //!    layer ([`fault`]) with retry/backoff, per-request SLO timeouts, and
 //!    graceful ladder degradation (see `Runtime::run_with_faults` and
 //!    `pulse-exp chaos`).
+//! 4. **Overload-robustness experiments** — a cluster layer ([`cluster`])
+//!    with a hard per-node keep-alive memory cap (overage flattened by
+//!    utility-ordered pressure downgrades), bounded-backlog admission
+//!    control (excess arrivals shed, not queued forever), and support for
+//!    the `pulse_sim::watchdog` policy fallback (see
+//!    `Runtime::run_with_cluster` and `pulse-exp overload`).
 //!
 //! ```
 //! use pulse_runtime::{Runtime, RuntimeConfig};
@@ -42,12 +48,14 @@
 //! assert!(summary.latency_p50_ms() > 0.0);
 //! ```
 
+pub mod cluster;
 pub mod container;
 pub mod event;
 pub mod fault;
 pub mod metrics;
 pub mod runtime;
 
+pub use cluster::{AdmissionControl, ClusterConfig, NodeCapacity, OpsEvent};
 pub use container::{ContainerState, LiveContainer};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RetryPolicy};

@@ -1,8 +1,12 @@
 //! Millisecond-resolution accounting: per-request latency records,
 //! warm/cold counts, GB-millisecond keep-alive billing, and — under fault
 //! injection — failure/retry/degradation/timeout counters with availability
-//! and goodput.
+//! and goodput. Under a cluster configuration (capacity / admission /
+//! watchdog, see [`crate::cluster`]) the summary additionally counts shed
+//! requests, pressure evictions/downgrades and fallback minutes, and carries
+//! the ordered [`OpsEvent`] log.
 
+use crate::cluster::OpsEvent;
 use pulse_models::stats;
 
 /// One served (or failed) request.
@@ -67,6 +71,22 @@ pub struct RuntimeSummary {
     /// Containers reaped because the *cheapest* variant also failed to
     /// provision (the ladder offered no further fallback).
     pub reaped: u64,
+    /// Arrivals shed by admission control (they count as failed requests in
+    /// [`Self::availability`] and [`Self::goodput`] via their records).
+    pub shed_requests: u64,
+    /// Kept-alive models evicted by node-capacity pressure.
+    pub evictions: u64,
+    /// Kept-alive models downgraded one rung by node-capacity pressure
+    /// (distinct from the policy-initiated `downgrades`).
+    pub pressure_downgrades: u64,
+    /// Minute ticks at which the keep-alive plan exceeded the node capacity
+    /// and the enforcer had to act.
+    pub pressure_minutes: u64,
+    /// Minute ticks spent with the policy watchdog in its safe fallback.
+    pub fallback_minutes: u64,
+    /// Ordered operational log: capacity evictions/downgrades, sheds, and
+    /// watchdog transitions.
+    pub ops_events: Vec<OpsEvent>,
 }
 
 impl RuntimeSummary {

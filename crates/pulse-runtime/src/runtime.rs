@@ -57,16 +57,18 @@
 //! events, making `run_with_faults(policy, &FaultPlan::none())`
 //! bit-identical to [`Runtime::run`].
 
+use crate::cluster::{ClusterConfig, OpsEvent};
 use crate::container::{ContainerState, LiveContainer};
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{RequestRecord, RuntimeSummary};
 use crate::MS_PER_MINUTE;
-use pulse_core::global::{AliveModel, DowngradeAction};
+use pulse_core::global::{flatten_peak, AliveModel, DowngradeAction};
 use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::priority::PriorityStructure;
 use pulse_models::{CostModel, ModelFamily, VariantId};
 use pulse_sim::engine::HOLE;
-use pulse_sim::policy::KeepAlivePolicy;
+use pulse_sim::policy::{KeepAlivePolicy, MinuteObservation};
 use pulse_trace::Trace;
 use std::collections::VecDeque;
 
@@ -166,6 +168,21 @@ struct RunState {
     sampler: DurationSampler,
     injector: FaultInjector,
     cap: u32,
+    /// Requests currently waiting across all functions (for provisioning or
+    /// a concurrency slot) — the backlog admission control bounds.
+    pending: usize,
+    /// Downgrade counts of the capacity enforcer (shields repeat victims,
+    /// exactly as Algorithm 2's priority term does for policy peaks).
+    pressure_priority: PriorityStructure,
+    /// Arrivals observed since the last minute tick.
+    minute_requests: u64,
+    /// SLO violations (cold arrivals, terminal failures, sheds) since the
+    /// last minute tick.
+    minute_violations: u64,
+    /// Keep-alive memory billed at the last minute tick, MB.
+    last_billed_mb: f64,
+    /// Watchdog state at the last tick (for transition events).
+    prev_fallback: bool,
 }
 
 impl RunState {
@@ -226,6 +243,7 @@ impl RunState {
             let Some(req) = self.fns[func].waiting.pop_front() else {
                 break;
             };
+            self.pending -= 1;
             self.start_exec(fam, func, req, now);
         }
     }
@@ -238,6 +256,7 @@ impl RunState {
         self.req_done[req] = true;
         self.records[req].failed = true;
         self.records[req].done_ms = now;
+        self.minute_violations += 1;
     }
 
     /// A provisioning attempt failed: retry with backoff, or — once the
@@ -284,6 +303,7 @@ impl RunState {
             self.fns[func].container = None;
             self.fns[func].provision_attempts = 0;
             while let Some(r) = self.fns[func].waiting.pop_front() {
+                self.pending -= 1;
                 self.fail_request(r, now);
             }
         }
@@ -346,12 +366,17 @@ impl RunState {
                 if self.fns[func].in_flight < self.cap {
                     self.start_exec(fam, func, req, now);
                 } else {
+                    self.pending += 1;
                     self.fns[func].waiting.push_back(req);
                 }
             }
-            (None, true) => self.fns[func].waiting.push_back(req),
+            (None, true) => {
+                self.pending += 1;
+                self.fns[func].waiting.push_back(req);
+            }
             (None, false) => {
                 let v = self.req_warm_variant[req];
+                self.pending += 1;
                 self.fns[func].waiting.push_back(req);
                 self.fns[func].provision_attempts = 0;
                 self.begin_provision(fam, func, v, now, 0);
@@ -370,6 +395,7 @@ impl RunState {
         self.fail_request(req, now);
         if let Some(pos) = self.fns[func].waiting.iter().position(|&r| r == req) {
             self.fns[func].waiting.remove(pos);
+            self.pending -= 1;
         }
     }
 }
@@ -401,11 +427,27 @@ impl Runtime {
     /// Execute the whole trace under `policy` with faults injected per
     /// `plan`. See the module docs for the fault semantics; with
     /// [`FaultPlan::none`] this is bit-identical to [`Self::run`].
-    #[allow(clippy::needless_range_loop)] // parallel per-function tables
     pub fn run_with_faults(
         &self,
         policy: &mut dyn KeepAlivePolicy,
         plan: &FaultPlan,
+    ) -> RuntimeSummary {
+        self.run_with_cluster(policy, plan, &ClusterConfig::unlimited())
+    }
+
+    /// Execute the whole trace under `policy` with faults per `plan` on a
+    /// *finite* node: keep-alive memory is capped by
+    /// [`ClusterConfig::capacity`] (overage flattened by utility-ordered
+    /// pressure downgrades/evictions) and the pending backlog is bounded by
+    /// [`ClusterConfig::admission`] (excess arrivals shed). With
+    /// [`ClusterConfig::unlimited`] this is bit-identical to
+    /// [`Self::run_with_faults`].
+    #[allow(clippy::needless_range_loop)] // parallel per-function tables
+    pub fn run_with_cluster(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        cluster: &ClusterConfig,
     ) -> RuntimeSummary {
         let n = self.families.len();
         let minutes = self.trace.minutes() as u64;
@@ -430,6 +472,12 @@ impl Runtime {
             sampler: DurationSampler::new(self.config.stochastic_seed),
             injector: FaultInjector::new(plan),
             cap: self.config.max_concurrency.unwrap_or(u32::MAX),
+            pending: 0,
+            pressure_priority: PriorityStructure::new(n),
+            minute_requests: 0,
+            minute_violations: 0,
+            last_billed_mb: 0.0,
+            prev_fallback: false,
         };
         let mut req_func: Vec<usize> = Vec::new();
 
@@ -488,6 +536,32 @@ impl Runtime {
                 Event::MinuteTick { minute } => {
                     let invoked_last_minute = std::mem::take(&mut invoked_this_minute);
 
+                    // Close out the previous minute for the policy's
+                    // self-monitoring (a no-op for plain policies; the
+                    // watchdog wrapper may flip its fallback state here,
+                    // before this minute's planning).
+                    if minute > 0 {
+                        let obs = MinuteObservation {
+                            minute: minute - 1,
+                            requests: std::mem::take(&mut rs.minute_requests),
+                            slo_violations: std::mem::take(&mut rs.minute_violations),
+                            keepalive_mb: rs.last_billed_mb,
+                        };
+                        policy.observe_minute(&obs);
+                        let fb = policy.in_fallback();
+                        if fb {
+                            rs.summary.fallback_minutes += 1;
+                        }
+                        if fb != rs.prev_fallback {
+                            rs.prev_fallback = fb;
+                            rs.summary.ops_events.push(if fb {
+                                OpsEvent::WatchdogFallback { minute }
+                            } else {
+                                OpsEvent::WatchdogRecover { minute }
+                            });
+                        }
+                    }
+
                     // Demand from schedules.
                     let mut alive: Vec<AliveModel> = Vec::new();
                     let mut kam = 0.0f64;
@@ -526,6 +600,69 @@ impl Runtime {
                             DowngradeAction::Evict { func, .. } => {
                                 if let Some(s) = rs.fns[func].schedule.as_mut() {
                                     s.set_variant_at(minute, HOLE);
+                                }
+                            }
+                        }
+                    }
+
+                    // Node-capacity enforcement: when the post-adjustment
+                    // plan still exceeds the hard cap, flatten the overage
+                    // with Algorithm 2's utility-ordered downgrade loop
+                    // (lowest `Uv` first; the pressure priority structure
+                    // shields repeat victims across ticks). Applied before
+                    // billing, so the billed footprint can never exceed the
+                    // cap.
+                    if let Some(cap_mb) = cluster.capacity.keepalive_mb {
+                        let mut planned: Vec<AliveModel> = Vec::new();
+                        let mut planned_mb = 0.0f64;
+                        for (f, st) in rs.fns.iter().enumerate() {
+                            if let Some(v) = Self::schedule_variant(&st.schedule, minute) {
+                                planned_mb += self.families[f].variant(v).memory_mb;
+                                planned.push(AliveModel {
+                                    func: f,
+                                    variant: v,
+                                    invocation_probability: 0.0,
+                                });
+                            }
+                        }
+                        if planned_mb > cap_mb {
+                            rs.summary.pressure_minutes += 1;
+                            let outcome = flatten_peak(
+                                &mut planned,
+                                &self.families,
+                                &mut rs.pressure_priority,
+                                planned_mb,
+                                cap_mb,
+                            );
+                            for a in &outcome.actions {
+                                match *a {
+                                    DowngradeAction::Downgrade { func, from, to } => {
+                                        if let Some(s) = rs.fns[func].schedule.as_mut() {
+                                            if let Some(v) = s.variant_at(minute) {
+                                                if v != HOLE && v > to {
+                                                    s.set_variant_at(minute, to);
+                                                }
+                                            }
+                                        }
+                                        rs.summary.pressure_downgrades += 1;
+                                        rs.summary.ops_events.push(OpsEvent::PressureDowngrade {
+                                            minute,
+                                            func,
+                                            from,
+                                            to,
+                                        });
+                                    }
+                                    DowngradeAction::Evict { func, from } => {
+                                        if let Some(s) = rs.fns[func].schedule.as_mut() {
+                                            s.set_variant_at(minute, HOLE);
+                                        }
+                                        rs.summary.evictions += 1;
+                                        rs.summary.ops_events.push(OpsEvent::Evicted {
+                                            minute,
+                                            func,
+                                            from,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -584,18 +721,41 @@ impl Runtime {
                     rs.summary.keepalive_cost_usd +=
                         self.config.cost.keepalive_cost_usd_per_minutes(billed, 1.0);
                     rs.summary.memory_at_tick_mb.push(billed);
+                    rs.last_billed_mb = billed;
                 }
 
                 Event::Arrival { func, req } => {
-                    invoked_this_minute = true;
                     let minute = now / MS_PER_MINUTE;
                     let fam = &self.families[func];
-                    let need_schedule = rs.fns[func].scheduled_minute != Some(minute);
+                    rs.minute_requests += 1;
 
                     let held = rs.fns[func]
                         .container
                         .as_ref()
                         .map(|c| (c.is_warm(), c.variant));
+
+                    // Admission control: an arrival that cannot start
+                    // executing immediately joins the pending backlog; once
+                    // the backlog is full it is shed at the front door — no
+                    // schedule refresh, no provisioning, the policy never
+                    // hears about it.
+                    if let Some(max_pending) = cluster.admission.max_pending {
+                        let starts_now =
+                            matches!(held, Some((true, _))) && rs.fns[func].in_flight < rs.cap;
+                        if !starts_now && rs.pending >= max_pending {
+                            rs.summary.shed_requests += 1;
+                            rs.summary.ops_events.push(OpsEvent::Overloaded {
+                                at_ms: now,
+                                func,
+                                req,
+                            });
+                            rs.fail_request(req, now);
+                            continue;
+                        }
+                    }
+
+                    invoked_this_minute = true;
+                    let need_schedule = rs.fns[func].scheduled_minute != Some(minute);
                     match held {
                         Some((true, v)) => {
                             rs.records[req].warm = true;
@@ -604,6 +764,7 @@ impl Runtime {
                             if rs.fns[func].in_flight < rs.cap {
                                 rs.start_exec(fam, func, req, now);
                             } else {
+                                rs.pending += 1;
                                 rs.fns[func].waiting.push_back(req);
                             }
                         }
@@ -614,16 +775,19 @@ impl Runtime {
                             rs.records[req].warm = true;
                             rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
                             rs.req_warm_variant[req] = v;
+                            rs.pending += 1;
                             rs.fns[func].waiting.push_back(req);
                         }
                         None => {
-                            // Cold start.
+                            // Cold start (the runtime's SLO violation).
                             let v = policy.cold_start_variant(func, minute);
+                            rs.minute_violations += 1;
                             rs.records[req].warm = false;
                             rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
                             rs.req_warm_variant[req] = v;
                             rs.fns[func].provision_attempts = 0;
                             rs.begin_provision(fam, func, v, now, 0);
+                            rs.pending += 1;
                             rs.fns[func].waiting.push_back(req);
                         }
                     }
@@ -1000,6 +1164,166 @@ mod tests {
         assert_eq!(s.records[0].latency_ms(), 10);
         assert_eq!(s.availability(), 0.0);
         assert_eq!(s.goodput(10_000), 0.0);
+    }
+
+    #[test]
+    fn node_capacity_caps_every_minute_and_logs_pressure() {
+        use crate::cluster::{ClusterConfig, NodeCapacity};
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(41, 300);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        // Cap well below the all-high footprint OpenWhisk wants to keep.
+        let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let cap = all_high * 0.3;
+        let cluster = ClusterConfig {
+            capacity: NodeCapacity::mb(cap),
+            ..ClusterConfig::unlimited()
+        };
+        let s = rt.run_with_cluster(
+            &mut OpenWhiskFixed::new(&fams),
+            &FaultPlan::none(),
+            &cluster,
+        );
+        for (t, &mb) in s.memory_at_tick_mb.iter().enumerate() {
+            assert!(mb <= cap + 1e-9, "minute {t}: {mb} MB over cap {cap}");
+        }
+        assert!(
+            s.pressure_minutes > 0,
+            "the cap must have been under pressure"
+        );
+        assert!(s.evictions + s.pressure_downgrades > 0);
+        assert!(!s.ops_events.is_empty());
+        // The uncapped run exceeds the cap somewhere (the cap was binding).
+        let free = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert!(free.peak_memory_mb() > cap);
+    }
+
+    #[test]
+    fn admission_bound_sheds_backlogged_arrivals() {
+        use crate::cluster::{AdmissionControl, ClusterConfig, OpsEvent};
+        // A synchronized burst against a single-slot container: arrivals come
+        // every ~1.2 s while BERT-Large serves one request per ~2.2 s, so the
+        // backlog grows without bound unless admission sheds.
+        let (trace, fams) = one_func(&[50, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                max_concurrency: Some(1),
+                ..Default::default()
+            },
+        );
+        let cluster = ClusterConfig {
+            admission: AdmissionControl::bounded(8),
+            ..ClusterConfig::unlimited()
+        };
+        let s = rt.run_with_cluster(
+            &mut OpenWhiskFixed::new(&fams),
+            &FaultPlan::none(),
+            &cluster,
+        );
+        assert!(s.shed_requests > 0, "burst must overflow an 8-deep backlog");
+        assert_eq!(s.failed_requests(), s.shed_requests);
+        assert!(s.availability() < 1.0);
+        let shed_events = s
+            .ops_events
+            .iter()
+            .filter(|e| matches!(e, OpsEvent::Overloaded { .. }))
+            .count() as u64;
+        assert_eq!(shed_events, s.shed_requests);
+        // Unbounded admission serves everything.
+        let free = rt.run(&mut OpenWhiskFixed::new(&fams));
+        assert_eq!(free.failed_requests(), 0);
+        assert_eq!(free.shed_requests, 0);
+        assert_eq!(s.requests(), free.requests());
+    }
+
+    #[test]
+    fn unlimited_cluster_is_bit_identical_to_run_with_faults() {
+        use crate::cluster::ClusterConfig;
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(43, 240);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(9),
+                ..Default::default()
+            },
+        );
+        let plan = FaultPlan::uniform(0.2, 0.1, 0.05, 17).with_timeout_ms(120_000);
+        let a = rt.run_with_faults(
+            &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+            &plan,
+        );
+        let b = rt.run_with_cluster(
+            &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+            &plan,
+            &ClusterConfig::unlimited(),
+        );
+        assert_eq!(a.records, b.records);
+        assert_eq!(
+            a.keepalive_cost_usd.to_bits(),
+            b.keepalive_cost_usd.to_bits()
+        );
+        assert_eq!(b.shed_requests, 0);
+        assert_eq!(b.evictions, 0);
+        assert_eq!(b.pressure_minutes, 0);
+        assert_eq!(b.fallback_minutes, 0);
+        assert!(b.ops_events.is_empty());
+    }
+
+    #[test]
+    fn watchdog_falls_back_in_the_runtime_and_is_logged() {
+        use crate::cluster::{ClusterConfig, OpsEvent};
+        use pulse_sim::watchdog::{Watchdog, WatchdogConfig};
+
+        // A policy that never keeps anything alive: every arrival is a cold
+        // start, so the violation rate pins at 1.0 and the watchdog must
+        // bench it in favour of the fixed baseline.
+        struct NeverKeep;
+        impl KeepAlivePolicy for NeverKeep {
+            fn name(&self) -> &str {
+                "never-keep"
+            }
+            fn schedule_on_invocation(
+                &mut self,
+                _f: usize,
+                t: u64,
+            ) -> pulse_core::individual::KeepAliveSchedule {
+                pulse_core::individual::KeepAliveSchedule::new(t, Vec::new())
+            }
+            fn cold_start_variant(&mut self, _f: usize, _t: u64) -> usize {
+                0
+            }
+        }
+
+        let (trace, fams) = one_func(&[1; 60]);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let cfg = WatchdogConfig {
+            window: 5,
+            enter_after: 3,
+            exit_after: 10,
+            max_violation_rate: 0.5,
+            ..WatchdogConfig::default()
+        };
+        let mut wd = Watchdog::new(NeverKeep, &fams, cfg);
+        let s = rt.run_with_cluster(&mut wd, &FaultPlan::none(), &ClusterConfig::unlimited());
+        assert!(
+            s.fallback_minutes > 0,
+            "sustained cold storm must fall back"
+        );
+        assert!(s
+            .ops_events
+            .iter()
+            .any(|e| matches!(e, OpsEvent::WatchdogFallback { .. })));
+        assert!(wd.fallback_minutes() > 0);
+        // Once benched, the fixed baseline keeps the container warm: far
+        // fewer cold starts than never keeping anything.
+        let bare = rt.run(&mut NeverKeep);
+        assert!(s.cold_starts() < bare.cold_starts());
+        // The fixed baseline stays healthy, so it eventually recovers.
+        assert!(wd.transitions().iter().any(|tr| !tr.to_fallback) || wd.in_fallback());
     }
 
     #[test]

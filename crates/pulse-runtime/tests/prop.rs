@@ -3,9 +3,11 @@
 //! minute-resolution engine on arbitrary workloads.
 
 use proptest::prelude::*;
-use pulse_runtime::{Runtime, RuntimeConfig};
+use pulse_runtime::{
+    ClusterConfig, FaultInjector, FaultPlan, NodeCapacity, Runtime, RuntimeConfig,
+};
 use pulse_sim::assignment::round_robin_assignment;
-use pulse_sim::policies::OpenWhiskFixed;
+use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
 use pulse_sim::Simulator;
 use pulse_trace::{FunctionTrace, Trace};
 
@@ -87,5 +89,92 @@ proptest! {
         prop_assert_eq!(unbounded.cold_starts(), capped.cold_starts());
         prop_assert!((unbounded.keepalive_cost_usd - capped.keepalive_cost_usd).abs() < 1e-12);
         prop_assert!(capped.service_time_s() >= unbounded.service_time_s() - 1e-9);
+    }
+
+    /// Two fault injectors built from the same plan (same seed, same rates)
+    /// make identical draws, call for call — the replay-determinism
+    /// foundation every chaos experiment rests on.
+    #[test]
+    fn same_seed_injectors_draw_identically(
+        seed in 0u64..1_000,
+        provision in 0.0f64..1.0,
+        variant_load in 0.0f64..1.0,
+        exec_crash in 0.0f64..1.0,
+        calls in proptest::collection::vec((0usize..4, 0usize..3, 0u8..4), 1..200),
+    ) {
+        let plan = FaultPlan::uniform(provision, variant_load, exec_crash, seed);
+        let mut a = FaultInjector::new(&plan);
+        let mut b = FaultInjector::new(&plan);
+        for &(func, variant, kind) in &calls {
+            match kind {
+                0 => prop_assert_eq!(
+                    a.provision_fails(func, variant),
+                    b.provision_fails(func, variant)
+                ),
+                1 => prop_assert_eq!(
+                    a.variant_load_fails(func, variant),
+                    b.variant_load_fails(func, variant)
+                ),
+                2 => prop_assert_eq!(
+                    a.exec_crashes(func, variant),
+                    b.exec_crashes(func, variant)
+                ),
+                _ => prop_assert_eq!(
+                    a.crash_point_ms(1 + func as u64 * 997),
+                    b.crash_point_ms(1 + func as u64 * 997)
+                ),
+            }
+        }
+        // And the backoff schedules agree too.
+        for attempt in 1..8u32 {
+            prop_assert_eq!(a.backoff_ms(attempt), b.backoff_ms(attempt));
+        }
+    }
+
+    /// The node-capacity enforcer is a hard invariant, not a heuristic: the
+    /// billed keep-alive footprint never exceeds the cap at any minute, for
+    /// any workload, fault plan, policy, or cap level.
+    #[test]
+    fn keepalive_memory_never_exceeds_node_cap(
+        trace in arb_trace(),
+        cap_frac in 0.05f64..1.0,
+        seed in 0u64..100,
+        faulty in 0u8..2,
+        use_pulse in 0u8..2,
+    ) {
+        let (faulty, use_pulse) = (faulty == 1, use_pulse == 1);
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let cap = all_high * cap_frac;
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let plan = if faulty {
+            FaultPlan::uniform(0.2, 0.1, 0.05, seed)
+        } else {
+            FaultPlan::none()
+        };
+        let cluster = ClusterConfig {
+            capacity: NodeCapacity::mb(cap),
+            ..ClusterConfig::unlimited()
+        };
+        let mut fixed;
+        let mut pulse;
+        let policy: &mut dyn pulse_sim::KeepAlivePolicy = if use_pulse {
+            pulse = PulsePolicy::new(fams.clone(), Default::default());
+            &mut pulse
+        } else {
+            fixed = OpenWhiskFixed::new(&fams);
+            &mut fixed
+        };
+        let s = rt.run_with_cluster(policy, &plan, &cluster);
+        for (t, &mb) in s.memory_at_tick_mb.iter().enumerate() {
+            prop_assert!(
+                mb <= cap + 1e-9,
+                "minute {}: {} MB kept alive over the {} MB cap",
+                t, mb, cap
+            );
+        }
     }
 }

@@ -155,12 +155,15 @@ impl Simulator {
 
             // 3. Serve invocations.
             invoked_last_minute = false;
+            let mut minute_requests = 0u64;
+            let mut minute_cold = 0u64;
             for f in 0..n {
                 let count = self.trace.function(f).at(t) as u64;
                 if count == 0 {
                     continue;
                 }
                 invoked_last_minute = true;
+                minute_requests += count;
                 let fam = &self.families[f];
                 match Self::alive_variant(&schedules, f, t) {
                     Some(v) => {
@@ -176,6 +179,7 @@ impl Simulator {
                             + spec.warm_service_time_s * (count - 1) as f64;
                         metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
                         metrics.cold_starts += 1;
+                        minute_cold += 1;
                         metrics.warm_starts += count - 1;
                     }
                 }
@@ -188,6 +192,16 @@ impl Simulator {
             metrics.memory_series_mb.push(kam);
             metrics.cost_series_usd.push(minute_cost);
             mem_history.push(kam);
+
+            // 5. Report the completed minute back to the policy (a no-op for
+            // plain policies; the watchdog wrapper keys off it). A cold
+            // start is this engine's SLO violation.
+            policy.observe_minute(&crate::policy::MinuteObservation {
+                minute: t,
+                requests: minute_requests,
+                slo_violations: minute_cold,
+                keepalive_mb: kam,
+            });
         }
         metrics
     }

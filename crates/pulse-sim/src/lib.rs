@@ -41,7 +41,10 @@
 //! * [`assignment`] — randomized model-to-function assignment (the paper's
 //!   1000-run methodology);
 //! * [`runner`] — a crossbeam-parallel many-run harness with streaming
-//!   mean/σ aggregation.
+//!   mean/σ aggregation;
+//! * [`watchdog`] — a guardrailed wrapper over any policy that falls back to
+//!   the fixed 10-minute baseline (with hysteresis) when the policy's
+//!   SLO-violation rate or keep-alive overspend goes bad.
 
 pub mod assignment;
 pub mod engine;
@@ -49,7 +52,9 @@ pub mod metrics;
 pub mod policies;
 pub mod policy;
 pub mod runner;
+pub mod watchdog;
 
 pub use engine::Simulator;
 pub use metrics::RunMetrics;
-pub use policy::KeepAlivePolicy;
+pub use policy::{KeepAlivePolicy, MinuteObservation};
+pub use watchdog::{Watchdog, WatchdogConfig};

@@ -5,6 +5,24 @@ use pulse_core::individual::KeepAliveSchedule;
 use pulse_core::types::{FuncId, Minute};
 use pulse_models::{ModelFamily, VariantId};
 
+/// What one simulated minute looked like from the platform's side, fed back
+/// to the policy after the minute completes (see
+/// [`KeepAlivePolicy::observe_minute`]). Both engines report it: the minute
+/// engine counts a cold start as the SLO violation, the event-driven runtime
+/// additionally counts terminal failures and shed requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinuteObservation {
+    /// The minute that just completed.
+    pub minute: Minute,
+    /// Requests that arrived during the minute.
+    pub requests: u64,
+    /// Requests that violated the SLO during the minute (cold starts in the
+    /// minute engine; cold starts + failures + sheds in the runtime).
+    pub slo_violations: u64,
+    /// Keep-alive memory billed for the minute, MB.
+    pub keepalive_mb: f64,
+}
+
 /// A keep-alive policy: decides which variant container (if any) each
 /// function keeps alive at each minute, and how to react to memory peaks.
 ///
@@ -15,7 +33,10 @@ use pulse_models::{ModelFamily, VariantId};
 ///   container — the variant launched for that cold start;
 /// * [`Self::adjust_minute`] once per minute *before* invocations are served
 ///   — the policy may return downgrade/evict actions (cross-function
-///   optimization). Policies without a global layer use the default no-op.
+///   optimization). Policies without a global layer use the default no-op;
+/// * [`Self::observe_minute`] after each minute completes — feedback for
+///   self-monitoring wrappers such as [`crate::watchdog::Watchdog`]. The
+///   default is a no-op, so plain policies are unaffected.
 pub trait KeepAlivePolicy: Send {
     /// Human-readable policy name for reports.
     fn name(&self) -> &str;
@@ -45,6 +66,58 @@ pub trait KeepAlivePolicy: Send {
         _alive: &mut Vec<AliveModel>,
     ) -> Vec<DowngradeAction> {
         Vec::new()
+    }
+
+    /// Feedback after a minute completes: request count, SLO violations and
+    /// billed keep-alive memory. Default: ignore it.
+    fn observe_minute(&mut self, _obs: &MinuteObservation) {}
+
+    /// Whether the policy is currently serving from a safety fallback (see
+    /// [`crate::watchdog::Watchdog`]). Plain policies never are.
+    fn in_fallback(&self) -> bool {
+        false
+    }
+}
+
+/// Boxed policies forward everything, so wrappers generic over
+/// `P: KeepAlivePolicy` (e.g. [`crate::watchdog::Watchdog`]) also accept
+/// `Box<dyn KeepAlivePolicy>`.
+impl<P: KeepAlivePolicy + ?Sized> KeepAlivePolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule_on_invocation(&mut self, f: FuncId, t: Minute) -> KeepAliveSchedule {
+        (**self).schedule_on_invocation(f, t)
+    }
+
+    fn cold_start_variant(&mut self, f: FuncId, t: Minute) -> VariantId {
+        (**self).cold_start_variant(f, t)
+    }
+
+    fn adjust_minute(
+        &mut self,
+        t: Minute,
+        mem_history: &[f64],
+        first_minute_of_period: bool,
+        current_kam_mb: f64,
+        alive: &mut Vec<AliveModel>,
+    ) -> Vec<DowngradeAction> {
+        (**self).adjust_minute(
+            t,
+            mem_history,
+            first_minute_of_period,
+            current_kam_mb,
+            alive,
+        )
+    }
+
+    fn observe_minute(&mut self, obs: &MinuteObservation) {
+        (**self).observe_minute(obs)
+    }
+
+    fn in_fallback(&self) -> bool {
+        (**self).in_fallback()
     }
 }
 
@@ -84,5 +157,17 @@ mod tests {
         let mut alive = Vec::new();
         let actions = p.adjust_minute(5, &[1.0, 2.0], false, 100.0, &mut alive);
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn default_observe_is_noop_and_never_in_fallback() {
+        let mut p = Noop;
+        p.observe_minute(&MinuteObservation {
+            minute: 3,
+            requests: 10,
+            slo_violations: 10,
+            keepalive_mb: 1e9,
+        });
+        assert!(!p.in_fallback());
     }
 }

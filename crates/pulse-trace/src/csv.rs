@@ -75,24 +75,44 @@ pub struct QuarantinedRow {
     pub reason: ParseError,
 }
 
+/// Max quarantined rows retained in [`QuarantineReport::rows`]. Past this,
+/// only the total is counted — a multi-GB trace where *every* row is corrupt
+/// must not balloon the report into a second copy of the input.
+pub const QUARANTINE_SAMPLE_CAP: usize = 64;
+
 /// The malformed rows a lenient parse set aside instead of aborting on.
+///
+/// Holds at most [`QUARANTINE_SAMPLE_CAP`] sample rows; [`Self::quarantined`]
+/// always reports the *total* count, which can be larger.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QuarantineReport {
-    /// Quarantined rows, in input order.
+    /// The first [`QUARANTINE_SAMPLE_CAP`] quarantined rows, in input order.
     pub rows: Vec<QuarantinedRow>,
     /// Rows that parsed cleanly.
     pub accepted: usize,
+    /// Total quarantined rows, including those beyond the retained sample.
+    total: usize,
 }
 
 impl QuarantineReport {
     /// True when every row parsed cleanly.
     pub fn is_clean(&self) -> bool {
-        self.rows.is_empty()
+        self.total == 0
     }
 
-    /// Number of quarantined rows.
+    /// Total number of quarantined rows (may exceed `rows.len()` once the
+    /// sample cap is hit).
     pub fn quarantined(&self) -> usize {
-        self.rows.len()
+        self.total
+    }
+
+    /// Record one quarantined row, retaining it only while the sample has
+    /// room.
+    fn note(&mut self, row: QuarantinedRow) {
+        self.total += 1;
+        if self.rows.len() < QUARANTINE_SAMPLE_CAP {
+            self.rows.push(row);
+        }
     }
 }
 
@@ -106,6 +126,10 @@ impl std::fmt::Display for QuarantineReport {
         )?;
         for r in &self.rows {
             writeln!(f, "  line {}: {:?}: {}", r.line, r.name, r.reason)?;
+        }
+        let unsampled = self.total - self.rows.len();
+        if unsampled > 0 {
+            writeln!(f, "  … and {unsampled} more (sample capped)")?;
         }
         Ok(())
     }
@@ -191,7 +215,7 @@ pub fn from_simple_csv_lenient(s: &str) -> Result<(Trace, QuarantineReport), Par
                 report.accepted += 1;
                 functions.push(f);
             }
-            Err(reason) => report.rows.push(QuarantinedRow {
+            Err(reason) => report.note(QuarantinedRow {
                 line: i + 1,
                 name: line.split(',').next().unwrap_or("").to_string(),
                 reason,
@@ -323,7 +347,7 @@ pub fn parse_azure_day_lenient(s: &str) -> Result<(AzureDay, QuarantineReport), 
                 report.accepted += 1;
                 functions.insert(key, counts);
             }
-            Err(reason) => report.rows.push(QuarantinedRow {
+            Err(reason) => report.note(QuarantinedRow {
                 line: i + 1,
                 name: {
                     let c: Vec<&str> = line.splitn(4, ',').collect();
@@ -464,6 +488,30 @@ mod tests {
         assert_eq!(t, from_simple_csv(&csv).unwrap());
         assert!(report.is_clean());
         assert_eq!(report.accepted, 2);
+    }
+
+    #[test]
+    fn quarantine_sample_is_capped_but_the_count_is_not() {
+        // 200 corrupt rows + 1 clean one: the report keeps only the first
+        // QUARANTINE_SAMPLE_CAP rows but still counts all 200.
+        let mut csv = String::from("function,0,1\nok,1,2\n");
+        for i in 0..200 {
+            csv.push_str(&format!("bad{i},x,y\n"));
+        }
+        let (t, report) = from_simple_csv_lenient(&csv).unwrap();
+        assert_eq!(t.n_functions(), 1);
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.quarantined(), 200);
+        assert_eq!(report.rows.len(), QUARANTINE_SAMPLE_CAP);
+        assert!(!report.is_clean());
+        // The sample holds the *first* offenders, in input order.
+        assert_eq!(report.rows[0].name, "bad0");
+        assert_eq!(report.rows[QUARANTINE_SAMPLE_CAP - 1].name, "bad63");
+        // Display stays bounded and says how much it elided.
+        let shown = report.to_string();
+        assert_eq!(shown.lines().count(), 1 + QUARANTINE_SAMPLE_CAP + 1);
+        assert!(shown.contains("200 quarantined"));
+        assert!(shown.contains("136 more"));
     }
 
     #[test]

@@ -57,10 +57,13 @@ pub use pulse_trace as trace;
 pub mod prelude {
     pub use pulse_core::{PulseConfig, PulseEngine};
     pub use pulse_models::{CostModel, ModelFamily, VariantSpec};
-    pub use pulse_runtime::{FaultPlan, FaultRates, RetryPolicy, Runtime, RuntimeConfig};
+    pub use pulse_runtime::{
+        AdmissionControl, ClusterConfig, FaultPlan, FaultRates, NodeCapacity, OpsEvent,
+        RetryPolicy, Runtime, RuntimeConfig,
+    };
     pub use pulse_sim::policies::{
         FixedVariant, IdealOracle, IntelligentOracle, OpenWhiskFixed, PulsePolicy, RandomMix,
     };
-    pub use pulse_sim::{KeepAlivePolicy, RunMetrics, Simulator};
+    pub use pulse_sim::{KeepAlivePolicy, RunMetrics, Simulator, Watchdog, WatchdogConfig};
     pub use pulse_trace::{FunctionTrace, Trace};
 }

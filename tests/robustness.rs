@@ -169,9 +169,11 @@ fn chaos_seed() -> u64 {
         .unwrap_or(7)
 }
 
-#[test]
-fn zero_fault_plan_is_bitwise_identical_for_every_policy() {
-    use pulse::runtime::{FaultPlan, Runtime, RuntimeConfig};
+/// Builds a fresh instance of a named policy; one factory per policy in
+/// pulse-sim/src/policies/. Shared by the bit-identity suites below.
+type PolicyFactory = Box<dyn Fn() -> Box<dyn KeepAlivePolicy>>;
+
+fn policy_factories(fams: &[ModelFamily], trace: &Trace) -> Vec<(&'static str, PolicyFactory)> {
     use pulse::sim::policies::{
         CapacityPulse, CapacityRandom, FixedVariant, IdealOracle, IntelligentOracle,
         OpenWhiskFixed, PulsePolicy, RandomMix,
@@ -179,25 +181,12 @@ fn zero_fault_plan_is_bitwise_identical_for_every_policy() {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    let seed = chaos_seed();
-    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
-    let fams = zoo12();
-    let rt = Runtime::new(
-        trace.clone(),
-        fams.clone(),
-        RuntimeConfig {
-            stochastic_seed: Some(seed),
-            ..RuntimeConfig::default()
-        },
-    );
-
-    // One factory per policy in pulse-sim/src/policies/: the trivial fault
-    // plan must not perturb a single bit of any of their summaries.
-    type PolicyFactory = Box<dyn Fn() -> Box<dyn KeepAlivePolicy>>;
-    let factories: Vec<(&str, PolicyFactory)> = vec![
+    let fams = fams.to_vec();
+    vec![
         ("openwhisk", {
             let f = fams.clone();
-            Box::new(move || Box::new(OpenWhiskFixed::new(&f)))
+            Box::new(move || Box::new(OpenWhiskFixed::new(&f)) as Box<dyn KeepAlivePolicy>)
+                as PolicyFactory
         }),
         ("pulse", {
             let f = fams.clone();
@@ -243,9 +232,28 @@ fn zero_fault_plan_is_bitwise_identical_for_every_policy() {
                 ))
             })
         }),
-    ];
+    ]
+}
 
-    for (name, make) in &factories {
+#[test]
+fn zero_fault_plan_is_bitwise_identical_for_every_policy() {
+    use pulse::runtime::{FaultPlan, Runtime, RuntimeConfig};
+
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+
+    // The trivial fault plan must not perturb a single bit of any policy's
+    // summary.
+    for (name, make) in &policy_factories(&fams, &trace) {
         let plain = rt.run(make().as_mut());
         let faulted = rt.run_with_faults(make().as_mut(), &FaultPlan::none());
         assert_eq!(plain.records, faulted.records, "{name}: records diverged");
@@ -272,6 +280,104 @@ fn zero_fault_plan_is_bitwise_identical_for_every_policy() {
         assert_eq!(faulted.degradations, 0, "{name}");
         assert_eq!(faulted.timeouts, 0, "{name}");
         assert_eq!(faulted.failed_requests(), 0, "{name}");
+    }
+}
+
+#[test]
+fn unlimited_cluster_is_bitwise_identical_for_every_policy() {
+    use pulse::runtime::{ClusterConfig, FaultPlan, Runtime, RuntimeConfig};
+
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // A decidedly non-trivial fault plan: the robustness layer must be a
+    // pure pass-through when capacity is unlimited, admission unbounded and
+    // no watchdog is wrapped — even while faults, retries, degradations and
+    // timeouts are all firing.
+    let plan = FaultPlan::uniform(0.2, 0.1, 0.05, seed).with_timeout_ms(120_000);
+
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let faults = rt.run_with_faults(make().as_mut(), &plan);
+        let cluster = rt.run_with_cluster(make().as_mut(), &plan, &ClusterConfig::unlimited());
+        assert_eq!(faults.records, cluster.records, "{name}: records diverged");
+        assert_eq!(
+            faults.keepalive_cost_usd.to_bits(),
+            cluster.keepalive_cost_usd.to_bits(),
+            "{name}: cost not bitwise equal"
+        );
+        let a: Vec<u64> = faults
+            .memory_at_tick_mb
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        let b: Vec<u64> = cluster
+            .memory_at_tick_mb
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(a, b, "{name}: memory series diverged");
+        assert_eq!(
+            faults.provision_failures, cluster.provision_failures,
+            "{name}"
+        );
+        assert_eq!(faults.exec_crashes, cluster.exec_crashes, "{name}");
+        assert_eq!(faults.degradations, cluster.degradations, "{name}");
+        assert_eq!(faults.timeouts, cluster.timeouts, "{name}");
+        assert_eq!(
+            faults.accuracy_penalty_pct.to_bits(),
+            cluster.accuracy_penalty_pct.to_bits(),
+            "{name}"
+        );
+        // The robustness counters must all stay silent.
+        assert_eq!(cluster.shed_requests, 0, "{name}");
+        assert_eq!(cluster.evictions, 0, "{name}");
+        assert_eq!(cluster.pressure_downgrades, 0, "{name}");
+        assert_eq!(cluster.pressure_minutes, 0, "{name}");
+        assert_eq!(cluster.fallback_minutes, 0, "{name}");
+        assert!(cluster.ops_events.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn disabled_watchdog_is_bitwise_transparent_for_every_policy() {
+    use pulse::runtime::{ClusterConfig, FaultPlan, Runtime, RuntimeConfig};
+    use pulse::sim::{Watchdog, WatchdogConfig};
+
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 150);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    let plan = FaultPlan::uniform(0.2, 0.1, 0.05, seed).with_timeout_ms(120_000);
+
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let bare = rt.run_with_faults(make().as_mut(), &plan);
+        let mut wrapped = Watchdog::new(make(), &fams, WatchdogConfig::disabled());
+        let watched = rt.run_with_cluster(&mut wrapped, &plan, &ClusterConfig::unlimited());
+        assert_eq!(bare.records, watched.records, "{name}: records diverged");
+        assert_eq!(
+            bare.keepalive_cost_usd.to_bits(),
+            watched.keepalive_cost_usd.to_bits(),
+            "{name}: cost not bitwise equal"
+        );
+        assert_eq!(watched.fallback_minutes, 0, "{name}");
+        assert!(watched.ops_events.is_empty(), "{name}");
+        assert!(!wrapped.in_fallback(), "{name}");
+        assert!(wrapped.transitions().is_empty(), "{name}");
     }
 }
 
