@@ -1,0 +1,84 @@
+//! Schedule-ledger hot path: the operations both engines now route through
+//! `pulse_core::schedule::ScheduleLedger` once per simulated minute —
+//! footprint metering over the whole fleet, downgrade/eviction application,
+//! and the per-invocation schedule refresh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pulse_core::global::DowngradeAction;
+use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::schedule::ScheduleLedger;
+use pulse_models::{zoo, ModelFamily};
+
+/// A fleet of `n` functions round-robined over the standard zoo, every
+/// function planning its highest variant for a 10-minute window from t=0.
+fn setup(n: usize) -> (Vec<ModelFamily>, ScheduleLedger) {
+    let families = zoo::standard();
+    let fams: Vec<_> = (0..n)
+        .map(|i| families[i % families.len()].clone())
+        .collect();
+    let mut ledger = ScheduleLedger::new(n);
+    for (f, fam) in fams.iter().enumerate() {
+        ledger.replace(f, KeepAliveSchedule::constant(0, fam.highest_id(), 10));
+    }
+    (fams, ledger)
+}
+
+fn bench(c: &mut Criterion) {
+    // The per-minute metering pass: one ascending sweep building the alive
+    // set and the summed footprint (stage 1 of both engines' minute tick).
+    let mut group = c.benchmark_group("ledger_minute_footprint");
+    for &n in &[12usize, 100, 1000] {
+        let (fams, ledger) = setup(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ledger.minute_footprint(&fams, 5))
+        });
+    }
+    group.finish();
+
+    // The billing-only query (no alive-set allocation), as used by the
+    // simulator's post-adjustment meter.
+    let mut group = c.benchmark_group("ledger_keep_alive_mb_at");
+    for &n in &[12usize, 100, 1000] {
+        let (fams, ledger) = setup(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ledger.keep_alive_mb_at(&fams, 5))
+        });
+    }
+    group.finish();
+
+    // Applying a full fleet's worth of peak-flattening actions (alternating
+    // one-rung downgrades and evictions) against minute t.
+    c.bench_function("ledger_apply_actions_100", |b| {
+        let actions: Vec<DowngradeAction> = (0..100)
+            .map(|f| {
+                if f % 2 == 0 {
+                    DowngradeAction::Downgrade {
+                        func: f,
+                        from: 2,
+                        to: 1,
+                    }
+                } else {
+                    DowngradeAction::Evict { func: f, from: 0 }
+                }
+            })
+            .collect();
+        b.iter_batched(
+            || setup(100).1,
+            |mut ledger| ledger.apply_actions(5, &actions),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // The per-invocation schedule refresh: replace one function's plan.
+    c.bench_function("ledger_replace_schedule", |b| {
+        let (_, mut ledger) = setup(100);
+        b.iter(|| ledger.replace(37, KeepAliveSchedule::constant(9, 1, 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -12,6 +12,7 @@ pub mod no_cast;
 pub mod no_unwrap;
 pub mod probability_usage;
 pub mod pub_docs;
+pub mod variant_sentinel;
 pub mod wall_clock;
 
 use crate::diagnostics::Diagnostic;
@@ -60,6 +61,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(wall_clock::WallClock),
         Box::new(pub_docs::PubDocs),
         Box::new(probability_usage::ProbabilityUsage),
+        Box::new(variant_sentinel::VariantSentinel),
     ]
 }
 

@@ -1,0 +1,172 @@
+//! `variant-sentinel`: the raw hole sentinel stays inside the ledger module.
+//!
+//! Keep-alive plans encode "no container this minute" as the sentinel
+//! variant id `usize::MAX` (`pulse_core::schedule::HOLE`). Every consumer is
+//! expected to speak the typed `Slot` vocabulary — `Slot::Alive(v)` /
+//! `Slot::Hole` — and the `ScheduleLedger` accessors instead of comparing
+//! raw ids: a raw sentinel that leaks into arithmetic or a footprint sum
+//! silently produces astronomically wrong variants. This rule flags, outside
+//! `crates/pulse-core/src/schedule.rs` (the module that owns the encoding):
+//!
+//! * `usize::MAX` on lines that also mention variants, slots, or holes —
+//!   minting a new sentinel value (other `usize::MAX` uses, e.g. the simplex
+//!   basis placeholder or saturating index conversions, are fine);
+//! * any standalone `HOLE` identifier reference — consuming the sentinel.
+//!
+//! The one sanctioned exception, `pulse_sim::engine`'s deprecated
+//! compatibility re-export, carries a waiver naming this rule.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+use std::path::Path;
+
+/// See module docs.
+pub struct VariantSentinel;
+
+/// The module that owns the sentinel encoding and may spell it freely.
+const LEDGER_MODULE: &str = "crates/pulse-core/src/schedule.rs";
+
+/// Tokens that mark a `usize::MAX` line as slot/variant-related.
+const SLOT_CONTEXT: &[&str] = &["variant", "Variant", "HOLE", "slot", "Slot", "hole", "Hole"];
+
+impl Rule for VariantSentinel {
+    fn name(&self) -> &'static str {
+        "variant-sentinel"
+    }
+
+    fn description(&self) -> &'static str {
+        "no raw usize::MAX variant sentinel or HOLE reference outside pulse-core's ledger module"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::AllCrates
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        if file.path == Path::new(LEDGER_MODULE) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, line) in file.masked_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            if line.contains("usize::MAX") && SLOT_CONTEXT.iter().any(|t| line.contains(t)) {
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        lineno,
+                        "variant-sentinel",
+                        "raw `usize::MAX` minted as a variant/slot sentinel",
+                    )
+                    .with_hint(
+                        "use pulse_core::schedule::Slot (Alive/Hole) and the ScheduleLedger \
+                         accessors; the encoding lives in pulse-core's schedule module only",
+                    ),
+                );
+            }
+            for (pos, _) in line.match_indices("HOLE") {
+                if standalone_identifier(line, pos, "HOLE") {
+                    out.push(
+                        Diagnostic::new(
+                            file.path.clone(),
+                            lineno,
+                            "variant-sentinel",
+                            "reference to the raw `HOLE` sentinel outside the ledger module",
+                        )
+                        .with_hint(
+                            "match on pulse_core::schedule::Slot instead of comparing against \
+                             the sentinel id",
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Is `tok` at byte offset `pos` a standalone identifier (not a fragment of
+/// a longer identifier such as `WHOLE` or `HOLE_COUNT`)?
+fn standalone_identifier(line: &str, pos: usize, tok: &str) -> bool {
+    let before = line[..pos].chars().next_back();
+    let after = line[pos + tok.len()..].chars().next();
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    !before.is_some_and(is_ident) && !after.is_some_and(is_ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check_at(path: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from(path), "pulse-sim", text);
+        VariantSentinel.check(&f)
+    }
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        check_at("crates/pulse-sim/src/engine.rs", text)
+    }
+
+    #[test]
+    fn flags_minting_a_variant_sentinel() {
+        let ds = check("pub const HOLE: VariantId = usize::MAX;\n");
+        // Both faces of the offence on one line: the mint and the reference.
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].message.contains("usize::MAX"));
+    }
+
+    #[test]
+    fn flags_sentinel_comparison() {
+        let ds = check("if plan[i] == HOLE { continue; }\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("HOLE"));
+    }
+
+    #[test]
+    fn unrelated_usize_max_is_fine() {
+        // The simplex basis placeholder and saturating index conversions.
+        let ds = check("let mut basis = vec![usize::MAX; m];\n");
+        assert!(ds.is_empty());
+        let ds = check("usize::try_from(gap).unwrap_or(usize::MAX)\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn longer_identifiers_are_not_the_sentinel() {
+        let ds = check("let WHOLE = 1; let HOLE_COUNT = 2; let n = WHOLE + HOLE_COUNT;\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn ledger_module_is_exempt() {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/pulse-core/src/schedule.rs"),
+            "pulse-core",
+            "pub const HOLE: VariantId = usize::MAX;\nif raw == HOLE {}\n",
+        );
+        assert!(VariantSentinel.check(&f).is_empty());
+    }
+
+    #[test]
+    fn waiver_and_test_code_are_exempt() {
+        let ds = check(
+            "// audit:allow(variant-sentinel): deprecated compatibility re-export\n\
+             pub const HOLE: VariantId = pulse_core::schedule::HOLE;\n\
+             #[cfg(test)]\nmod t { fn f() { assert_eq!(HOLE, usize::MAX); } }\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let ds = check(
+            "// the HOLE sentinel is documented here\n\
+             let note = \"see schedule::HOLE for the encoding\";\n",
+        );
+        assert!(ds.is_empty());
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::convert::{gap_to_index, len_to_u32, len_to_u64, window_to_len};
 use crate::interarrival::GapProbabilities;
+use crate::schedule::Slot;
 use crate::thresholds::ThresholdScheme;
 use crate::types::Minute;
 use pulse_models::VariantId;
@@ -35,6 +36,15 @@ impl KeepAliveSchedule {
     /// Build from an explicit plan (offset 1 first).
     pub fn new(invoked_at: Minute, plan: Vec<VariantId>) -> Self {
         Self { invoked_at, plan }
+    }
+
+    /// Build from typed slots (offset 1 first) — the supported way to plan
+    /// windows with dead minutes (see [`crate::schedule::Slot::Hole`]).
+    pub fn from_slots(invoked_at: Minute, slots: impl IntoIterator<Item = Slot>) -> Self {
+        Self {
+            invoked_at,
+            plan: slots.into_iter().map(Slot::into_raw).collect(),
+        }
     }
 
     /// Schedule that keeps `variant` alive for the whole window — the shape
@@ -66,6 +76,18 @@ impl KeepAliveSchedule {
             .and_then(|m| self.variant_at_offset(m))
     }
 
+    /// Typed slot at minute-offset `m` (1-based), `None` outside the window.
+    /// Unlike [`Self::variant_at_offset`], holes come back as
+    /// [`Slot::Hole`] instead of the raw sentinel.
+    pub fn slot_at_offset(&self, m: u64) -> Option<Slot> {
+        self.variant_at_offset(m).map(Slot::from_raw)
+    }
+
+    /// Typed slot at absolute minute `t`, `None` outside the window.
+    pub fn slot_at(&self, t: Minute) -> Option<Slot> {
+        self.variant_at(t).map(Slot::from_raw)
+    }
+
     /// Last minute covered by the window.
     pub fn expires_at(&self) -> Minute {
         self.invoked_at + len_to_u64(self.plan.len())
@@ -89,6 +111,12 @@ impl KeepAliveSchedule {
                 }
             }
         }
+    }
+
+    /// Replace the typed slot at absolute minute `t` (no-op outside the
+    /// window) — [`crate::schedule::ScheduleLedger`]'s write path.
+    pub fn set_slot_at(&mut self, t: Minute, slot: Slot) {
+        self.set_variant_at(t, slot.into_raw());
     }
 }
 

@@ -52,6 +52,7 @@ pub mod online;
 pub mod peak;
 pub mod priority;
 pub mod probability;
+pub mod schedule;
 pub mod thresholds;
 pub mod types;
 pub mod utility;
@@ -63,6 +64,7 @@ pub use online::OnlineInterArrival;
 pub use peak::PeakDetector;
 pub use priority::PriorityStructure;
 pub use probability::{Probability, ProbabilityError};
+pub use schedule::{MinuteFootprint, ScheduleLedger, Slot};
 pub use thresholds::{CustomThresholds, SchemeT1, SchemeT2, ThresholdError, ThresholdScheme};
 pub use types::{ConfigError, FuncId, Minute, PulseConfig};
 pub use utility::utility_value;

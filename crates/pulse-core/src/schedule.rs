@@ -1,0 +1,398 @@
+//! The schedule ledger: the one place that owns keep-alive slot semantics.
+//!
+//! Every engine in the workspace — the minute-resolution simulator
+//! (`pulse-sim`), the event-driven runtime (`pulse-runtime`), and any future
+//! online/sharded serving mode — accounts the same way: *which variant each
+//! function's schedule holds at each minute* determines billing, downgrade
+//! application (Algorithm 2) and warm/cold outcomes. This module extracts
+//! that shared substrate so it is implemented once:
+//!
+//! * [`Slot`] — a typed per-minute slot: [`Slot::Alive`] with a variant, or
+//!   [`Slot::Hole`] (a planned-but-dead minute, used by oracle and
+//!   forecast-integrated policies that keep containers alive at
+//!   non-contiguous minutes). The raw encoding inside
+//!   [`KeepAliveSchedule`]'s plan vector is the [`HOLE`] sentinel; `Slot` is
+//!   the only supported way to produce or consume it.
+//! * [`ScheduleLedger`] — the per-function schedule table with the footprint
+//!   and billing queries ([`ScheduleLedger::alive_variant_at`],
+//!   [`ScheduleLedger::keep_alive_mb_at`],
+//!   [`ScheduleLedger::keepalive_cost_usd_at`]) and the single
+//!   downgrade/eviction routine ([`ScheduleLedger::apply_downgrade`],
+//!   [`ScheduleLedger::apply_eviction`]) that engines previously hand-rolled.
+//!
+//! # Downgrade semantics
+//!
+//! Algorithm 2 downgrades are decisions for the peak minute `t` ("for every
+//! time period t classified as peak"): [`ScheduleLedger::apply_downgrade`]
+//! clamps minute `t` of the schedule only — if the demand is still peaked at
+//! `t + 1`, the detector fires again there. The clamp never *raises* a slot:
+//! a minute already at or below the requested rung (or a hole) is left
+//! untouched, so repeated downgrade actions against the same minute are
+//! monotone — the slot can only move down the ladder within the window.
+//! [`ScheduleLedger::apply_eviction`] punches a [`Slot::Hole`] at minute `t`.
+
+use crate::global::{AliveModel, DowngradeAction};
+use crate::individual::KeepAliveSchedule;
+use crate::types::{FuncId, Minute};
+use pulse_models::{CostModel, ModelFamily, VariantId};
+
+/// Raw in-plan marker for a "dead" minute inside a schedule: the container
+/// is not alive even though the plan covers the minute. This is the storage
+/// encoding of [`Slot::Hole`]; code outside this module should use [`Slot`]
+/// rather than comparing against the sentinel (the `variant-sentinel` audit
+/// rule enforces this).
+pub const HOLE: VariantId = usize::MAX;
+
+/// One minute of a keep-alive plan, typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// A container holding `VariantId` is kept alive during the minute.
+    Alive(VariantId),
+    /// The plan covers the minute but keeps nothing alive (oracle /
+    /// forecast policies warm non-contiguous minutes).
+    Hole,
+}
+
+impl Slot {
+    /// Decode a raw plan entry ([`HOLE`] ⇒ [`Slot::Hole`]).
+    pub fn from_raw(raw: VariantId) -> Self {
+        if raw == HOLE {
+            Slot::Hole
+        } else {
+            Slot::Alive(raw)
+        }
+    }
+
+    /// Encode for plan storage ([`Slot::Hole`] ⇒ [`HOLE`]).
+    pub fn into_raw(self) -> VariantId {
+        match self {
+            Slot::Alive(v) => v,
+            Slot::Hole => HOLE,
+        }
+    }
+
+    /// The kept-alive variant, `None` for a hole.
+    pub fn alive(self) -> Option<VariantId> {
+        match self {
+            Slot::Alive(v) => Some(v),
+            Slot::Hole => None,
+        }
+    }
+
+    /// Whether this slot keeps nothing alive.
+    pub fn is_hole(self) -> bool {
+        matches!(self, Slot::Hole)
+    }
+}
+
+/// The alive set and total keep-alive footprint of one minute, computed in
+/// one pass so cross-function optimization and billing agree by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinuteFootprint {
+    /// Kept-alive models at the minute, in function order, with
+    /// `invocation_probability` zeroed (the policy fills it in).
+    pub alive: Vec<AliveModel>,
+    /// Total keep-alive memory at the minute, MB. Summed in ascending
+    /// function order — engines bill from this exact value, so the addition
+    /// order is part of the bit-identity contract.
+    pub total_mb: f64,
+}
+
+/// Per-function keep-alive schedules plus the footprint/billing/downgrade
+/// semantics shared by every engine.
+///
+/// The ledger holds at most one schedule per function (each invocation
+/// replaces the function's plan, exactly as the paper's individual
+/// optimization prescribes) and answers minute-indexed queries against it.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleLedger {
+    schedules: Vec<Option<KeepAliveSchedule>>,
+}
+
+impl ScheduleLedger {
+    /// An empty ledger for `n_functions` functions.
+    pub fn new(n_functions: usize) -> Self {
+        Self {
+            schedules: vec![None; n_functions],
+        }
+    }
+
+    /// Number of functions tracked.
+    pub fn n_functions(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The current schedule of `f`, if any.
+    pub fn schedule(&self, f: FuncId) -> Option<&KeepAliveSchedule> {
+        self.schedules.get(f).and_then(Option::as_ref)
+    }
+
+    /// Replace `f`'s plan (the policy's response to an invocation).
+    pub fn replace(&mut self, f: FuncId, schedule: KeepAliveSchedule) {
+        if let Some(slot) = self.schedules.get_mut(f) {
+            *slot = Some(schedule);
+        }
+    }
+
+    /// Drop `f`'s plan entirely (nothing kept alive until the next
+    /// invocation).
+    pub fn clear(&mut self, f: FuncId) {
+        if let Some(slot) = self.schedules.get_mut(f) {
+            *slot = None;
+        }
+    }
+
+    /// The typed slot of `f` at minute `t`: [`Slot::Hole`] when the plan has
+    /// a hole there, does not cover `t`, or does not exist. ("Expired" and
+    /// "planned dead" are deliberately indistinguishable here — neither
+    /// keeps anything alive, neither bills.)
+    pub fn slot_at(&self, f: FuncId, t: Minute) -> Slot {
+        self.schedule(f)
+            .and_then(|s| s.slot_at(t))
+            .unwrap_or(Slot::Hole)
+    }
+
+    /// Alive variant of `f` at minute `t` per its schedule (`None` when
+    /// expired, absent, or a hole).
+    pub fn alive_variant_at(&self, f: FuncId, t: Minute) -> Option<VariantId> {
+        self.slot_at(f, t).alive()
+    }
+
+    /// Total keep-alive memory (MB) at minute `t`, summed in ascending
+    /// function order.
+    pub fn keep_alive_mb_at(&self, families: &[ModelFamily], t: Minute) -> f64 {
+        (0..self.schedules.len())
+            .filter_map(|f| {
+                self.alive_variant_at(f, t)
+                    .map(|v| families[f].variant(v).memory_mb)
+            })
+            .sum()
+    }
+
+    /// The alive set and footprint of minute `t` in one pass (the shape the
+    /// cross-function adjustment and capacity-enforcement stages consume).
+    pub fn minute_footprint(&self, families: &[ModelFamily], t: Minute) -> MinuteFootprint {
+        let mut alive = Vec::new();
+        let mut total_mb = 0.0f64;
+        for (f, fam) in families.iter().enumerate().take(self.schedules.len()) {
+            if let Some(v) = self.alive_variant_at(f, t) {
+                total_mb += fam.variant(v).memory_mb;
+                alive.push(AliveModel {
+                    func: f,
+                    variant: v,
+                    invocation_probability: 0.0,
+                });
+            }
+        }
+        MinuteFootprint { alive, total_mb }
+    }
+
+    /// GB-s metering: the keep-alive cost (USD) billed for minute `t` under
+    /// `cost`, from the post-adjustment schedule footprint.
+    pub fn keepalive_cost_usd_at(
+        &self,
+        families: &[ModelFamily],
+        cost: &CostModel,
+        t: Minute,
+    ) -> f64 {
+        cost.keepalive_cost_usd_per_minutes(self.keep_alive_mb_at(families, t), 1.0)
+    }
+
+    /// Apply Algorithm 2's downgrade to minute `t` of `f`'s schedule: clamp
+    /// the slot to `to` iff it is currently alive *above* `to`. Holes,
+    /// expired plans and slots already at or below the rung are untouched
+    /// (the persistent-downgrade rule: a downgraded slot can never be
+    /// re-raised by a later, weaker action). Returns whether the slot moved.
+    pub fn apply_downgrade(&mut self, f: FuncId, t: Minute, to: VariantId) -> bool {
+        let clamp = matches!(self.slot_at(f, t), Slot::Alive(v) if v > to);
+        if clamp {
+            if let Some(s) = self.schedules.get_mut(f).and_then(Option::as_mut) {
+                s.set_slot_at(t, Slot::Alive(to));
+            }
+        }
+        clamp
+    }
+
+    /// Apply an eviction to minute `t` of `f`'s schedule: punch a hole (the
+    /// next invocation during `t` cold-starts). A no-op outside the window.
+    pub fn apply_eviction(&mut self, f: FuncId, t: Minute) {
+        if let Some(s) = self.schedules.get_mut(f).and_then(Option::as_mut) {
+            s.set_slot_at(t, Slot::Hole);
+        }
+    }
+
+    /// Apply one cross-function action to minute `t`.
+    pub fn apply_action(&mut self, t: Minute, action: &DowngradeAction) {
+        match *action {
+            DowngradeAction::Downgrade { func, to, .. } => {
+                self.apply_downgrade(func, t, to);
+            }
+            DowngradeAction::Evict { func, .. } => {
+                self.apply_eviction(func, t);
+            }
+        }
+    }
+
+    /// Apply a batch of cross-function actions to minute `t`, in order.
+    pub fn apply_actions(&mut self, t: Minute, actions: &[DowngradeAction]) {
+        for a in actions {
+            self.apply_action(t, a);
+        }
+    }
+}
+
+/// Algorithm 1's `t == 1` branch applies at the first minute of a keep-alive
+/// period — i.e. the minute right after an invocation started a new period,
+/// or the minute at which keep-alive demand resumes after an idle stretch.
+/// There the prior keep-alive memory is the local-window average (or the
+/// last non-zero level after inactivity), not the previous minute, so
+/// routine schedule renewals are judged against the steady level rather
+/// than minute-to-minute jitter. Both engines derive the flag identically
+/// through this helper.
+pub fn begins_keepalive_period(
+    invoked_last_minute: bool,
+    current_kam_mb: f64,
+    demand_history: &[f64],
+) -> bool {
+    invoked_last_minute || (current_kam_mb > 0.0 && demand_history.last().is_none_or(|&m| m <= 0.0))
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
+mod tests {
+    use super::*;
+    use pulse_models::zoo;
+
+    fn two_fn_ledger() -> (ScheduleLedger, Vec<ModelFamily>) {
+        let fams = vec![zoo::gpt(), zoo::bert()];
+        let mut ledger = ScheduleLedger::new(2);
+        // f0: gpt-large (variant 2) minutes 1..=10; f1: bert-large minutes 1..=5.
+        ledger.replace(0, KeepAliveSchedule::constant(0, 2, 10));
+        ledger.replace(1, KeepAliveSchedule::constant(0, 1, 5));
+        (ledger, fams)
+    }
+
+    #[test]
+    fn slot_round_trips_through_raw() {
+        assert_eq!(Slot::from_raw(HOLE), Slot::Hole);
+        assert_eq!(Slot::from_raw(3), Slot::Alive(3));
+        assert_eq!(Slot::Hole.into_raw(), HOLE);
+        assert_eq!(Slot::Alive(7).into_raw(), 7);
+        assert_eq!(Slot::Alive(2).alive(), Some(2));
+        assert_eq!(Slot::Hole.alive(), None);
+        assert!(Slot::Hole.is_hole());
+        assert!(!Slot::Alive(0).is_hole());
+    }
+
+    #[test]
+    fn alive_variant_filters_holes_and_expiry() {
+        let (mut ledger, _) = two_fn_ledger();
+        assert_eq!(ledger.alive_variant_at(0, 5), Some(2));
+        assert_eq!(ledger.alive_variant_at(0, 0), None, "invocation minute");
+        assert_eq!(ledger.alive_variant_at(0, 11), None, "expired");
+        assert_eq!(ledger.alive_variant_at(1, 6), None, "short window");
+        ledger.apply_eviction(0, 5);
+        assert_eq!(ledger.alive_variant_at(0, 5), None, "hole");
+        assert_eq!(ledger.slot_at(0, 5), Slot::Hole);
+        assert_eq!(ledger.alive_variant_at(0, 6), Some(2), "hole is per-minute");
+    }
+
+    #[test]
+    fn footprint_matches_per_function_sum() {
+        let (ledger, fams) = two_fn_ledger();
+        let mb = fams[0].variant(2).memory_mb + fams[1].variant(1).memory_mb;
+        assert_eq!(ledger.keep_alive_mb_at(&fams, 3), mb);
+        let fp = ledger.minute_footprint(&fams, 3);
+        assert_eq!(fp.total_mb, mb);
+        assert_eq!(fp.alive.len(), 2);
+        assert_eq!(fp.alive[0].func, 0);
+        assert_eq!(fp.alive[1].variant, 1);
+        // Minute 7: only f0 still covered.
+        assert_eq!(
+            ledger.keep_alive_mb_at(&fams, 7),
+            fams[0].variant(2).memory_mb
+        );
+    }
+
+    #[test]
+    fn metering_matches_cost_model() {
+        let (ledger, fams) = two_fn_ledger();
+        let cost = CostModel::aws_lambda();
+        let expect = cost.keepalive_cost_usd_per_minutes(ledger.keep_alive_mb_at(&fams, 2), 1.0);
+        assert_eq!(ledger.keepalive_cost_usd_at(&fams, &cost, 2), expect);
+        assert_eq!(ledger.keepalive_cost_usd_at(&fams, &cost, 500), 0.0);
+    }
+
+    #[test]
+    fn downgrade_clamps_only_above_and_only_at_t() {
+        let (mut ledger, _) = two_fn_ledger();
+        assert!(ledger.apply_downgrade(0, 4, 1));
+        assert_eq!(ledger.alive_variant_at(0, 4), Some(1));
+        assert_eq!(ledger.alive_variant_at(0, 3), Some(2), "t-1 untouched");
+        assert_eq!(ledger.alive_variant_at(0, 5), Some(2), "t+1 untouched");
+        // A weaker (higher-rung) action can never re-raise the slot.
+        assert!(!ledger.apply_downgrade(0, 4, 1));
+        assert!(ledger.apply_downgrade(0, 4, 0));
+        assert!(!ledger.apply_downgrade(0, 4, 2));
+        assert_eq!(ledger.alive_variant_at(0, 4), Some(0));
+    }
+
+    #[test]
+    fn downgrade_ignores_holes_expired_and_unknown_functions() {
+        let (mut ledger, _) = two_fn_ledger();
+        ledger.apply_eviction(1, 2);
+        assert!(!ledger.apply_downgrade(1, 2, 0), "hole stays a hole");
+        assert_eq!(ledger.slot_at(1, 2), Slot::Hole);
+        assert!(!ledger.apply_downgrade(1, 40, 0), "expired");
+        assert!(!ledger.apply_downgrade(99, 2, 0), "unknown function");
+        ledger.apply_eviction(99, 2); // must not panic
+    }
+
+    #[test]
+    fn apply_actions_matches_manual_application() {
+        let (mut a, _) = two_fn_ledger();
+        let (mut b, _) = two_fn_ledger();
+        let actions = vec![
+            DowngradeAction::Downgrade {
+                func: 0,
+                from: 2,
+                to: 0,
+            },
+            DowngradeAction::Evict { func: 1, from: 1 },
+        ];
+        a.apply_actions(3, &actions);
+        b.apply_downgrade(0, 3, 0);
+        b.apply_eviction(1, 3);
+        for f in 0..2 {
+            for t in 0..12 {
+                assert_eq!(a.slot_at(f, t), b.slot_at(f, t), "f={f} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn replace_and_clear() {
+        let (mut ledger, _) = two_fn_ledger();
+        assert!(ledger.schedule(0).is_some());
+        ledger.clear(0);
+        assert!(ledger.schedule(0).is_none());
+        assert_eq!(ledger.alive_variant_at(0, 3), None);
+        ledger.replace(0, KeepAliveSchedule::constant(2, 0, 3));
+        assert_eq!(ledger.alive_variant_at(0, 3), Some(0));
+        assert_eq!(ledger.n_functions(), 2);
+    }
+
+    #[test]
+    fn period_start_detection() {
+        // An invocation last minute always starts a period.
+        assert!(begins_keepalive_period(true, 0.0, &[]));
+        // Demand resuming after zero history starts a period.
+        assert!(begins_keepalive_period(false, 10.0, &[5.0, 0.0]));
+        assert!(begins_keepalive_period(false, 10.0, &[]));
+        // Steady demand does not.
+        assert!(!begins_keepalive_period(false, 10.0, &[5.0]));
+        // No demand at all does not.
+        assert!(!begins_keepalive_period(false, 0.0, &[0.0]));
+    }
+}

@@ -12,11 +12,11 @@ use crate::icebreaker::FftPredictor;
 use crate::wild::{HybridHistogram, WildConfig};
 use pulse_core::global::{AliveModel, DowngradeAction};
 use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::schedule::Slot;
 use pulse_core::thresholds::{SchemeT1, ThresholdScheme};
 use pulse_core::types::{FuncId, Minute, PulseConfig};
 use pulse_core::PulseEngine;
 use pulse_models::{ModelFamily, VariantId};
-use pulse_sim::engine::HOLE;
 use pulse_sim::policy::KeepAlivePolicy;
 use pulse_trace::Trace;
 
@@ -56,10 +56,16 @@ fn holed_schedule(
     variant_of: impl Fn(u64) -> VariantId,
 ) -> KeepAliveSchedule {
     let window = window.min(MAX_WINDOW);
-    let plan: Vec<VariantId> = (1..=window as u64)
-        .map(|m| if covers(m) { variant_of(m) } else { HOLE })
-        .collect();
-    KeepAliveSchedule::new(t, plan)
+    KeepAliveSchedule::from_slots(
+        t,
+        (1..=window as u64).map(|m| {
+            if covers(m) {
+                Slot::Alive(variant_of(m))
+            } else {
+                Slot::Hole
+            }
+        }),
+    )
 }
 
 impl KeepAlivePolicy for WildPolicy {
@@ -298,8 +304,8 @@ mod tests {
         }
         let s = s.unwrap();
         // Idle time is always 6: warm at 6, holes early.
-        assert_eq!(s.variant_at_offset(6), Some(fams[0].highest_id()));
-        assert_eq!(s.variant_at_offset(2), Some(HOLE));
+        assert_eq!(s.slot_at_offset(6), Some(Slot::Alive(fams[0].highest_id())));
+        assert_eq!(s.slot_at_offset(2), Some(Slot::Hole));
     }
 
     #[test]
@@ -394,10 +400,10 @@ mod tests {
     #[test]
     fn holed_schedule_shape() {
         let s = holed_schedule(100, 5, |m| m % 2 == 0, |_| 7);
-        assert_eq!(s.variant_at_offset(1), Some(HOLE));
-        assert_eq!(s.variant_at_offset(2), Some(7));
-        assert_eq!(s.variant_at_offset(5), Some(HOLE));
-        assert_eq!(s.variant_at_offset(6), None);
+        assert_eq!(s.slot_at_offset(1), Some(Slot::Hole));
+        assert_eq!(s.slot_at_offset(2), Some(Slot::Alive(7)));
+        assert_eq!(s.slot_at_offset(5), Some(Slot::Hole));
+        assert_eq!(s.slot_at_offset(6), None);
     }
 
     #[test]

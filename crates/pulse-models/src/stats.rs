@@ -38,6 +38,18 @@ pub fn coeff_of_variation(xs: &[f64]) -> f64 {
     }
 }
 
+/// `numerator / denominator`, with the workspace-wide degenerate-input
+/// convention: exactly-zero denominators (empty runs, zero invocations)
+/// report 0.0 instead of NaN/∞. Near-zero denominators still divide — only
+/// the exact 0.0 produced by "nothing happened" counters is special-cased.
+pub fn ratio_or_zero(numerator: f64, denominator: f64) -> f64 {
+    if denominator == 0.0 {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
 /// Percentile `p` in `[0, 100]` by linear interpolation on a sorted copy.
 /// Returns 0.0 for an empty slice.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
@@ -299,5 +311,17 @@ mod tests {
     #[test]
     fn cv_of_constant_is_zero() {
         assert_eq!(coeff_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn ratio_or_zero_conventions() {
+        assert_eq!(ratio_or_zero(3.0, 4.0), 0.75);
+        assert_eq!(ratio_or_zero(1.0, 0.0), 0.0);
+        assert_eq!(ratio_or_zero(0.0, 0.0), 0.0);
+        // Near-zero denominators are NOT special-cased: they divide.
+        assert!(ratio_or_zero(1.0, 1e-300).is_finite());
+        assert!(ratio_or_zero(1.0, 1e-300) > 0.0);
+        // Negative ratios pass through (improvement_pct sign convention).
+        assert_eq!(ratio_or_zero(-2.0, 4.0), -0.5);
     }
 }

@@ -60,7 +60,7 @@ pub use container::{ContainerState, LiveContainer};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RetryPolicy};
 pub use metrics::{RequestRecord, RuntimeSummary};
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeSession};
 
 /// Milliseconds per simulated minute.
 pub const MS_PER_MINUTE: u64 = 60_000;

@@ -159,11 +159,7 @@ impl RuntimeSummary {
             .filter(|r| !r.failed)
             .map(|r| r.accuracy_pct)
             .collect();
-        if ok.is_empty() {
-            0.0
-        } else {
-            ok.iter().sum::<f64>() / ok.len() as f64
-        }
+        stats::mean(&ok)
     }
 
     /// Latencies of successful requests (failed requests have no meaningful
@@ -201,10 +197,7 @@ impl RuntimeSummary {
 
     /// Peak sampled keep-alive memory, MB.
     pub fn peak_memory_mb(&self) -> f64 {
-        self.memory_at_tick_mb
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max)
+        stats::max(&self.memory_at_tick_mb)
     }
 }
 

@@ -1,5 +1,15 @@
 //! The event-driven runtime loop.
 //!
+//! The loop is a steppable pipeline: [`Runtime::session`] builds a
+//! [`RuntimeSession`] whose [`RuntimeSession::step`] processes exactly one
+//! event (a minute tick runs observe → adjust → capacity-enforcement →
+//! materialize/bill, in that order), and [`Runtime::run`] /
+//! [`Runtime::run_with_faults`] / [`Runtime::run_with_cluster`] are all the
+//! same `while step()` loop over one implementation. Schedule state lives in
+//! the shared [`pulse_core::schedule::ScheduleLedger`] — the same substrate
+//! the minute engine drives — so downgrade application, footprint metering
+//! and billing are defined once for both engines.
+//!
 //! Semantics are aligned with `pulse_sim::Simulator` so the two engines can
 //! be cross-validated (see the `validation` integration tests and
 //! `pulse-exp validate`):
@@ -63,11 +73,10 @@ use crate::event::{Event, EventQueue};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{RequestRecord, RuntimeSummary};
 use crate::MS_PER_MINUTE;
-use pulse_core::global::{flatten_peak, AliveModel, DowngradeAction};
-use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::global::{flatten_peak, DowngradeAction};
 use pulse_core::priority::PriorityStructure;
+use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
 use pulse_models::{CostModel, ModelFamily, VariantId};
-use pulse_sim::engine::HOLE;
 use pulse_sim::policy::{KeepAlivePolicy, MinuteObservation};
 use pulse_trace::Trace;
 use std::collections::VecDeque;
@@ -139,7 +148,6 @@ impl DurationSampler {
 
 struct FnState {
     container: Option<LiveContainer>,
-    schedule: Option<KeepAliveSchedule>,
     /// Requests waiting for provisioning or a concurrency slot.
     waiting: VecDeque<usize>,
     /// In-flight request count (for the concurrency cap).
@@ -157,6 +165,9 @@ struct FnState {
 struct RunState {
     queue: EventQueue,
     fns: Vec<FnState>,
+    /// Keep-alive schedules, one per function — the shared billing/downgrade
+    /// substrate (same semantics as the minute engine's ledger).
+    ledger: ScheduleLedger,
     records: Vec<RequestRecord>,
     /// Variant serving each request (re-pointed on ladder degradation).
     req_warm_variant: Vec<VariantId>,
@@ -411,12 +422,6 @@ impl Runtime {
         }
     }
 
-    fn schedule_variant(s: &Option<KeepAliveSchedule>, minute: u64) -> Option<VariantId> {
-        s.as_ref()
-            .and_then(|s| s.variant_at(minute))
-            .filter(|&v| v != HOLE)
-    }
-
     /// Execute the whole trace under `policy` on a perfectly reliable
     /// platform (equivalent to [`Self::run_with_faults`] with
     /// [`FaultPlan::none`]).
@@ -442,13 +447,30 @@ impl Runtime {
     /// [`ClusterConfig::admission`] (excess arrivals shed). With
     /// [`ClusterConfig::unlimited`] this is bit-identical to
     /// [`Self::run_with_faults`].
-    #[allow(clippy::needless_range_loop)] // parallel per-function tables
     pub fn run_with_cluster(
         &self,
         policy: &mut dyn KeepAlivePolicy,
         plan: &FaultPlan,
         cluster: &ClusterConfig,
     ) -> RuntimeSummary {
+        let mut session = self.session(policy, plan, *cluster);
+        while session.step().is_some() {}
+        session.finish()
+    }
+
+    /// Begin a steppable run: all events (minute ticks, arrivals, optional
+    /// SLO timers) are seeded up front, and each [`RuntimeSession::step`]
+    /// call processes exactly one. [`Self::run_with_cluster`] is precisely
+    /// `while session.step().is_some() {}` + [`RuntimeSession::finish`];
+    /// callers that need to interleave the run with other work (online
+    /// serving shims, co-simulation, the cross-engine equivalence tests)
+    /// drive the same loop by hand.
+    pub fn session<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        cluster: ClusterConfig,
+    ) -> RuntimeSession<'a> {
         let n = self.families.len();
         let minutes = self.trace.minutes() as u64;
         let mut rs = RunState {
@@ -456,7 +478,6 @@ impl Runtime {
             fns: (0..n)
                 .map(|_| FnState {
                     container: None,
-                    schedule: None,
                     waiting: VecDeque::new(),
                     in_flight: 0,
                     scheduled_minute: None,
@@ -464,6 +485,7 @@ impl Runtime {
                     provision_attempts: 0,
                 })
                 .collect(),
+            ledger: ScheduleLedger::new(n),
             records: Vec::new(),
             req_warm_variant: Vec::new(),
             req_retries: Vec::new(),
@@ -516,350 +538,371 @@ impl Runtime {
         // SLO timers (only when the plan configures a timeout, so fault-free
         // runs schedule no extra events).
         if let Some(t) = plan.request_timeout_ms {
-            for req in 0..rs.records.len() {
-                let at = rs.records[req].arrival_ms.saturating_add(t);
-                rs.queue.push(
-                    at,
-                    Event::RequestTimeout {
-                        func: req_func[req],
-                        req,
-                    },
-                );
+            for (req, (rec, &func)) in rs.records.iter().zip(req_func.iter()).enumerate() {
+                let at = rec.arrival_ms.saturating_add(t);
+                rs.queue.push(at, Event::RequestTimeout { func, req });
             }
         }
 
-        let mut demand_history: Vec<f64> = Vec::with_capacity(minutes as usize);
-        let mut invoked_this_minute = false;
+        RuntimeSession {
+            rt: self,
+            policy,
+            cluster,
+            rs,
+            demand_history: Vec::with_capacity(minutes as usize),
+            invoked_this_minute: false,
+        }
+    }
+}
 
-        while let Some((now, event)) = rs.queue.pop() {
-            match event {
-                Event::MinuteTick { minute } => {
-                    let invoked_last_minute = std::mem::take(&mut invoked_this_minute);
+/// An in-flight runtime execution: one event per [`Self::step`] call, over
+/// the shared [`ScheduleLedger`] substrate. Built by [`Runtime::session`].
+pub struct RuntimeSession<'a> {
+    rt: &'a Runtime,
+    policy: &'a mut dyn KeepAlivePolicy,
+    cluster: ClusterConfig,
+    rs: RunState,
+    demand_history: Vec<f64>,
+    invoked_this_minute: bool,
+}
 
-                    // Close out the previous minute for the policy's
-                    // self-monitoring (a no-op for plain policies; the
-                    // watchdog wrapper may flip its fallback state here,
-                    // before this minute's planning).
-                    if minute > 0 {
-                        let obs = MinuteObservation {
-                            minute: minute - 1,
-                            requests: std::mem::take(&mut rs.minute_requests),
-                            slo_violations: std::mem::take(&mut rs.minute_violations),
-                            keepalive_mb: rs.last_billed_mb,
-                        };
-                        policy.observe_minute(&obs);
-                        let fb = policy.in_fallback();
-                        if fb {
-                            rs.summary.fallback_minutes += 1;
-                        }
-                        if fb != rs.prev_fallback {
-                            rs.prev_fallback = fb;
-                            rs.summary.ops_events.push(if fb {
-                                OpsEvent::WatchdogFallback { minute }
-                            } else {
-                                OpsEvent::WatchdogRecover { minute }
-                            });
-                        }
-                    }
+impl RuntimeSession<'_> {
+    /// The ledger's current schedule state.
+    pub fn ledger(&self) -> &ScheduleLedger {
+        &self.rs.ledger
+    }
 
-                    // Demand from schedules.
-                    let mut alive: Vec<AliveModel> = Vec::new();
-                    let mut kam = 0.0f64;
-                    for (f, st) in rs.fns.iter().enumerate() {
-                        if let Some(v) = Self::schedule_variant(&st.schedule, minute) {
-                            kam += self.families[f].variant(v).memory_mb;
-                            alive.push(AliveModel {
-                                func: f,
-                                variant: v,
-                                invocation_probability: 0.0,
-                            });
-                        }
-                    }
-                    let first_minute = invoked_last_minute
-                        || (kam > 0.0 && demand_history.last().is_none_or(|&m| m == 0.0));
-                    let actions = policy.adjust_minute(
-                        minute,
-                        &demand_history,
-                        first_minute,
-                        kam,
-                        &mut alive,
-                    );
-                    demand_history.push(kam);
-                    rs.summary.downgrades += actions.len() as u64;
-                    for a in &actions {
-                        match *a {
-                            DowngradeAction::Downgrade { func, to, .. } => {
-                                if let Some(s) = rs.fns[func].schedule.as_mut() {
-                                    if let Some(v) = s.variant_at(minute) {
-                                        if v != HOLE && v > to {
-                                            s.set_variant_at(minute, to);
-                                        }
-                                    }
-                                }
-                            }
-                            DowngradeAction::Evict { func, .. } => {
-                                if let Some(s) = rs.fns[func].schedule.as_mut() {
-                                    s.set_variant_at(minute, HOLE);
-                                }
-                            }
-                        }
-                    }
+    /// Events still queued (the run completes when this reaches zero).
+    pub fn pending_events(&self) -> usize {
+        self.rs.queue.len()
+    }
 
-                    // Node-capacity enforcement: when the post-adjustment
-                    // plan still exceeds the hard cap, flatten the overage
-                    // with Algorithm 2's utility-ordered downgrade loop
-                    // (lowest `Uv` first; the pressure priority structure
-                    // shields repeat victims across ticks). Applied before
-                    // billing, so the billed footprint can never exceed the
-                    // cap.
-                    if let Some(cap_mb) = cluster.capacity.keepalive_mb {
-                        let mut planned: Vec<AliveModel> = Vec::new();
-                        let mut planned_mb = 0.0f64;
-                        for (f, st) in rs.fns.iter().enumerate() {
-                            if let Some(v) = Self::schedule_variant(&st.schedule, minute) {
-                                planned_mb += self.families[f].variant(v).memory_mb;
-                                planned.push(AliveModel {
-                                    func: f,
-                                    variant: v,
-                                    invocation_probability: 0.0,
-                                });
-                            }
-                        }
-                        if planned_mb > cap_mb {
-                            rs.summary.pressure_minutes += 1;
-                            let outcome = flatten_peak(
-                                &mut planned,
-                                &self.families,
-                                &mut rs.pressure_priority,
-                                planned_mb,
-                                cap_mb,
-                            );
-                            for a in &outcome.actions {
-                                match *a {
-                                    DowngradeAction::Downgrade { func, from, to } => {
-                                        if let Some(s) = rs.fns[func].schedule.as_mut() {
-                                            if let Some(v) = s.variant_at(minute) {
-                                                if v != HOLE && v > to {
-                                                    s.set_variant_at(minute, to);
-                                                }
-                                            }
-                                        }
-                                        rs.summary.pressure_downgrades += 1;
-                                        rs.summary.ops_events.push(OpsEvent::PressureDowngrade {
-                                            minute,
-                                            func,
-                                            from,
-                                            to,
-                                        });
-                                    }
-                                    DowngradeAction::Evict { func, from } => {
-                                        if let Some(s) = rs.fns[func].schedule.as_mut() {
-                                            s.set_variant_at(minute, HOLE);
-                                        }
-                                        rs.summary.evictions += 1;
-                                        rs.summary.ops_events.push(OpsEvent::Evicted {
-                                            minute,
-                                            func,
-                                            from,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                    }
+    /// Timestamp (ms) of the next queued event, `None` once drained. Lets a
+    /// caller co-stepping this session with another engine advance exactly
+    /// through one minute's events without processing the next minute tick.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.rs.queue.peek_time()
+    }
 
-                    // Materialize containers per the post-adjustment plan and
-                    // bill the minute. Billing is schedule-driven: fault
-                    // outcomes below never change what this minute costs.
-                    let mut billed = 0.0f64;
-                    for f in 0..n {
-                        let desired = Self::schedule_variant(&rs.fns[f].schedule, minute);
-                        if let Some(v) = desired {
-                            billed += self.families[f].variant(v).memory_mb;
-                        }
-                        let held = rs.fns[f]
-                            .container
-                            .as_ref()
-                            .map(|c| (c.is_warm(), c.variant));
-                        match (held, desired) {
-                            (Some((true, cur)), Some(v)) if cur != v => {
-                                // Proactive variant swap: warm by assumption,
-                                // unless the variant load fails.
-                                if rs.injector.variant_load_fails(f, v) {
-                                    rs.summary.variant_load_failures += 1;
-                                    rs.fns[f].provision_attempts = 0;
-                                    rs.begin_provision(&self.families[f], f, v, now, 0);
-                                } else {
-                                    let st = &mut rs.fns[f];
-                                    st.epoch += 1;
-                                    st.container = Some(LiveContainer::warm(v, now, st.epoch));
-                                }
-                            }
-                            (Some((true, _)), None) => {
-                                rs.fns[f].container = None;
-                            }
-                            (Some(_), _) => {
-                                // Provisioning containers are left alone: the
-                                // pending cold start completes first. A warm
-                                // container at the desired variant stays.
-                            }
-                            (None, Some(v)) => {
-                                // Proactive pre-warm.
-                                if rs.injector.variant_load_fails(f, v) {
-                                    rs.summary.variant_load_failures += 1;
-                                    rs.fns[f].provision_attempts = 0;
-                                    rs.begin_provision(&self.families[f], f, v, now, 0);
-                                } else {
-                                    let st = &mut rs.fns[f];
-                                    st.epoch += 1;
-                                    st.container = Some(LiveContainer::warm(v, now, st.epoch));
-                                }
-                            }
-                            (None, None) => {}
-                        }
-                    }
-                    rs.summary.keepalive_cost_usd +=
-                        self.config.cost.keepalive_cost_usd_per_minutes(billed, 1.0);
-                    rs.summary.memory_at_tick_mb.push(billed);
-                    rs.last_billed_mb = billed;
-                }
-
-                Event::Arrival { func, req } => {
-                    let minute = now / MS_PER_MINUTE;
-                    let fam = &self.families[func];
-                    rs.minute_requests += 1;
-
-                    let held = rs.fns[func]
-                        .container
-                        .as_ref()
-                        .map(|c| (c.is_warm(), c.variant));
-
-                    // Admission control: an arrival that cannot start
-                    // executing immediately joins the pending backlog; once
-                    // the backlog is full it is shed at the front door — no
-                    // schedule refresh, no provisioning, the policy never
-                    // hears about it.
-                    if let Some(max_pending) = cluster.admission.max_pending {
-                        let starts_now =
-                            matches!(held, Some((true, _))) && rs.fns[func].in_flight < rs.cap;
-                        if !starts_now && rs.pending >= max_pending {
-                            rs.summary.shed_requests += 1;
-                            rs.summary.ops_events.push(OpsEvent::Overloaded {
-                                at_ms: now,
-                                func,
-                                req,
-                            });
-                            rs.fail_request(req, now);
-                            continue;
-                        }
-                    }
-
-                    invoked_this_minute = true;
-                    let need_schedule = rs.fns[func].scheduled_minute != Some(minute);
-                    match held {
-                        Some((true, v)) => {
-                            rs.records[req].warm = true;
-                            rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
-                            rs.req_warm_variant[req] = v;
-                            if rs.fns[func].in_flight < rs.cap {
-                                rs.start_exec(fam, func, req, now);
-                            } else {
-                                rs.pending += 1;
-                                rs.fns[func].waiting.push_back(req);
-                            }
-                        }
-                        Some((false, v)) => {
-                            // Provisioning: queue behind the pending cold
-                            // start. Counts as warm (the container exists),
-                            // matching the minute engine.
-                            rs.records[req].warm = true;
-                            rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
-                            rs.req_warm_variant[req] = v;
-                            rs.pending += 1;
-                            rs.fns[func].waiting.push_back(req);
-                        }
-                        None => {
-                            // Cold start (the runtime's SLO violation).
-                            let v = policy.cold_start_variant(func, minute);
-                            rs.minute_violations += 1;
-                            rs.records[req].warm = false;
-                            rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
-                            rs.req_warm_variant[req] = v;
-                            rs.fns[func].provision_attempts = 0;
-                            rs.begin_provision(fam, func, v, now, 0);
-                            rs.pending += 1;
-                            rs.fns[func].waiting.push_back(req);
-                        }
-                    }
-
-                    if need_schedule {
-                        rs.fns[func].scheduled_minute = Some(minute);
-                        rs.fns[func].schedule = Some(policy.schedule_on_invocation(func, minute));
-                    }
-                }
-
-                Event::ProvisionDone { func, epoch } => {
-                    let stale = rs.fns[func]
-                        .container
-                        .as_ref()
-                        .is_none_or(|c| c.epoch != epoch);
-                    if stale {
-                        continue;
-                    }
-                    if let Some(c) = rs.fns[func].container.as_mut() {
-                        c.state = ContainerState::Warm;
-                    }
-                    rs.fns[func].provision_attempts = 0;
-                    rs.drain_waiting(&self.families[func], func, now);
-                    // If the schedule does not cover the current minute, the
-                    // container exists only for the in-flight work: drop it
-                    // once idle so later arrivals cold-start (as the minute
-                    // engine would count them).
-                    let minute = now / MS_PER_MINUTE;
-                    if Self::schedule_variant(&rs.fns[func].schedule, minute).is_none() {
-                        if let Some(c) = &rs.fns[func].container {
-                            if c.busy == 0 && rs.fns[func].waiting.is_empty() {
-                                rs.fns[func].container = None;
-                            }
-                        }
-                    }
-                }
-
-                Event::ProvisionFailed { func, epoch } => {
-                    rs.on_provision_failed(&self.families[func], func, epoch, now);
-                }
-
-                Event::ExecDone { func, req } => {
-                    if !rs.req_done[req] {
-                        rs.records[req].done_ms = now;
-                        rs.req_done[req] = true;
-                    }
-                    rs.fns[func].in_flight -= 1;
-                    if let Some(c) = rs.fns[func].container.as_mut() {
-                        if c.busy > 0 {
-                            c.end_exec();
-                        }
-                    }
-                    rs.drain_waiting(&self.families[func], func, now);
-                }
-
-                Event::ExecFailed { func, req, epoch } => {
-                    rs.on_exec_failed(&self.families[func], func, req, epoch, now);
-                }
-
-                Event::RequestTimeout { func, req } => {
-                    rs.on_timeout(func, req, now);
-                }
-
-                Event::RetryRequest { func, req } => {
-                    rs.on_retry_request(&self.families[func], func, req, now);
-                }
+    /// Process the next event. A minute tick runs the full pipeline
+    /// (observe previous minute → policy adjustment → capacity enforcement
+    /// → materialize containers and bill); every other event advances the
+    /// arrival/service machinery. Returns the `(time_ms, event)` processed,
+    /// or `None` once the queue is drained.
+    pub fn step(&mut self) -> Option<(u64, Event)> {
+        let (now, event) = self.rs.queue.pop()?;
+        match &event {
+            Event::MinuteTick { minute } => self.on_minute_tick(now, *minute),
+            Event::Arrival { func, req } => self.on_arrival(now, *func, *req),
+            Event::ProvisionDone { func, epoch } => self.on_provision_done(now, *func, *epoch),
+            Event::ProvisionFailed { func, epoch } => {
+                self.rs
+                    .on_provision_failed(&self.rt.families[*func], *func, *epoch, now);
+            }
+            Event::ExecDone { func, req } => self.on_exec_done(now, *func, *req),
+            Event::ExecFailed { func, req, epoch } => {
+                self.rs
+                    .on_exec_failed(&self.rt.families[*func], *func, *req, *epoch, now);
+            }
+            Event::RequestTimeout { func, req } => self.rs.on_timeout(*func, *req, now),
+            Event::RetryRequest { func, req } => {
+                self.rs
+                    .on_retry_request(&self.rt.families[*func], *func, *req, now);
             }
         }
+        Some((now, event))
+    }
 
-        let mut summary = rs.summary;
-        summary.records = rs.records;
+    /// Drain any remaining events and return the summary
+    /// ([`Runtime::run_with_cluster`] without the loop already run).
+    pub fn finish(self) -> RuntimeSummary {
+        let mut summary = self.rs.summary;
+        summary.records = self.rs.records;
         summary
+    }
+
+    /// The minute-tick pipeline, in billing-significant order.
+    fn on_minute_tick(&mut self, now: u64, minute: u64) {
+        self.stage_observe_previous(minute);
+        self.stage_adjust(minute);
+        self.stage_enforce_capacity(minute);
+        self.stage_materialize_and_bill(now, minute);
+    }
+
+    /// Tick stage 1: close out the previous minute for the policy's
+    /// self-monitoring (a no-op for plain policies; the watchdog wrapper may
+    /// flip its fallback state here, before this minute's planning).
+    fn stage_observe_previous(&mut self, minute: u64) {
+        if minute == 0 {
+            return;
+        }
+        let obs = MinuteObservation {
+            minute: minute - 1,
+            requests: std::mem::take(&mut self.rs.minute_requests),
+            slo_violations: std::mem::take(&mut self.rs.minute_violations),
+            keepalive_mb: self.rs.last_billed_mb,
+        };
+        self.policy.observe_minute(&obs);
+        let fb = self.policy.in_fallback();
+        if fb {
+            self.rs.summary.fallback_minutes += 1;
+        }
+        if fb != self.rs.prev_fallback {
+            self.rs.prev_fallback = fb;
+            self.rs.summary.ops_events.push(if fb {
+                OpsEvent::WatchdogFallback { minute }
+            } else {
+                OpsEvent::WatchdogRecover { minute }
+            });
+        }
+    }
+
+    /// Tick stage 2: the policy's cross-function adjustment against the
+    /// schedule demand, applied to this minute of the ledger only.
+    fn stage_adjust(&mut self, minute: u64) {
+        let invoked_last_minute = std::mem::take(&mut self.invoked_this_minute);
+        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
+        let mut alive = footprint.alive;
+        let kam = footprint.total_mb;
+        let first_minute = begins_keepalive_period(invoked_last_minute, kam, &self.demand_history);
+        let actions =
+            self.policy
+                .adjust_minute(minute, &self.demand_history, first_minute, kam, &mut alive);
+        self.demand_history.push(kam);
+        self.rs.summary.downgrades += actions.len() as u64;
+        self.rs.ledger.apply_actions(minute, &actions);
+    }
+
+    /// Tick stage 3: node-capacity enforcement — when the post-adjustment
+    /// plan still exceeds the hard cap, flatten the overage with Algorithm
+    /// 2's utility-ordered downgrade loop (lowest `Uv` first; the pressure
+    /// priority structure shields repeat victims across ticks). Applied
+    /// before billing, so the billed footprint can never exceed the cap.
+    fn stage_enforce_capacity(&mut self, minute: u64) {
+        let Some(cap_mb) = self.cluster.capacity.keepalive_mb else {
+            return;
+        };
+        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
+        let mut planned = footprint.alive;
+        let planned_mb = footprint.total_mb;
+        if planned_mb <= cap_mb {
+            return;
+        }
+        self.rs.summary.pressure_minutes += 1;
+        let outcome = flatten_peak(
+            &mut planned,
+            &self.rt.families,
+            &mut self.rs.pressure_priority,
+            planned_mb,
+            cap_mb,
+        );
+        for a in &outcome.actions {
+            self.rs.ledger.apply_action(minute, a);
+            match *a {
+                DowngradeAction::Downgrade { func, from, to } => {
+                    self.rs.summary.pressure_downgrades += 1;
+                    self.rs
+                        .summary
+                        .ops_events
+                        .push(OpsEvent::PressureDowngrade {
+                            minute,
+                            func,
+                            from,
+                            to,
+                        });
+                }
+                DowngradeAction::Evict { func, from } => {
+                    self.rs.summary.evictions += 1;
+                    self.rs
+                        .summary
+                        .ops_events
+                        .push(OpsEvent::Evicted { minute, func, from });
+                }
+            }
+        }
+    }
+
+    /// Tick stage 4: materialize containers per the post-adjustment plan
+    /// and bill the minute. Billing is schedule-driven: fault outcomes below
+    /// never change what this minute costs.
+    #[allow(clippy::needless_range_loop)] // parallel per-function tables
+    fn stage_materialize_and_bill(&mut self, now: u64, minute: u64) {
+        let rs = &mut self.rs;
+        let mut billed = 0.0f64;
+        for f in 0..self.rt.families.len() {
+            let desired = rs.ledger.alive_variant_at(f, minute);
+            if let Some(v) = desired {
+                billed += self.rt.families[f].variant(v).memory_mb;
+            }
+            let held = rs.fns[f]
+                .container
+                .as_ref()
+                .map(|c| (c.is_warm(), c.variant));
+            match (held, desired) {
+                (Some((true, cur)), Some(v)) if cur != v => {
+                    // Proactive variant swap: warm by assumption, unless the
+                    // variant load fails.
+                    if rs.injector.variant_load_fails(f, v) {
+                        rs.summary.variant_load_failures += 1;
+                        rs.fns[f].provision_attempts = 0;
+                        rs.begin_provision(&self.rt.families[f], f, v, now, 0);
+                    } else {
+                        let st = &mut rs.fns[f];
+                        st.epoch += 1;
+                        st.container = Some(LiveContainer::warm(v, now, st.epoch));
+                    }
+                }
+                (Some((true, _)), None) => {
+                    rs.fns[f].container = None;
+                }
+                (Some(_), _) => {
+                    // Provisioning containers are left alone: the pending
+                    // cold start completes first. A warm container at the
+                    // desired variant stays.
+                }
+                (None, Some(v)) => {
+                    // Proactive pre-warm.
+                    if rs.injector.variant_load_fails(f, v) {
+                        rs.summary.variant_load_failures += 1;
+                        rs.fns[f].provision_attempts = 0;
+                        rs.begin_provision(&self.rt.families[f], f, v, now, 0);
+                    } else {
+                        let st = &mut rs.fns[f];
+                        st.epoch += 1;
+                        st.container = Some(LiveContainer::warm(v, now, st.epoch));
+                    }
+                }
+                (None, None) => {}
+            }
+        }
+        rs.summary.keepalive_cost_usd += self
+            .rt
+            .config
+            .cost
+            .keepalive_cost_usd_per_minutes(billed, 1.0);
+        rs.summary.memory_at_tick_mb.push(billed);
+        rs.last_billed_mb = billed;
+    }
+
+    /// Arrival stage: admission check, then warm / queued-behind-provisioning
+    /// / cold-start service, then (once per active minute) a schedule
+    /// refresh from the policy.
+    fn on_arrival(&mut self, now: u64, func: usize, req: usize) {
+        let rs = &mut self.rs;
+        let minute = now / MS_PER_MINUTE;
+        let fam = &self.rt.families[func];
+        rs.minute_requests += 1;
+
+        let held = rs.fns[func]
+            .container
+            .as_ref()
+            .map(|c| (c.is_warm(), c.variant));
+
+        // Admission control: an arrival that cannot start executing
+        // immediately joins the pending backlog; once the backlog is full it
+        // is shed at the front door — no schedule refresh, no provisioning,
+        // the policy never hears about it.
+        if let Some(max_pending) = self.cluster.admission.max_pending {
+            let starts_now = matches!(held, Some((true, _))) && rs.fns[func].in_flight < rs.cap;
+            if !starts_now && rs.pending >= max_pending {
+                rs.summary.shed_requests += 1;
+                rs.summary.ops_events.push(OpsEvent::Overloaded {
+                    at_ms: now,
+                    func,
+                    req,
+                });
+                rs.fail_request(req, now);
+                return;
+            }
+        }
+
+        self.invoked_this_minute = true;
+        let need_schedule = rs.fns[func].scheduled_minute != Some(minute);
+        match held {
+            Some((true, v)) => {
+                rs.records[req].warm = true;
+                rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                rs.req_warm_variant[req] = v;
+                if rs.fns[func].in_flight < rs.cap {
+                    rs.start_exec(fam, func, req, now);
+                } else {
+                    rs.pending += 1;
+                    rs.fns[func].waiting.push_back(req);
+                }
+            }
+            Some((false, v)) => {
+                // Provisioning: queue behind the pending cold start. Counts
+                // as warm (the container exists), matching the minute engine.
+                rs.records[req].warm = true;
+                rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                rs.req_warm_variant[req] = v;
+                rs.pending += 1;
+                rs.fns[func].waiting.push_back(req);
+            }
+            None => {
+                // Cold start (the runtime's SLO violation).
+                let v = self.policy.cold_start_variant(func, minute);
+                rs.minute_violations += 1;
+                rs.records[req].warm = false;
+                rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
+                rs.req_warm_variant[req] = v;
+                rs.fns[func].provision_attempts = 0;
+                rs.begin_provision(fam, func, v, now, 0);
+                rs.pending += 1;
+                rs.fns[func].waiting.push_back(req);
+            }
+        }
+
+        if need_schedule {
+            rs.fns[func].scheduled_minute = Some(minute);
+            rs.ledger
+                .replace(func, self.policy.schedule_on_invocation(func, minute));
+        }
+    }
+
+    /// A provisioning attempt completed: warm the container (unless stale)
+    /// and start waiting work.
+    fn on_provision_done(&mut self, now: u64, func: usize, epoch: u64) {
+        let rs = &mut self.rs;
+        let stale = rs.fns[func]
+            .container
+            .as_ref()
+            .is_none_or(|c| c.epoch != epoch);
+        if stale {
+            return;
+        }
+        if let Some(c) = rs.fns[func].container.as_mut() {
+            c.state = ContainerState::Warm;
+        }
+        rs.fns[func].provision_attempts = 0;
+        rs.drain_waiting(&self.rt.families[func], func, now);
+        // If the schedule does not cover the current minute, the container
+        // exists only for the in-flight work: drop it once idle so later
+        // arrivals cold-start (as the minute engine would count them).
+        let minute = now / MS_PER_MINUTE;
+        if rs.ledger.alive_variant_at(func, minute).is_none() {
+            if let Some(c) = &rs.fns[func].container {
+                if c.busy == 0 && rs.fns[func].waiting.is_empty() {
+                    rs.fns[func].container = None;
+                }
+            }
+        }
+    }
+
+    /// An execution finished: record it, free the slot, start waiting work.
+    fn on_exec_done(&mut self, now: u64, func: usize, req: usize) {
+        let rs = &mut self.rs;
+        if !rs.req_done[req] {
+            rs.records[req].done_ms = now;
+            rs.req_done[req] = true;
+        }
+        rs.fns[func].in_flight -= 1;
+        if let Some(c) = rs.fns[func].container.as_mut() {
+            if c.busy > 0 {
+                c.end_exec();
+            }
+        }
+        rs.drain_waiting(&self.rt.families[func], func, now);
     }
 }
 
@@ -1324,6 +1367,52 @@ mod tests {
         assert!(s.cold_starts() < bare.cold_starts());
         // The fixed baseline stays healthy, so it eventually recovers.
         assert!(wd.transitions().iter().any(|tr| !tr.to_fallback) || wd.in_fallback());
+    }
+
+    #[test]
+    fn stepped_session_matches_run_bitwise() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(47, 240);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(13),
+                ..Default::default()
+            },
+        );
+        let whole = rt.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+
+        let mut policy = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        let mut session = rt.session(&mut policy, &FaultPlan::none(), ClusterConfig::unlimited());
+        let mut ticks = 0u64;
+        while let Some((_, ev)) = session.step() {
+            if matches!(ev, Event::MinuteTick { .. }) {
+                ticks += 1;
+            }
+        }
+        assert_eq!(session.pending_events(), 0);
+        let stepped = session.finish();
+        assert_eq!(ticks, 240);
+        assert_eq!(stepped.records, whole.records);
+        assert_eq!(
+            stepped.keepalive_cost_usd.to_bits(),
+            whole.keepalive_cost_usd.to_bits()
+        );
+        assert_eq!(stepped.downgrades, whole.downgrades);
+    }
+
+    #[test]
+    fn session_exposes_ledger_state() {
+        let (trace, fams) = one_func(&[1, 0, 0, 0]);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let mut policy = OpenWhiskFixed::new(&fams);
+        let mut session = rt.session(&mut policy, &FaultPlan::none(), ClusterConfig::unlimited());
+        assert!(session.ledger().schedule(0).is_none());
+        // Tick 0, then the arrival that installs the schedule.
+        session.step();
+        session.step();
+        assert_eq!(session.ledger().alive_variant_at(0, 1), Some(1));
     }
 
     #[test]

@@ -1,24 +1,35 @@
 //! The minute-resolution simulation loop.
 //!
-//! See the crate docs for the full semantics. The engine owns the keep-alive
-//! schedules (one per function, replaced on every invocation), asks the
-//! policy for per-minute adjustments, applies downgrades *persistently* (a
-//! downgraded schedule never re-raises above the downgraded rung within the
-//! same window; an evicted schedule is gone), serves invocations, and meters
-//! keep-alive memory and cost.
+//! See the crate docs for the full semantics. The engine drives a
+//! [`pulse_core::schedule::ScheduleLedger`] — the shared substrate that owns
+//! keep-alive schedules (one per function, replaced on every invocation),
+//! slot typing, downgrade/eviction application and footprint metering — asks
+//! the policy for per-minute adjustments, serves invocations, and accounts
+//! cost and accuracy.
+//!
+//! [`Simulator::run`] consumes the whole trace in one call; the same loop is
+//! available one minute at a time through [`Simulator::session`] /
+//! [`SimSession::step_minute`] for callers that interleave simulation with
+//! other work (live dashboards, co-simulation, the cross-engine equivalence
+//! tests).
 
 use crate::metrics::RunMetrics;
 use crate::policy::KeepAlivePolicy;
-use pulse_core::global::{AliveModel, DowngradeAction};
-use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
 use pulse_core::types::Minute;
 use pulse_models::{CostModel, ModelFamily, VariantId};
 use pulse_trace::Trace;
 
-/// Marker for a "dead" minute inside a schedule plan: the container is not
-/// alive even though the plan covers the minute. Used by oracle policies
-/// that keep containers alive at non-contiguous minutes.
-pub const HOLE: VariantId = usize::MAX;
+/// Deprecated alias of the schedule-slot sentinel, kept for one release so
+/// downstream code compiles. The sentinel now lives with the rest of the
+/// slot semantics in `pulse_core::schedule`; use [`pulse_core::schedule::Slot`]
+/// instead of comparing raw ids.
+#[deprecated(
+    since = "0.1.0",
+    note = "use pulse_core::schedule::Slot (the sentinel moved to pulse_core::schedule::HOLE)"
+)]
+// audit:allow(variant-sentinel): deprecated compatibility re-export of the ledger's sentinel
+pub const HOLE: VariantId = pulse_core::schedule::HOLE;
 
 /// Trace-driven serverless platform simulator.
 #[derive(Debug, Clone)]
@@ -59,151 +70,170 @@ impl Simulator {
         &self.families
     }
 
-    /// Alive variant of function `f` at minute `t` per its schedule (`None`
-    /// when expired, absent, or a hole).
-    fn alive_variant(
-        schedules: &[Option<KeepAliveSchedule>],
-        f: usize,
-        t: Minute,
-    ) -> Option<VariantId> {
-        schedules[f]
-            .as_ref()
-            .and_then(|s| s.variant_at(t))
-            .filter(|&v| v != HOLE)
-    }
-
-    /// Keep-alive memory (MB) at minute `t` from the schedules.
-    fn keepalive_memory(&self, schedules: &[Option<KeepAliveSchedule>], t: Minute) -> f64 {
-        (0..self.families.len())
-            .filter_map(|f| {
-                Self::alive_variant(schedules, f, t).map(|v| self.families[f].variant(v).memory_mb)
-            })
-            .sum()
+    /// Begin a steppable run of `policy` over the trace. Call
+    /// [`SimSession::step_minute`] until it returns `None` (or stop early),
+    /// then [`SimSession::finish`] for the metrics; [`Self::run`] is exactly
+    /// this loop.
+    pub fn session<'a>(&'a self, policy: &'a mut dyn KeepAlivePolicy) -> SimSession<'a> {
+        let minutes = self.trace.minutes();
+        SimSession {
+            sim: self,
+            metrics: RunMetrics::new(policy.name(), minutes),
+            policy,
+            ledger: ScheduleLedger::new(self.families.len()),
+            demand_history: Vec::with_capacity(minutes),
+            invoked_last_minute: false,
+            next: 0,
+            minutes: minutes as Minute,
+        }
     }
 
     /// Run the policy over the whole trace.
     pub fn run(&self, policy: &mut dyn KeepAlivePolicy) -> RunMetrics {
-        let minutes = self.trace.minutes();
-        let n = self.families.len();
-        let mut metrics = RunMetrics::new(policy.name(), minutes);
-        let mut schedules: Vec<Option<KeepAliveSchedule>> = vec![None; n];
-        // Two memory series: `demand_history` records what the schedules
-        // *asked* to keep alive each minute (pre-adjustment) and drives the
-        // policy's peak detection — feeding post-flattening values back into
-        // the prior would drag the detector's baseline into a death spiral
-        // (every flatten lowers the prior, which makes the next minute a
-        // "peak" again). `mem_history` records what was actually kept alive
-        // (post-adjustment) and drives billing and the reported series.
-        let mut demand_history: Vec<f64> = Vec::with_capacity(minutes);
-        let mut mem_history: Vec<f64> = Vec::with_capacity(minutes);
-        // Algorithm 1's `t == 1` branch applies at the first minute of a
-        // keep-alive period — i.e. the minute right after an invocation
-        // started a new period. There the prior keep-alive memory is the
-        // local-window average (or the last non-zero level after
-        // inactivity), not the previous minute, so routine schedule renewals
-        // are judged against the steady level rather than minute-to-minute
-        // jitter.
-        let mut invoked_last_minute = false;
+        let mut session = self.session(policy);
+        while session.step_minute().is_some() {}
+        session.finish()
+    }
+}
 
-        for t in 0..minutes as Minute {
-            // 1. Cross-function adjustment on the pre-invocation alive set.
-            let mut alive: Vec<AliveModel> = (0..n)
-                .filter_map(|f| {
-                    Self::alive_variant(&schedules, f, t).map(|variant| AliveModel {
-                        func: f,
-                        variant,
-                        invocation_probability: 0.0,
-                    })
-                })
-                .collect();
-            let current_kam = self.keepalive_memory(&schedules, t);
-            let first_minute = invoked_last_minute
-                || (current_kam > 0.0 && demand_history.last().is_none_or(|&m| m <= 0.0));
-            let actions =
-                policy.adjust_minute(t, &demand_history, first_minute, current_kam, &mut alive);
-            demand_history.push(current_kam);
-            metrics.downgrades += actions.len() as u64;
-            for a in &actions {
-                // Algorithm 2 downgrades are decisions for the peak minute
-                // `t` ("for every time period t classified as peak"): clamp
-                // or clear this minute of the schedule only. If the demand
-                // is still peaked at t+1 the detector fires again there.
-                match *a {
-                    DowngradeAction::Downgrade { func, to, .. } => {
-                        if let Some(s) = schedules[func].as_mut() {
-                            if let Some(v) = s.variant_at(t) {
-                                if v != HOLE && v > to {
-                                    s.set_variant_at(t, to);
-                                }
-                            }
-                        }
-                    }
-                    DowngradeAction::Evict { func, .. } => {
-                        if let Some(s) = schedules[func].as_mut() {
-                            s.set_variant_at(t, HOLE);
-                        }
-                    }
+/// An in-flight minute-engine run: the trace is consumed one minute per
+/// [`Self::step_minute`] call, against the shared
+/// [`ScheduleLedger`] substrate.
+pub struct SimSession<'a> {
+    sim: &'a Simulator,
+    policy: &'a mut dyn KeepAlivePolicy,
+    metrics: RunMetrics,
+    ledger: ScheduleLedger,
+    // `demand_history` records what the schedules *asked* to keep alive each
+    // minute (pre-adjustment) and drives the policy's peak detection —
+    // feeding post-flattening values back into the prior would drag the
+    // detector's baseline into a death spiral (every flatten lowers the
+    // prior, which makes the next minute a "peak" again). What was actually
+    // kept alive (post-adjustment) drives billing and the reported series.
+    demand_history: Vec<f64>,
+    invoked_last_minute: bool,
+    next: Minute,
+    minutes: Minute,
+}
+
+impl SimSession<'_> {
+    /// The minute the next [`Self::step_minute`] call will simulate (equals
+    /// the horizon once the trace is exhausted).
+    pub fn next_minute(&self) -> Minute {
+        self.next
+    }
+
+    /// The ledger's current schedule state.
+    pub fn ledger(&self) -> &ScheduleLedger {
+        &self.ledger
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Simulate one minute: cross-function adjustment, then serving, then
+    /// billing/observation. Returns the minute processed, or `None` once the
+    /// trace is exhausted.
+    pub fn step_minute(&mut self) -> Option<Minute> {
+        if self.next >= self.minutes {
+            return None;
+        }
+        let t = self.next;
+        self.next += 1;
+
+        let kam = self.stage_adjust(t);
+        let (requests, cold) = self.stage_serve(t);
+        self.stage_bill_and_observe(t, kam, requests, cold);
+        Some(t)
+    }
+
+    /// Drive the run to completion and return the metrics ([`Simulator::run`]).
+    pub fn finish(self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// Stage 1: cross-function adjustment on the pre-invocation alive set,
+    /// then re-meter. Returns the billed keep-alive memory of the minute —
+    /// what the schedules keep alive at `t` post-adjustment. (Schedules
+    /// produced by invocations at `t` begin at `t + 1`, and cold-start
+    /// execution memory is in-use, not keep-alive.)
+    fn stage_adjust(&mut self, t: Minute) -> f64 {
+        let footprint = self.ledger.minute_footprint(&self.sim.families, t);
+        let mut alive = footprint.alive;
+        let current_kam = footprint.total_mb;
+        let first_minute =
+            begins_keepalive_period(self.invoked_last_minute, current_kam, &self.demand_history);
+        let actions = self.policy.adjust_minute(
+            t,
+            &self.demand_history,
+            first_minute,
+            current_kam,
+            &mut alive,
+        );
+        self.demand_history.push(current_kam);
+        self.metrics.downgrades += actions.len() as u64;
+        self.ledger.apply_actions(t, &actions);
+        self.ledger.keep_alive_mb_at(&self.sim.families, t)
+    }
+
+    /// Stage 2: serve the minute's invocations; warm starts ride the alive
+    /// variant, a cold start launches the policy's choice (same-minute
+    /// followers reuse it warm), and every invoked function gets a fresh
+    /// schedule. Returns `(requests, cold starts)` for the minute.
+    fn stage_serve(&mut self, t: Minute) -> (u64, u64) {
+        self.invoked_last_minute = false;
+        let mut minute_requests = 0u64;
+        let mut minute_cold = 0u64;
+        for f in 0..self.sim.families.len() {
+            let count = self.sim.trace.function(f).at(t) as u64;
+            if count == 0 {
+                continue;
+            }
+            self.invoked_last_minute = true;
+            minute_requests += count;
+            let fam = &self.sim.families[f];
+            match self.ledger.alive_variant_at(f, t) {
+                Some(v) => {
+                    let spec = fam.variant(v);
+                    self.metrics.service_time_s += spec.warm_service_time_s * count as f64;
+                    self.metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
+                    self.metrics.warm_starts += count;
+                }
+                None => {
+                    let v = self.policy.cold_start_variant(f, t);
+                    let spec = fam.variant(v);
+                    self.metrics.service_time_s +=
+                        spec.cold_service_time_s() + spec.warm_service_time_s * (count - 1) as f64;
+                    self.metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
+                    self.metrics.cold_starts += 1;
+                    minute_cold += 1;
+                    self.metrics.warm_starts += count - 1;
                 }
             }
+            self.ledger
+                .replace(f, self.policy.schedule_on_invocation(f, t));
+        }
+        (minute_requests, minute_cold)
+    }
 
-            // 2. Meter keep-alive memory for this minute *before* serving:
-            // the billed footprint is what the schedules keep alive at `t`
-            // (post-adjustment). Schedules produced by invocations at `t`
-            // begin at `t + 1`, and cold-start execution memory is in-use,
-            // not keep-alive.
-            let kam = self.keepalive_memory(&schedules, t);
-
-            // 3. Serve invocations.
-            invoked_last_minute = false;
-            let mut minute_requests = 0u64;
-            let mut minute_cold = 0u64;
-            for f in 0..n {
-                let count = self.trace.function(f).at(t) as u64;
-                if count == 0 {
-                    continue;
-                }
-                invoked_last_minute = true;
-                minute_requests += count;
-                let fam = &self.families[f];
-                match Self::alive_variant(&schedules, f, t) {
-                    Some(v) => {
-                        let spec = fam.variant(v);
-                        metrics.service_time_s += spec.warm_service_time_s * count as f64;
-                        metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
-                        metrics.warm_starts += count;
-                    }
-                    None => {
-                        let v = policy.cold_start_variant(f, t);
-                        let spec = fam.variant(v);
-                        metrics.service_time_s += spec.cold_service_time_s()
-                            + spec.warm_service_time_s * (count - 1) as f64;
-                        metrics.accuracy_sum_pct += spec.accuracy_pct * count as f64;
-                        metrics.cold_starts += 1;
-                        minute_cold += 1;
-                        metrics.warm_starts += count - 1;
-                    }
-                }
-                schedules[f] = Some(policy.schedule_on_invocation(f, t));
-            }
-
-            // 4. Accrue cost and record series.
-            let minute_cost = self.cost.keepalive_cost_usd_per_minutes(kam, 1.0);
-            metrics.keepalive_cost_usd += minute_cost;
-            metrics.memory_series_mb.push(kam);
-            metrics.cost_series_usd.push(minute_cost);
-            mem_history.push(kam);
-
-            // 5. Report the completed minute back to the policy (a no-op for
-            // plain policies; the watchdog wrapper keys off it). A cold
-            // start is this engine's SLO violation.
-            policy.observe_minute(&crate::policy::MinuteObservation {
+    /// Stage 3: accrue cost, record the per-minute series, and report the
+    /// completed minute back to the policy (a no-op for plain policies; the
+    /// watchdog wrapper keys off it). A cold start is this engine's SLO
+    /// violation.
+    fn stage_bill_and_observe(&mut self, t: Minute, kam: f64, requests: u64, cold: u64) {
+        let minute_cost = self.sim.cost.keepalive_cost_usd_per_minutes(kam, 1.0);
+        self.metrics.keepalive_cost_usd += minute_cost;
+        self.metrics.memory_series_mb.push(kam);
+        self.metrics.cost_series_usd.push(minute_cost);
+        self.policy
+            .observe_minute(&crate::policy::MinuteObservation {
                 minute: t,
-                requests: minute_requests,
-                slo_violations: minute_cold,
+                requests,
+                slo_violations: cold,
                 keepalive_mb: kam,
             });
-        }
-        metrics
     }
 }
 
@@ -212,12 +242,20 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::policies::{FixedVariant, IdealOracle, OpenWhiskFixed, PulsePolicy};
+    use pulse_core::global::AliveModel;
+    use pulse_core::individual::KeepAliveSchedule;
     use pulse_core::types::PulseConfig;
     use pulse_models::zoo;
     use pulse_trace::FunctionTrace;
 
     fn one_func_trace(counts: &[u32]) -> Trace {
         Trace::new(vec![FunctionTrace::new("f", counts.to_vec())])
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_hole_alias_matches_ledger_sentinel() {
+        assert_eq!(HOLE, pulse_core::schedule::HOLE);
     }
 
     #[test]
@@ -424,6 +462,46 @@ mod tests {
         for t in 4..=10 {
             assert!((m.memory_series_mb[t] - high).abs() < 1e-9, "t={t}");
         }
+    }
+
+    #[test]
+    fn stepped_session_matches_run_exactly() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(11, 500);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let whole = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+
+        let mut policy = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        let mut session = sim.session(&mut policy);
+        let mut seen = 0u64;
+        while let Some(t) = session.step_minute() {
+            assert_eq!(t, seen);
+            seen += 1;
+        }
+        assert_eq!(session.next_minute(), seen);
+        let stepped = session.finish();
+        assert_eq!(
+            stepped.keepalive_cost_usd.to_bits(),
+            whole.keepalive_cost_usd.to_bits()
+        );
+        assert_eq!(stepped.cold_starts, whole.cold_starts);
+        assert_eq!(stepped.warm_starts, whole.warm_starts);
+        assert_eq!(stepped.downgrades, whole.downgrades);
+        assert_eq!(stepped.memory_series_mb, whole.memory_series_mb);
+    }
+
+    #[test]
+    fn session_exposes_ledger_state() {
+        let trace = one_func_trace(&[1, 0, 0, 0]);
+        let fams = vec![zoo::bert()];
+        let sim = Simulator::new(trace, fams.clone());
+        let mut policy = OpenWhiskFixed::new(&fams);
+        let mut session = sim.session(&mut policy);
+        assert!(session.ledger().schedule(0).is_none());
+        session.step_minute();
+        // The invocation at minute 0 installed a schedule covering 1..=10.
+        assert_eq!(session.ledger().alive_variant_at(0, 1), Some(1));
+        assert_eq!(session.metrics().cold_starts, 1);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod policy;
 pub mod runner;
 pub mod watchdog;
 
-pub use engine::Simulator;
+pub use engine::{SimSession, Simulator};
 pub use metrics::RunMetrics;
 pub use policy::{KeepAlivePolicy, MinuteObservation};
 pub use watchdog::{Watchdog, WatchdogConfig};

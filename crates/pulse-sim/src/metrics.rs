@@ -9,6 +9,7 @@
 //! * **Accuracy** — "the sum of the accuracy delivered by each model during
 //!   invocations, divided by the total number of invocations".
 
+use pulse_models::stats;
 use serde::{Deserialize, Serialize};
 
 /// Metrics accumulated over one simulation run.
@@ -60,45 +61,30 @@ impl RunMetrics {
     /// The paper's accuracy metric: average delivered accuracy, percent.
     /// Zero when no invocation was served.
     pub fn avg_accuracy_pct(&self) -> f64 {
-        let n = self.invocations();
-        if n == 0 {
-            0.0
-        } else {
-            self.accuracy_sum_pct / n as f64
-        }
+        stats::ratio_or_zero(self.accuracy_sum_pct, self.invocations() as f64)
     }
 
     /// Fraction of invocations served warm, in `[0, 1]`.
     pub fn warm_fraction(&self) -> f64 {
-        let n = self.invocations();
-        if n == 0 {
-            0.0
-        } else {
-            self.warm_starts as f64 / n as f64
-        }
+        stats::ratio_or_zero(self.warm_starts as f64, self.invocations() as f64)
     }
 
     /// Peak keep-alive memory over the run, MB.
     pub fn peak_memory_mb(&self) -> f64 {
-        self.memory_series_mb.iter().copied().fold(0.0f64, f64::max)
+        stats::max(&self.memory_series_mb)
     }
 
     /// Mean keep-alive memory over the run, MB.
     pub fn avg_memory_mb(&self) -> f64 {
-        pulse_models::stats::mean(&self.memory_series_mb)
+        stats::mean(&self.memory_series_mb)
     }
 
     /// Percentage improvement of `self` over a `baseline` for a
     /// lower-is-better quantity (cost, service time): positive means `self`
-    /// is cheaper/faster.
-    #[allow(clippy::float_cmp)]
+    /// is cheaper/faster. A zero baseline reports 0.0 (nothing to improve
+    /// on), via the shared [`stats::ratio_or_zero`] convention.
     pub fn improvement_pct(ours: f64, baseline: f64) -> f64 {
-        // audit:allow(float-cmp): exactly 0.0 is the only invalid divisor; near-zero baselines must still divide
-        if baseline == 0.0 {
-            0.0
-        } else {
-            (baseline - ours) / baseline * 100.0
-        }
+        stats::ratio_or_zero(baseline - ours, baseline) * 100.0
     }
 }
 

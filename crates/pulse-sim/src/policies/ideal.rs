@@ -9,6 +9,7 @@
 
 use crate::policy::KeepAlivePolicy;
 use pulse_core::individual::KeepAliveSchedule;
+use pulse_core::schedule::Slot;
 use pulse_core::types::{FuncId, Minute};
 use pulse_models::{ModelFamily, VariantId};
 use pulse_trace::Trace;
@@ -45,42 +46,25 @@ impl KeepAlivePolicy for IdealOracle {
     }
 
     fn schedule_on_invocation(&mut self, f: FuncId, t: Minute) -> KeepAliveSchedule {
-        // Alive exactly at the future invocation minutes within the window.
-        // We signal "dead" by an empty plan trick: the schedule stores a
-        // variant per minute, so we need a per-minute alive/dead notion.
-        // The engine treats a minute as dead when the schedule has expired;
-        // within a window we cannot express holes, so the ideal oracle
-        // instead emits a schedule covering only the prefix up to (and
-        // including) each next invocation: here we cover every minute but
-        // the engine bills only alive minutes — therefore we emit the full
-        // window only when an invocation exists, trimmed to the last
-        // invocation minute... Simpler and exactly equivalent for cost
-        // accounting: emit a plan whose length runs to the *last* invocation
-        // minute in the window, and rely on `variant_at` for coverage.
+        // Alive exactly at the future invocation minutes within the window:
+        // mark invocation minutes with the highest variant and everything in
+        // between as a typed hole, trimming the plan at the last invocation
+        // minute (the ledger bills only alive slots, so trailing holes would
+        // be equivalent but pointless).
         let last_inv = (1..=self.window as u64).rfind(|&m| self.trace.function(f).at(t + m) > 0);
         match last_inv {
             // No future invocation in the window: keep nothing alive.
             None => KeepAliveSchedule::new(t, Vec::new()),
-            Some(last) => {
-                // Alive only at invocation minutes; the engine has no notion
-                // of per-minute holes, so we approximate the ideal by a plan
-                // covering minutes 1..=last — then subtract the idle minutes
-                // by scheduling the *lowest-footprint expression we have*:
-                // the engine bills exactly the minutes in the plan, so we
-                // emit a plan marking invocation minutes with the highest
-                // variant and non-invocation minutes as dead via the
-                // dedicated hole marker.
-                let plan = (1..=last)
-                    .map(|m| {
-                        if self.trace.function(f).at(t + m) > 0 {
-                            self.highest[f]
-                        } else {
-                            crate::engine::HOLE
-                        }
-                    })
-                    .collect();
-                KeepAliveSchedule::new(t, plan)
-            }
+            Some(last) => KeepAliveSchedule::from_slots(
+                t,
+                (1..=last).map(|m| {
+                    if self.trace.function(f).at(t + m) > 0 {
+                        Slot::Alive(self.highest[f])
+                    } else {
+                        Slot::Hole
+                    }
+                }),
+            ),
         }
     }
 
@@ -92,7 +76,6 @@ impl KeepAlivePolicy for IdealOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::HOLE;
     use pulse_models::zoo;
     use pulse_trace::FunctionTrace;
 
@@ -111,11 +94,11 @@ mod tests {
         let mut p = IdealOracle::new(&fams, trace);
         let s = p.schedule_on_invocation(0, 0);
         // Future invocations at minutes 2 and 5 → alive there, holes between.
-        assert_eq!(s.variant_at_offset(1), Some(HOLE));
-        assert_eq!(s.variant_at_offset(2), Some(2));
-        assert_eq!(s.variant_at_offset(3), Some(HOLE));
-        assert_eq!(s.variant_at_offset(5), Some(2));
-        assert_eq!(s.variant_at_offset(6), None); // plan trimmed
+        assert_eq!(s.slot_at_offset(1), Some(Slot::Hole));
+        assert_eq!(s.slot_at_offset(2), Some(Slot::Alive(2)));
+        assert_eq!(s.slot_at_offset(3), Some(Slot::Hole));
+        assert_eq!(s.slot_at_offset(5), Some(Slot::Alive(2)));
+        assert_eq!(s.slot_at_offset(6), None); // plan trimmed
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!
 //! * [`core`] ([`pulse_core`]) — the policy: inter-arrival probability
 //!   model, threshold schemes, Algorithm 1 peak detection, Algorithm 2
-//!   utility downgrades;
+//!   utility downgrades, and the shared schedule ledger (typed
+//!   `Slot`s, footprint/billing queries, the downgrade write path);
 //! * [`models`] ([`pulse_models`]) — the model zoo (BERT/YOLO/GPT/ResNet/
 //!   DenseNet variants calibrated to the paper's Table I), cost model,
 //!   profiler;
@@ -55,7 +56,7 @@ pub use pulse_trace as trace;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use pulse_core::{PulseConfig, PulseEngine};
+    pub use pulse_core::{PulseConfig, PulseEngine, ScheduleLedger, Slot};
     pub use pulse_models::{CostModel, ModelFamily, VariantSpec};
     pub use pulse_runtime::{
         AdmissionControl, ClusterConfig, FaultPlan, FaultRates, NodeCapacity, OpsEvent,
