@@ -10,6 +10,7 @@
 pub mod float_cmp;
 pub mod no_cast;
 pub mod no_unwrap;
+pub mod obs_sim_time;
 pub mod probability_usage;
 pub mod pub_docs;
 pub mod variant_sentinel;
@@ -59,6 +60,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(no_cast::NoCast),
         Box::new(float_cmp::FloatCmp),
         Box::new(wall_clock::WallClock),
+        Box::new(obs_sim_time::ObsSimTime),
         Box::new(pub_docs::PubDocs),
         Box::new(probability_usage::ProbabilityUsage),
         Box::new(variant_sentinel::VariantSentinel),

@@ -1,0 +1,119 @@
+//! `obs-sim-time`: the observability crate never reads the wall clock.
+//!
+//! Every `pulse-obs` event is stamped with *simulated* time — the engines'
+//! minute counter or millisecond event clock — so a trace replays
+//! bit-identically and two runs of the same seed produce byte-identical
+//! JSONL. A single `Instant::now()` or `SystemTime` timestamp would quietly
+//! break that, so the whole family of ambient-clock APIs is banned from the
+//! crate (stricter than the `wall-clock` rule: `SystemTime` is flagged as a
+//! type, not just its `::now()` call).
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct ObsSimTime;
+
+const TOKENS: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "ambient clock `Instant::now` in pulse-obs — events carry simulated time only",
+    ),
+    (
+        "SystemTime",
+        "wall-clock type `SystemTime` in pulse-obs — events carry simulated time only",
+    ),
+    (
+        "UNIX_EPOCH",
+        "wall-clock anchor `UNIX_EPOCH` in pulse-obs — events carry simulated time only",
+    ),
+    (
+        "chrono::",
+        "calendar-time dependency in pulse-obs — events carry simulated time only",
+    ),
+];
+
+impl Rule for ObsSimTime {
+    fn name(&self) -> &'static str {
+        "obs-sim-time"
+    }
+
+    fn description(&self) -> &'static str {
+        "pulse-obs never reads the wall clock: no Instant::now/SystemTime/UNIX_EPOCH"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-obs"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, line) in file.masked_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            for &(tok, what) in TOKENS {
+                if line.contains(tok) {
+                    out.push(
+                        Diagnostic::new(file.path.clone(), lineno, "obs-sim-time", what).with_hint(
+                            "take the simulated minute/millisecond as an explicit event field",
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
+        ObsSimTime.check(&f)
+    }
+
+    #[test]
+    fn flags_every_clock_token() {
+        let ds = check(
+            "pulse-obs",
+            "let a = std::time::Instant::now();\n\
+             let b: std::time::SystemTime = todo!();\n\
+             let c = std::time::UNIX_EPOCH;\n",
+        );
+        // `SystemTime` matches once on line 2; `Instant::now`/`UNIX_EPOCH`
+        // once each on their lines.
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.rule == "obs-sim-time"));
+    }
+
+    #[test]
+    fn simulated_time_fields_are_fine() {
+        let ds = check(
+            "pulse-obs",
+            "pub struct Adjust { pub minute: u64 }\nlet at_ms = 42u64;\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn other_crates_out_of_scope() {
+        assert!(!ObsSimTime.scope().includes("pulse-experiments"));
+        assert!(!ObsSimTime.scope().includes("pulse-sim"));
+        assert!(ObsSimTime.scope().includes("pulse-obs"));
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let ds = check(
+            "pulse-obs",
+            "#[cfg(test)]\nmod t { fn f() { let t = std::time::Instant::now(); } }\n",
+        );
+        assert!(ds.is_empty());
+    }
+}

@@ -216,29 +216,33 @@ impl ScheduleLedger {
 
     /// Apply an eviction to minute `t` of `f`'s schedule: punch a hole (the
     /// next invocation during `t` cold-starts). A no-op outside the window.
-    pub fn apply_eviction(&mut self, f: FuncId, t: Minute) {
-        if let Some(s) = self.schedules.get_mut(f).and_then(Option::as_mut) {
-            s.set_slot_at(t, Slot::Hole);
+    /// Returns whether the slot actually changed (it was alive at `t`) —
+    /// the event hook observability layers key off.
+    pub fn apply_eviction(&mut self, f: FuncId, t: Minute) -> bool {
+        let was_alive = matches!(self.slot_at(f, t), Slot::Alive(_));
+        if was_alive {
+            if let Some(s) = self.schedules.get_mut(f).and_then(Option::as_mut) {
+                s.set_slot_at(t, Slot::Hole);
+            }
         }
+        was_alive
     }
 
-    /// Apply one cross-function action to minute `t`.
-    pub fn apply_action(&mut self, t: Minute, action: &DowngradeAction) {
+    /// Apply one cross-function action to minute `t`. Returns whether the
+    /// targeted slot actually moved (downgrades of holes/expired/already-
+    /// lower slots and evictions of non-alive slots are ignored), so
+    /// engines can report applied-vs-ignored actions faithfully.
+    pub fn apply_action(&mut self, t: Minute, action: &DowngradeAction) -> bool {
         match *action {
-            DowngradeAction::Downgrade { func, to, .. } => {
-                self.apply_downgrade(func, t, to);
-            }
-            DowngradeAction::Evict { func, .. } => {
-                self.apply_eviction(func, t);
-            }
+            DowngradeAction::Downgrade { func, to, .. } => self.apply_downgrade(func, t, to),
+            DowngradeAction::Evict { func, .. } => self.apply_eviction(func, t),
         }
     }
 
     /// Apply a batch of cross-function actions to minute `t`, in order.
-    pub fn apply_actions(&mut self, t: Minute, actions: &[DowngradeAction]) {
-        for a in actions {
-            self.apply_action(t, a);
-        }
+    /// Returns how many actions moved a slot.
+    pub fn apply_actions(&mut self, t: Minute, actions: &[DowngradeAction]) -> usize {
+        actions.iter().filter(|a| self.apply_action(t, a)).count()
     }
 }
 
@@ -347,6 +351,32 @@ mod tests {
         assert!(!ledger.apply_downgrade(1, 40, 0), "expired");
         assert!(!ledger.apply_downgrade(99, 2, 0), "unknown function");
         ledger.apply_eviction(99, 2); // must not panic
+    }
+
+    #[test]
+    fn action_hooks_report_applied_vs_ignored() {
+        let (mut ledger, _) = two_fn_ledger();
+        // Eviction of an alive slot applies; of a hole/expired slot, not.
+        assert!(ledger.apply_eviction(0, 5));
+        assert!(!ledger.apply_eviction(0, 5), "already a hole");
+        assert!(!ledger.apply_eviction(0, 40), "expired");
+        assert!(!ledger.apply_eviction(99, 2), "unknown function");
+        // The batch count matches per-action results: downgrade f0@3
+        // applies, a repeat is ignored, the eviction of f1@3 applies.
+        let actions = vec![
+            DowngradeAction::Downgrade {
+                func: 0,
+                from: 2,
+                to: 0,
+            },
+            DowngradeAction::Downgrade {
+                func: 0,
+                from: 2,
+                to: 1,
+            },
+            DowngradeAction::Evict { func: 1, from: 1 },
+        ];
+        assert_eq!(ledger.apply_actions(3, &actions), 2);
     }
 
     #[test]

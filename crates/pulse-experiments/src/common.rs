@@ -7,7 +7,7 @@ use pulse_sim::runner::{self, MultiRunConfig, PolicyFactory};
 use pulse_trace::{synth, Trace};
 
 /// Experiment-wide configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Trace seed.
     pub seed: u64,
@@ -15,6 +15,10 @@ pub struct ExpConfig {
     pub horizon: usize,
     /// Runs per policy in multi-run campaigns.
     pub n_runs: usize,
+    /// Structured JSONL trace destination (`--trace-out`). The CLI
+    /// truncates the file once at startup; experiments append, so a
+    /// multi-experiment invocation shares one stream.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl ExpConfig {
@@ -24,6 +28,7 @@ impl ExpConfig {
             seed: 42,
             horizon: 4 * pulse_trace::MINUTES_PER_DAY,
             n_runs: 30,
+            trace_out: None,
         }
     }
 
@@ -33,6 +38,25 @@ impl ExpConfig {
             seed: 42,
             horizon: pulse_trace::TWO_WEEKS_MINUTES,
             n_runs: 1000,
+            trace_out: None,
+        }
+    }
+
+    /// Open the configured trace file for appending, if any. Returns `None`
+    /// both when tracing is off and when the file cannot be opened (with a
+    /// warning on stderr) — experiments run untraced rather than die.
+    pub fn open_trace(&self) -> Option<pulse_obs::JsonlSink<std::fs::File>> {
+        let path = self.trace_out.as_ref()?;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(f) => Some(pulse_obs::JsonlSink::new(f)),
+            Err(e) => {
+                eprintln!("warning: cannot open trace file {}: {e}", path.display());
+                None
+            }
         }
     }
 

@@ -381,6 +381,7 @@ mod tests {
             seed: 42,
             horizon: 1500,
             n_runs: 2,
+            trace_out: None,
         }
     }
 

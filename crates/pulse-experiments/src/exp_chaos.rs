@@ -18,9 +18,11 @@
 use crate::common::ExpConfig;
 use crate::report::{fmt, Table};
 use pulse_core::types::PulseConfig;
+use pulse_obs::{JsonlSink, ObsEvent, TraceSink};
 use pulse_runtime::{FaultPlan, Runtime, RuntimeConfig, RuntimeSummary};
 use pulse_sim::assignment::round_robin_assignment;
 use pulse_sim::policies::{IntelligentOracle, OpenWhiskFixed, PulsePolicy};
+use pulse_sim::KeepAlivePolicy;
 
 /// SLO used for the goodput column, ms (generous: cold start + headroom).
 const SLO_MS: u64 = 60_000;
@@ -39,6 +41,7 @@ fn run_one(
     label: &str,
     plan: &FaultPlan,
     table: &mut Table,
+    sink: &mut Option<JsonlSink<std::fs::File>>,
 ) -> Vec<(String, RuntimeSummary)> {
     let trace = cfg.trace();
     let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
@@ -51,25 +54,32 @@ fn run_one(
         },
     );
 
-    let mut out = Vec::new();
-    let summaries: Vec<(&str, RuntimeSummary)> = vec![
-        (
-            "openwhisk",
-            rt.run_with_faults(&mut OpenWhiskFixed::new(&fams), plan),
-        ),
+    let mut policies: Vec<(&str, Box<dyn KeepAlivePolicy>)> = vec![
+        ("openwhisk", Box::new(OpenWhiskFixed::new(&fams))),
         (
             "intelligent",
-            rt.run_with_faults(&mut IntelligentOracle::new(&fams, trace.clone()), plan),
+            Box::new(IntelligentOracle::new(&fams, trace.clone())),
         ),
         (
             "pulse",
-            rt.run_with_faults(
-                &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
-                plan,
-            ),
+            Box::new(PulsePolicy::new(fams.clone(), PulseConfig::default())),
         ),
     ];
-    for (policy, s) in summaries {
+
+    let mut out = Vec::new();
+    for (policy, p) in &mut policies {
+        // One labelled segment per traced run: a `run_start` header line,
+        // then that run's event stream.
+        let s = match sink.as_mut() {
+            Some(js) => {
+                js.record(&ObsEvent::RunStart {
+                    label: format!("chaos/{label}/{policy}"),
+                });
+                rt.run_with_faults_traced(p.as_mut(), plan, js)
+            }
+            None => rt.run_with_faults(p.as_mut(), plan),
+        };
+        let policy = *policy;
         table.row(vec![
             label.into(),
             policy.into(),
@@ -105,12 +115,13 @@ pub fn run(cfg: &ExpConfig) -> String {
         ],
     );
 
+    let mut sink = cfg.open_trace();
     let mut clean_cost = f64::NAN;
     let mut worst: Vec<(String, RuntimeSummary)> = Vec::new();
     for (i, &(label, prov, load, crash)) in LEVELS.iter().enumerate() {
         let plan =
             FaultPlan::uniform(prov, load, crash, cfg.seed ^ 0x000C_4A05).with_timeout_ms(120_000);
-        let out = run_one(cfg, label, &plan, &mut table);
+        let out = run_one(cfg, label, &plan, &mut table, &mut sink);
         if i == 0 {
             if let Some((_, s)) = out.iter().find(|(p, _)| p == "pulse") {
                 clean_cost = s.keepalive_cost_usd;
@@ -145,6 +156,7 @@ mod tests {
             seed: 42,
             horizon: 300,
             n_runs: 1,
+            trace_out: None,
         }
     }
 
@@ -163,5 +175,102 @@ mod tests {
     #[test]
     fn sweep_is_deterministic() {
         assert_eq!(run(&tiny()), run(&tiny()));
+    }
+
+    #[test]
+    fn trace_out_event_counts_match_summary_counters() {
+        use pulse_obs::ActionSource;
+        let path = std::env::temp_dir().join(format!(
+            "pulse-chaos-trace-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::fs::File::create(&path).expect("truncate trace file");
+        let cfg = ExpConfig {
+            trace_out: Some(path.clone()),
+            ..tiny()
+        };
+        let plan =
+            FaultPlan::uniform(0.20, 0.10, 0.05, cfg.seed ^ 0x000C_4A05).with_timeout_ms(120_000);
+        let mut table = Table::new("t", &["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+        let mut sink = cfg.open_trace();
+        let out = run_one(&cfg, "mid", &plan, &mut table, &mut sink);
+        assert!(!sink.expect("sink opens").had_error());
+
+        // Re-parse the JSONL and split it into per-run segments at the
+        // `run_start` header lines.
+        let text = std::fs::read_to_string(&path).expect("trace file exists");
+        let mut segments: Vec<(String, Vec<ObsEvent>)> = Vec::new();
+        for line in text.lines() {
+            let ev = ObsEvent::from_json(line).expect("every line is a valid event");
+            match ev {
+                ObsEvent::RunStart { label } => segments.push((label, Vec::new())),
+                ev => segments
+                    .last_mut()
+                    .expect("run_start precedes events")
+                    .1
+                    .push(ev),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(segments.len(), out.len(), "one segment per policy run");
+        for ((label, events), (policy, s)) in segments.iter().zip(&out) {
+            assert_eq!(label, &format!("chaos/mid/{policy}"));
+            // The acceptance identity: downgrade/eviction event counts in
+            // the trace equal the corresponding RuntimeSummary counters.
+            let policy_actions = events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ObsEvent::Downgrade {
+                            source: ActionSource::Policy,
+                            ..
+                        } | ObsEvent::Evict {
+                            source: ActionSource::Policy,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert_eq!(policy_actions as u64, s.downgrades, "{policy}");
+            let pressure_downgrades = events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ObsEvent::Downgrade {
+                            source: ActionSource::Pressure,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert_eq!(
+                pressure_downgrades as u64, s.pressure_downgrades,
+                "{policy}"
+            );
+            let evictions = events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ObsEvent::Evict {
+                            source: ActionSource::Pressure,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert_eq!(evictions as u64, s.evictions, "{policy}");
+            // Faulted degradations appear as `degrade` events.
+            let degrades = events
+                .iter()
+                .filter(|e| matches!(e, ObsEvent::Degrade { .. }))
+                .count();
+            assert_eq!(degrades as u64, s.degradations, "{policy}");
+        }
     }
 }

@@ -72,6 +72,7 @@ mod tests {
             seed: 42,
             horizon: 2000,
             n_runs: 1,
+            trace_out: None,
         };
         let out = run(&cfg);
         assert!(out.contains("steady-2m"));

@@ -165,6 +165,7 @@ mod tests {
             seed: 42,
             horizon: 1500,
             n_runs: 6,
+            trace_out: None,
         }
     }
 

@@ -106,6 +106,7 @@ mod tests {
             seed: 42,
             horizon: 1500,
             n_runs: 4,
+            trace_out: None,
         }
     }
 

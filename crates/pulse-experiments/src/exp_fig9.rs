@@ -135,6 +135,7 @@ mod tests {
             seed: 42,
             horizon: 1200,
             n_runs: 4,
+            trace_out: None,
         };
         let (pulse_acc, milp_acc) = accuracy_comparison(&cfg);
         // The paper's Figure 9b: MILP ends up with lower accuracy. Allow a
@@ -151,6 +152,7 @@ mod tests {
             seed: 42,
             horizon: 1000,
             n_runs: 4,
+            trace_out: None,
         };
         let out = run(&cfg);
         assert!(out.contains("Figure 9a"));

@@ -125,6 +125,7 @@ mod tests {
             seed: 42,
             horizon: 1200,
             n_runs: 1,
+            trace_out: None,
         }
     }
 

@@ -23,6 +23,7 @@
 use crate::common::ExpConfig;
 use crate::report::{fmt, Table};
 use pulse_core::types::PulseConfig;
+use pulse_obs::{JsonlSink, ObsEvent, TraceSink};
 use pulse_runtime::{
     AdmissionControl, ClusterConfig, FaultPlan, NodeCapacity, Runtime, RuntimeConfig,
     RuntimeSummary,
@@ -74,6 +75,7 @@ fn run_policies(
     cfg: &ExpConfig,
     cluster: &ClusterConfig,
     table: &mut Table,
+    sink: &mut Option<JsonlSink<std::fs::File>>,
 ) -> Vec<(String, RuntimeSummary)> {
     let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
     let rt = Runtime::new(
@@ -108,7 +110,15 @@ fn run_policies(
 
     let mut out = Vec::new();
     for (name, policy) in &mut policies {
-        let s = rt.run_with_cluster(policy.as_mut(), &plan, cluster);
+        let s = match sink.as_mut() {
+            Some(js) => {
+                js.record(&ObsEvent::RunStart {
+                    label: format!("overload/{scenario}/{name}"),
+                });
+                rt.run_with_cluster_traced(policy.as_mut(), &plan, cluster, js)
+            }
+            None => rt.run_with_cluster(policy.as_mut(), &plan, cluster),
+        };
         table.row(vec![
             scenario.into(),
             (*name).into(),
@@ -147,12 +157,13 @@ pub fn run(cfg: &ExpConfig) -> String {
     );
 
     // Storm: unlimited memory, bounded backlog.
+    let mut sink = cfg.open_trace();
     let storm = storm_trace(12, cfg.horizon);
     let storm_cluster = ClusterConfig {
         admission: AdmissionControl::bounded(STORM_MAX_PENDING),
         ..ClusterConfig::unlimited()
     };
-    let storm_out = run_policies("storm", &storm, cfg, &storm_cluster, &mut table);
+    let storm_out = run_policies("storm", &storm, cfg, &storm_cluster, &mut table, &mut sink);
 
     // Crunch: unbounded backlog, a node far smaller than the all-high plan.
     let trace = cfg.trace();
@@ -162,7 +173,14 @@ pub fn run(cfg: &ExpConfig) -> String {
         capacity: NodeCapacity::mb(all_high * CRUNCH_CAP_FRAC),
         ..ClusterConfig::unlimited()
     };
-    let crunch_out = run_policies("crunch", &trace, cfg, &crunch_cluster, &mut table);
+    let crunch_out = run_policies(
+        "crunch",
+        &trace,
+        cfg,
+        &crunch_cluster,
+        &mut table,
+        &mut sink,
+    );
 
     let shed_note = storm_out
         .iter()
@@ -197,6 +215,7 @@ mod tests {
             seed: 42,
             horizon: 300,
             n_runs: 1,
+            trace_out: None,
         }
     }
 
@@ -219,6 +238,67 @@ mod tests {
     #[test]
     fn sweep_is_deterministic() {
         assert_eq!(run(&tiny()), run(&tiny()));
+    }
+
+    #[test]
+    fn trace_out_reconciles_sheds_per_policy_segment() {
+        let path = std::env::temp_dir().join(format!(
+            "pulse-overload-trace-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::fs::File::create(&path).expect("truncate trace file");
+        let cfg = ExpConfig {
+            trace_out: Some(path.clone()),
+            ..tiny()
+        };
+        let mut table = Table::new(
+            "t",
+            &["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"],
+        );
+        let mut sink = cfg.open_trace();
+        let storm = storm_trace(12, cfg.horizon);
+        let storm_cluster = ClusterConfig {
+            admission: AdmissionControl::bounded(STORM_MAX_PENDING),
+            ..ClusterConfig::unlimited()
+        };
+        let out = run_policies("storm", &storm, &cfg, &storm_cluster, &mut table, &mut sink);
+        assert!(!sink.expect("sink opens").had_error());
+
+        let text = std::fs::read_to_string(&path).expect("trace file exists");
+        let mut segments: Vec<(String, Vec<ObsEvent>)> = Vec::new();
+        for line in text.lines() {
+            match ObsEvent::from_json(line).expect("every line is a valid event") {
+                ObsEvent::RunStart { label } => segments.push((label, Vec::new())),
+                ev => segments
+                    .last_mut()
+                    .expect("run_start precedes events")
+                    .1
+                    .push(ev),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(segments.len(), out.len(), "one segment per policy run");
+        for ((label, events), (policy, s)) in segments.iter().zip(&out) {
+            assert_eq!(label, &format!("overload/storm/{policy}"));
+            let sheds = events
+                .iter()
+                .filter(|e| matches!(e, ObsEvent::Shed { .. }))
+                .count();
+            assert_eq!(sheds as u64, s.shed_requests, "{policy}");
+            // Every request is either admitted (arrival event) or shed.
+            let arrivals = events
+                .iter()
+                .filter(|e| matches!(e, ObsEvent::Arrival { .. }))
+                .count();
+            assert_eq!(arrivals as u64 + sheds as u64, s.requests(), "{policy}");
+        }
+        assert!(
+            out.iter().any(|(_, s)| s.shed_requests > 0),
+            "storm must shed for the reconciliation to bite"
+        );
     }
 
     #[test]

@@ -120,6 +120,7 @@ mod tests {
             seed: 42,
             horizon: 700,
             n_runs: 1,
+            trace_out: None,
         };
         let out = run(&cfg);
         assert!(out.contains("fft-topk"));

@@ -99,6 +99,7 @@ mod tests {
             seed: 42,
             horizon: 700,
             n_runs: 2,
+            trace_out: None,
         }
     }
 

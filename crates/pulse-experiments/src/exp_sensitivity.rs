@@ -117,6 +117,7 @@ mod tests {
             seed: 42,
             horizon: 1200,
             n_runs: 4,
+            trace_out: None,
         }
     }
 

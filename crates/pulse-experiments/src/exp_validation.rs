@@ -93,6 +93,7 @@ mod tests {
             seed: 42,
             horizon: 600,
             n_runs: 1,
+            trace_out: None,
         };
         let trace = cfg.trace();
         let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
@@ -112,6 +113,7 @@ mod tests {
             seed: 42,
             horizon: 500,
             n_runs: 1,
+            trace_out: None,
         };
         let out = run(&cfg);
         assert!(out.contains("minute-sim"));

@@ -120,6 +120,7 @@ mod tests {
             seed: 42,
             horizon: 1200,
             n_runs: 2,
+            trace_out: None,
         };
         assert!(run_experiment("table3", &cfg).is_ok());
     }

@@ -1,11 +1,15 @@
 //! `pulse-exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! pulse-exp [--quick|--full] [--seed N] [--runs N] [--horizon MIN] [all | <exp>...]
+//! pulse-exp [--quick|--full] [--seed N] [--runs N] [--horizon MIN]
+//!           [--out DIR] [--trace-out FILE] [all | <exp>...]
 //! ```
 //!
 //! * `--quick` (default): 4-day trace, 30 runs — minutes of wall clock.
 //! * `--full`: the paper-scale setup — 14-day trace, 1000 runs.
+//! * `--trace-out FILE`: write a structured JSONL event trace (see
+//!   `pulse-obs`) for the experiments that support it (`chaos`,
+//!   `overload`). The file is truncated once per invocation.
 //! * experiments: `table1 fig1 fig2 table2 fig4 fig5 fig6a fig6b fig7 fig8
 //!   fig9 fig10 fig11 fig12`, extensions such as `validate`, `chaos`
 //!   (fault-injection sweep) and `overload` (bounded admission + node
@@ -33,6 +37,13 @@ fn main() {
                 });
                 out_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--trace-out" => {
+                let path = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace-out requires a file argument");
+                    std::process::exit(2);
+                });
+                cfg.trace_out = Some(std::path::PathBuf::from(path));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -43,6 +54,14 @@ fn main() {
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &cfg.trace_out {
+        // Truncate once here; experiments open the file in append mode so
+        // several sweeps in one invocation share the stream.
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("error: cannot create trace file {}: {e}", path.display());
             std::process::exit(2);
         }
     }
@@ -92,7 +111,7 @@ fn expect_num(v: Option<&String>, flag: &str) -> u64 {
 
 fn print_usage() {
     eprintln!(
-        "usage: pulse-exp [--quick|--full] [--seed N] [--runs N] [--horizon MIN] [--out DIR] [all | <exp>...]\n\
+        "usage: pulse-exp [--quick|--full] [--seed N] [--runs N] [--horizon MIN] [--out DIR] [--trace-out FILE] [all | <exp>...]\n\
          experiments: {}",
         EXPERIMENTS.join(" ")
     );

@@ -52,12 +52,17 @@ pub fn ratio_or_zero(numerator: f64, denominator: f64) -> f64 {
 
 /// Percentile `p` in `[0, 100]` by linear interpolation on a sorted copy.
 /// Returns 0.0 for an empty slice.
+///
+/// NaN inputs are ordered by IEEE 754 `totalOrder` ([`f64::total_cmp`]):
+/// positive NaN sorts above every number, negative NaN below. So NaNs never
+/// panic the sort; a positive NaN only reaches the result when `p` lands in
+/// the top ranks (where the answer genuinely is "not a number").
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, p)
 }
 
@@ -251,6 +256,22 @@ mod tests {
     #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_via_total_order() {
+        // total_cmp sorts positive NaN above every number: low/mid
+        // percentiles stay numeric, only the top ranks report NaN.
+        let xs = [1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert!(percentile(&xs, 100.0).is_nan());
+        // Negative NaN sorts below every number — the mirror image.
+        let ys = [-f64::NAN, 1.0, 2.0];
+        assert!(percentile(&ys, 0.0).is_nan());
+        assert_eq!(percentile(&ys, 100.0), 2.0);
+        // All-NaN input is NaN at every percentile, never a panic.
+        assert!(percentile(&[f64::NAN; 3], 50.0).is_nan());
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! A hand-rolled JSON subset for the event schema.
+//!
+//! The workspace's vendored `serde` stand-in is inert (marker traits only),
+//! so the JSONL encoding is written out by hand here: flat objects whose
+//! values are strings, integers, finite floats, booleans, or `null`. That is
+//! exactly the shape every [`crate::ObsEvent`] serializes to, and the parser
+//! accepts exactly that shape back — the round-trip is pinned by the schema
+//! self-check tests in [`crate::event`].
+
+use std::fmt::Write as _;
+
+/// Why a JSON line failed to parse back into an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the first problem found.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid event JSON: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed field value: strings are unescaped; everything else (numbers,
+/// booleans, `null`) is kept as its raw token and interpreted per-field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    Str(String),
+    Raw(String),
+}
+
+/// Append `s` as a JSON string literal (quotes and escapes included).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float field value: finite values print in Rust's shortest
+/// round-trip form, non-finite values become `null` (JSON has no NaN/inf;
+/// the parser maps `null` back to NaN).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parse one flat JSON object (`{"k": v, ...}`) into its fields, in order.
+pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, Token)>, ParseError> {
+    let mut chars = line.trim().chars().peekable();
+    expect_char(&mut chars, '{')?;
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return finish(chars, fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect_char(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = parse_value(&mut chars)?;
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return finish(chars, fields),
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected ',' or '}}', got {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+fn finish(
+    mut chars: std::iter::Peekable<std::str::Chars<'_>>,
+    fields: Vec<(String, Token)>,
+) -> Result<Vec<(String, Token)>, ParseError> {
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(fields),
+        Some(c) => Err(ParseError::new(format!(
+            "trailing input after object: {c:?}"
+        ))),
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect_char(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    want: char,
+) -> Result<(), ParseError> {
+    skip_ws(chars);
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(ParseError::new(format!("expected {want:?}, got {other:?}"))),
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, ParseError> {
+    expect_char(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err(ParseError::new("unterminated string")),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or_else(|| ParseError::new("bad \\u escape"))?;
+                        code = code * 16 + d;
+                    }
+                    let c = char::from_u32(code)
+                        .ok_or_else(|| ParseError::new("\\u escape is not a scalar value"))?;
+                    out.push(c);
+                }
+                other => return Err(ParseError::new(format!("bad escape {other:?}"))),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Token, ParseError> {
+    match chars.peek() {
+        Some('"') => parse_string(chars).map(Token::Str),
+        Some(&c) if c == 't' || c == 'f' || c == 'n' || c == '-' || c.is_ascii_digit() => {
+            let mut raw = String::new();
+            while chars
+                .peek()
+                .is_some_and(|&c| c.is_ascii_alphanumeric() || "+-.".contains(c))
+            {
+                // The next() must yield the peeked char; the guard above
+                // guarantees it exists.
+                if let Some(c) = chars.next() {
+                    raw.push(c);
+                }
+            }
+            Ok(Token::Raw(raw))
+        }
+        other => Err(ParseError::new(format!("unexpected value start {other:?}"))),
+    }
+}
+
+/// Typed field lookups over a parsed object.
+pub(crate) struct Fields(pub(crate) Vec<(String, Token)>);
+
+impl Fields {
+    fn find(&self, key: &str) -> Result<&Token, ParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ParseError::new(format!("missing field {key:?}")))
+    }
+
+    pub(crate) fn str(&self, key: &str) -> Result<&str, ParseError> {
+        match self.find(key)? {
+            Token::Str(s) => Ok(s),
+            Token::Raw(r) => Err(ParseError::new(format!(
+                "field {key:?}: expected string, got {r}"
+            ))),
+        }
+    }
+
+    fn raw(&self, key: &str) -> Result<&str, ParseError> {
+        match self.find(key)? {
+            Token::Raw(r) => Ok(r),
+            Token::Str(_) => Err(ParseError::new(format!("field {key:?}: unexpected string"))),
+        }
+    }
+
+    pub(crate) fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        let raw = self.raw(key)?;
+        raw.parse()
+            .map_err(|_| ParseError::new(format!("field {key:?}: {raw} is not a u64")))
+    }
+
+    pub(crate) fn usize(&self, key: &str) -> Result<usize, ParseError> {
+        let raw = self.raw(key)?;
+        raw.parse()
+            .map_err(|_| ParseError::new(format!("field {key:?}: {raw} is not a usize")))
+    }
+
+    pub(crate) fn f64(&self, key: &str) -> Result<f64, ParseError> {
+        let raw = self.raw(key)?;
+        if raw == "null" {
+            return Ok(f64::NAN);
+        }
+        raw.parse()
+            .map_err(|_| ParseError::new(format!("field {key:?}: {raw} is not an f64")))
+    }
+
+    pub(crate) fn bool(&self, key: &str) -> Result<bool, ParseError> {
+        match self.raw(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            raw => Err(ParseError::new(format!(
+                "field {key:?}: {raw} is not a bool"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let fields =
+            Fields(parse_object(r#"{"type":"bill","minute":3,"mb":512.5,"ok":true}"#).unwrap());
+        assert_eq!(fields.str("type").unwrap(), "bill");
+        assert_eq!(fields.u64("minute").unwrap(), 3);
+        assert!((fields.f64("mb").unwrap() - 512.5).abs() < 1e-12);
+        assert!(fields.bool("ok").unwrap());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        let line = format!("{{\"s\":{out}}}");
+        let fields = Fields(parse_object(&line).unwrap());
+        assert_eq!(fields.str("s").unwrap(), "a\"b\\c\nd\te\u{1}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_and_parse_as_nan() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        let fields = Fields(parse_object(r#"{"v":null}"#).unwrap());
+        assert!(fields.f64("v").unwrap().is_nan());
+    }
+
+    #[test]
+    fn finite_floats_round_trip_exactly() {
+        for v in [0.0, 1.5, 1e-12, 123456.789, 0.1 + 0.2, f64::MIN_POSITIVE] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            let line = format!("{{\"v\":{out}}}");
+            let back = Fields(parse_object(&line).unwrap()).f64("v").unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a":}"#).is_err());
+        assert!(parse_object(r#"{"a":1} extra"#).is_err());
+        assert!(parse_object(r#"{"a" 1}"#).is_err());
+        let fields = Fields(parse_object(r#"{"a":1}"#).unwrap());
+        assert!(fields.u64("missing").is_err());
+        assert!(fields.str("a").is_err());
+        assert!(fields.bool("a").is_err());
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert!(parse_object("{}").unwrap().is_empty());
+    }
+}

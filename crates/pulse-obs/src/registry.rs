@@ -1,0 +1,371 @@
+//! Cheap named metrics: counters and log-bucketed histograms.
+//!
+//! Registries are built for the parallel campaign runner's shape: each
+//! worker owns a private registry, records into it with index-based ids
+//! (no hashing, no locking on the hot path), and the per-worker registries
+//! are [`CounterRegistry::merge`]d after the workers join. Merging is
+//! commutative and associative, so the merged totals are independent of
+//! worker scheduling — a determinism property the campaign tests rely on.
+
+/// Handle to one registered counter (an index; `Copy`, cheap to pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// A set of named monotonic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` (or find it, if already registered) and return its id.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.names.iter().position(|&n| n == name) {
+            return CounterId(i);
+        }
+        self.names.push(name);
+        self.values.push(0);
+        CounterId(self.names.len() - 1)
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some(v) = self.values.get_mut(id.0) {
+            *v = v.saturating_add(n);
+        }
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of `name` (0 when never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .and_then(|i| self.values.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// All `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.names.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Fold another registry into this one, matching counters by name and
+    /// registering any the other has that this one lacks.
+    pub fn merge(&mut self, other: &CounterRegistry) {
+        for (name, value) in other.iter() {
+            let id = self.counter(name);
+            self.add(id, value);
+        }
+    }
+}
+
+/// Handle to one registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(usize);
+
+/// Number of power-of-two buckets: bucket `i` holds values whose bit length
+/// is `i` (bucket 0 = the value 0, bucket 64 = values ≥ 2⁶³).
+const N_BUCKETS: usize = 65;
+
+/// A fixed-footprint histogram over `u64` samples with power-of-two buckets
+/// — coarse (one bucket per bit length) but allocation-free, mergeable, and
+/// exact for `count`/`sum`/`min`/`max`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        // Bit length of v: 0 → 0, 1 → 1, 2..=3 → 2, … (≤ 64, so the
+        // conversion never truncates).
+        usize::try_from(64 - v.leading_zeros()).unwrap_or(N_BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            // u64 → f64 is a value conversion, not a truncation.
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `pct`-th percentile sample
+    /// (nearest-rank over buckets; `pct` is clamped to 0..=100). Exact to
+    /// within one power of two — enough to tell a 2 ms run from a 2 s one.
+    pub fn approx_percentile(&self, pct: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let pct = pct.min(100);
+        // Nearest-rank: the smallest rank r with r ≥ pct% of count (≥ 1).
+        let target = (self.count * pct).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(match i {
+                    0 => 0,
+                    i if i >= 64 => u64::MAX,
+                    i => (1u64 << i) - 1,
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A set of named histograms, mirroring [`CounterRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramRegistry {
+    names: Vec<&'static str>,
+    hists: Vec<Histogram>,
+}
+
+impl HistogramRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` (or find it) and return its id.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        if let Some(i) = self.names.iter().position(|&n| n == name) {
+            return HistogramId(i);
+        }
+        self.names.push(name);
+        self.hists.push(Histogram::new());
+        HistogramId(self.names.len() - 1)
+    }
+
+    /// Record one sample into a histogram.
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        if let Some(h) = self.hists.get_mut(id.0) {
+            h.record(v);
+        }
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .and_then(|i| self.hists.get(i))
+    }
+
+    /// All `(name, histogram)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.names.iter().copied().zip(self.hists.iter())
+    }
+
+    /// Fold another registry into this one, matching by name.
+    pub fn merge(&mut self, other: &HistogramRegistry) {
+        for (name, hist) in other.iter() {
+            let id = self.histogram(name);
+            if let Some(h) = self.hists.get_mut(id.0) {
+                h.merge(hist);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests compare exact constructed values
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_add_and_merge_by_name() {
+        let mut a = CounterRegistry::new();
+        let runs = a.counter("runs");
+        let colds = a.counter("cold_starts");
+        a.inc(runs);
+        a.add(colds, 5);
+        assert_eq!(a.counter("runs"), runs, "re-registration finds the id");
+        assert_eq!(a.get("runs"), 1);
+        assert_eq!(a.get("absent"), 0);
+
+        let mut b = CounterRegistry::new();
+        // Registered in a different order, plus a name `a` lacks.
+        let extra = b.counter("extra");
+        let runs_b = b.counter("runs");
+        b.inc(extra);
+        b.add(runs_b, 9);
+        a.merge(&b);
+        assert_eq!(a.get("runs"), 10);
+        assert_eq!(a.get("extra"), 1);
+        assert_eq!(a.get("cold_starts"), 5);
+    }
+
+    #[test]
+    fn counter_merge_is_order_independent() {
+        let mk = |n: u64| {
+            let mut r = CounterRegistry::new();
+            let id = r.counter("x");
+            r.add(id, n);
+            r
+        };
+        let mut ab = mk(3);
+        ab.merge(&mk(4));
+        let mut ba = mk(4);
+        ba.merge(&mk(3));
+        assert_eq!(ab.get("x"), ba.get("x"));
+    }
+
+    #[test]
+    fn histogram_tracks_exact_aggregates() {
+        let mut h = Histogram::new();
+        assert_eq!(h.approx_percentile(50), None);
+        assert_eq!(h.min(), None);
+        for v in [0u64, 1, 2, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_001_006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(h.mean(), 1_001_006.0 / 6.0);
+    }
+
+    #[test]
+    fn percentile_bounds_bracket_the_sample() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 sample is 500 (bit length 9 ⇒ bucket bound 511).
+        assert_eq!(h.approx_percentile(50), Some(511));
+        assert_eq!(h.approx_percentile(100), Some(1023));
+        assert_eq!(h.approx_percentile(0), Some(1), "lowest non-empty bucket");
+        // Extremes of the bucket range.
+        let mut edges = Histogram::new();
+        edges.record(0);
+        edges.record(u64::MAX);
+        assert_eq!(edges.approx_percentile(0), Some(0));
+        assert_eq!(edges.approx_percentile(100), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_everything_in_one() {
+        let xs = [3u64, 7, 9, 1 << 40];
+        let ys = [0u64, 2, 1 << 63];
+        let mut merged = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &v in &xs {
+            merged.record(v);
+            left.record(v);
+        }
+        for &v in &ys {
+            merged.record(v);
+            right.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, merged);
+    }
+
+    #[test]
+    fn histogram_registry_merges_by_name() {
+        let mut a = HistogramRegistry::new();
+        let cost = a.histogram("run_cost");
+        a.record(cost, 100);
+        let mut b = HistogramRegistry::new();
+        let other = b.histogram("run_cold_starts");
+        b.record(other, 2);
+        let cost_b = b.histogram("run_cost");
+        b.record(cost_b, 300);
+        a.merge(&b);
+        let merged = a.get("run_cost").unwrap();
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), 400);
+        assert_eq!(a.get("run_cold_starts").unwrap().count(), 1);
+        assert!(a.get("absent").is_none());
+    }
+
+    #[test]
+    fn saturation_not_overflow() {
+        let mut c = CounterRegistry::new();
+        let id = c.counter("big");
+        c.add(id, u64::MAX);
+        c.inc(id);
+        assert_eq!(c.get("big"), u64::MAX);
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+}

@@ -77,6 +77,7 @@ use pulse_core::global::{flatten_peak, DowngradeAction};
 use pulse_core::priority::PriorityStructure;
 use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
 use pulse_models::{CostModel, ModelFamily, VariantId};
+use pulse_obs::{emit, ActionSource, ObsEvent, TraceSink};
 use pulse_sim::policy::{KeepAlivePolicy, MinuteObservation};
 use pulse_trace::Trace;
 use std::collections::VecDeque;
@@ -162,7 +163,7 @@ struct FnState {
 /// The mutable machinery of one execution: event queue, per-function and
 /// per-request state, samplers, and the summary being accumulated. Grouping
 /// it lets the fault handlers be methods instead of 10-argument functions.
-struct RunState {
+struct RunState<'a> {
     queue: EventQueue,
     fns: Vec<FnState>,
     /// Keep-alive schedules, one per function — the shared billing/downgrade
@@ -194,9 +195,12 @@ struct RunState {
     last_billed_mb: f64,
     /// Watchdog state at the last tick (for transition events).
     prev_fallback: bool,
+    /// Attached observer, if any. Disabled/absent sinks cost one branch per
+    /// emission point and change nothing else (the transparency contract).
+    sink: Option<&'a mut dyn TraceSink>,
 }
 
-impl RunState {
+impl RunState<'_> {
     /// Begin executing `req` on `func`'s warm container, drawing the
     /// execution duration and (under faults) a possible mid-execution crash.
     fn start_exec(&mut self, fam: &ModelFamily, func: usize, req: usize, now: u64) {
@@ -292,6 +296,12 @@ impl RunState {
             // Graceful degradation: Algorithm 2's downgrade move, applied as
             // a failure response — one rung down instead of failing requests.
             self.summary.degradations += 1;
+            emit(&mut self.sink, || ObsEvent::Degrade {
+                at_ms: now,
+                func,
+                from: v,
+                to: lower,
+            });
             let new_acc = fam.variant(lower).accuracy_pct;
             let waiting: Vec<usize> = self.fns[func].waiting.iter().copied().collect();
             for r in waiting {
@@ -308,6 +318,7 @@ impl RunState {
         } else {
             // The cheapest variant failed too: the ladder is exhausted.
             self.summary.reaped += 1;
+            emit(&mut self.sink, || ObsEvent::Reap { at_ms: now, func });
             if let Some(c) = self.fns[func].container.as_mut() {
                 c.state = ContainerState::Reaped;
             }
@@ -458,6 +469,39 @@ impl Runtime {
         session.finish()
     }
 
+    /// [`Self::run`] with a [`TraceSink`] attached (see
+    /// [`Self::session_traced`] for the event contract).
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        sink: &mut dyn TraceSink,
+    ) -> RuntimeSummary {
+        self.run_with_faults_traced(policy, &FaultPlan::none(), sink)
+    }
+
+    /// [`Self::run_with_faults`] with a [`TraceSink`] attached.
+    pub fn run_with_faults_traced(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        sink: &mut dyn TraceSink,
+    ) -> RuntimeSummary {
+        self.run_with_cluster_traced(policy, plan, &ClusterConfig::unlimited(), sink)
+    }
+
+    /// [`Self::run_with_cluster`] with a [`TraceSink`] attached.
+    pub fn run_with_cluster_traced(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        cluster: &ClusterConfig,
+        sink: &mut dyn TraceSink,
+    ) -> RuntimeSummary {
+        let mut session = self.session_traced(policy, plan, *cluster, sink);
+        while session.step().is_some() {}
+        session.finish()
+    }
+
     /// Begin a steppable run: all events (minute ticks, arrivals, optional
     /// SLO timers) are seeded up front, and each [`RuntimeSession::step`]
     /// call processes exactly one. [`Self::run_with_cluster`] is precisely
@@ -470,6 +514,32 @@ impl Runtime {
         policy: &'a mut dyn KeepAlivePolicy,
         plan: &FaultPlan,
         cluster: ClusterConfig,
+    ) -> RuntimeSession<'a> {
+        self.session_impl(policy, plan, cluster, None)
+    }
+
+    /// [`Self::session`] with a [`TraceSink`] attached: every adjust, bill,
+    /// downgrade/eviction (policy- and pressure-sourced), arrival, shed,
+    /// fault degradation/reap and watchdog transition is emitted as a typed
+    /// [`ObsEvent`]. With a disabled sink (e.g. [`pulse_obs::NullSink`]) the
+    /// run is bit-identical to the un-traced one — sinks observe, they
+    /// never steer.
+    pub fn session_traced<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        cluster: ClusterConfig,
+        sink: &'a mut dyn TraceSink,
+    ) -> RuntimeSession<'a> {
+        self.session_impl(policy, plan, cluster, Some(sink))
+    }
+
+    fn session_impl<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        cluster: ClusterConfig,
+        sink: Option<&'a mut dyn TraceSink>,
     ) -> RuntimeSession<'a> {
         let n = self.families.len();
         let minutes = self.trace.minutes() as u64;
@@ -500,6 +570,7 @@ impl Runtime {
             minute_violations: 0,
             last_billed_mb: 0.0,
             prev_fallback: false,
+            sink,
         };
         let mut req_func: Vec<usize> = Vec::new();
 
@@ -561,7 +632,7 @@ pub struct RuntimeSession<'a> {
     rt: &'a Runtime,
     policy: &'a mut dyn KeepAlivePolicy,
     cluster: ClusterConfig,
-    rs: RunState,
+    rs: RunState<'a>,
     demand_history: Vec<f64>,
     invoked_this_minute: bool,
 }
@@ -654,6 +725,10 @@ impl RuntimeSession<'_> {
             } else {
                 OpsEvent::WatchdogRecover { minute }
             });
+            emit(&mut self.rs.sink, || ObsEvent::Watchdog {
+                minute,
+                fallback: fb,
+            });
         }
     }
 
@@ -670,7 +745,36 @@ impl RuntimeSession<'_> {
                 .adjust_minute(minute, &self.demand_history, first_minute, kam, &mut alive);
         self.demand_history.push(kam);
         self.rs.summary.downgrades += actions.len() as u64;
-        self.rs.ledger.apply_actions(minute, &actions);
+        // Apply action-by-action (the exact loop `apply_actions` runs) so
+        // each one's applied/ignored outcome can be reported.
+        let mut applied = 0usize;
+        for a in &actions {
+            let moved = self.rs.ledger.apply_action(minute, a);
+            applied += usize::from(moved);
+            emit(&mut self.rs.sink, || match *a {
+                DowngradeAction::Downgrade { func, from, to } => ObsEvent::Downgrade {
+                    minute,
+                    func,
+                    from,
+                    to,
+                    source: ActionSource::Policy,
+                    applied: moved,
+                },
+                DowngradeAction::Evict { func, from } => ObsEvent::Evict {
+                    minute,
+                    func,
+                    from,
+                    source: ActionSource::Policy,
+                    applied: moved,
+                },
+            });
+        }
+        emit(&mut self.rs.sink, || ObsEvent::Adjust {
+            minute,
+            requested: actions.len(),
+            applied,
+            keepalive_mb: kam,
+        });
     }
 
     /// Tick stage 3: node-capacity enforcement — when the post-adjustment
@@ -697,7 +801,7 @@ impl RuntimeSession<'_> {
             cap_mb,
         );
         for a in &outcome.actions {
-            self.rs.ledger.apply_action(minute, a);
+            let moved = self.rs.ledger.apply_action(minute, a);
             match *a {
                 DowngradeAction::Downgrade { func, from, to } => {
                     self.rs.summary.pressure_downgrades += 1;
@@ -710,6 +814,14 @@ impl RuntimeSession<'_> {
                             from,
                             to,
                         });
+                    emit(&mut self.rs.sink, || ObsEvent::Downgrade {
+                        minute,
+                        func,
+                        from,
+                        to,
+                        source: ActionSource::Pressure,
+                        applied: moved,
+                    });
                 }
                 DowngradeAction::Evict { func, from } => {
                     self.rs.summary.evictions += 1;
@@ -717,6 +829,13 @@ impl RuntimeSession<'_> {
                         .summary
                         .ops_events
                         .push(OpsEvent::Evicted { minute, func, from });
+                    emit(&mut self.rs.sink, || ObsEvent::Evict {
+                        minute,
+                        func,
+                        from,
+                        source: ActionSource::Pressure,
+                        applied: moved,
+                    });
                 }
             }
         }
@@ -775,13 +894,19 @@ impl RuntimeSession<'_> {
                 (None, None) => {}
             }
         }
-        rs.summary.keepalive_cost_usd += self
+        let minute_cost = self
             .rt
             .config
             .cost
             .keepalive_cost_usd_per_minutes(billed, 1.0);
+        rs.summary.keepalive_cost_usd += minute_cost;
         rs.summary.memory_at_tick_mb.push(billed);
         rs.last_billed_mb = billed;
+        emit(&mut rs.sink, || ObsEvent::Bill {
+            minute,
+            keepalive_mb: billed,
+            cost_usd: minute_cost,
+        });
     }
 
     /// Arrival stage: admission check, then warm / queued-behind-provisioning
@@ -811,12 +936,18 @@ impl RuntimeSession<'_> {
                     func,
                     req,
                 });
+                emit(&mut rs.sink, || ObsEvent::Shed { at_ms: now, func });
                 rs.fail_request(req, now);
                 return;
             }
         }
 
         self.invoked_this_minute = true;
+        emit(&mut rs.sink, || ObsEvent::Arrival {
+            at_ms: now,
+            func,
+            warm: held.is_some(),
+        });
         let need_schedule = rs.fns[func].scheduled_minute != Some(minute);
         match held {
             Some((true, v)) => {
@@ -1413,6 +1544,77 @@ mod tests {
         session.step();
         session.step();
         assert_eq!(session.ledger().alive_variant_at(0, 1), Some(1));
+    }
+
+    #[test]
+    fn traced_cluster_run_event_counts_match_summary_counters() {
+        use crate::cluster::NodeCapacity;
+        use pulse_obs::{ActionSource, MemorySink, ObsEvent};
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(41, 300);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let cluster = ClusterConfig {
+            capacity: NodeCapacity::mb(all_high * 0.3),
+            ..ClusterConfig::unlimited()
+        };
+        let mut mem = MemorySink::new();
+        let s = rt.run_with_cluster_traced(
+            &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+            &FaultPlan::none(),
+            &cluster,
+            &mut mem,
+        );
+        // Downgrade/eviction event counts equal the summary counters, per
+        // source: policy actions → `downgrades`, pressure actions →
+        // `pressure_downgrades` / `evictions`.
+        let policy_actions = mem.count(|e| {
+            matches!(
+                e,
+                ObsEvent::Downgrade {
+                    source: ActionSource::Policy,
+                    ..
+                } | ObsEvent::Evict {
+                    source: ActionSource::Policy,
+                    ..
+                }
+            )
+        });
+        assert_eq!(policy_actions as u64, s.downgrades);
+        let pressure_downgrades = mem.count(|e| {
+            matches!(
+                e,
+                ObsEvent::Downgrade {
+                    source: ActionSource::Pressure,
+                    ..
+                }
+            )
+        });
+        assert_eq!(pressure_downgrades as u64, s.pressure_downgrades);
+        let pressure_evicts = mem.count(|e| {
+            matches!(
+                e,
+                ObsEvent::Evict {
+                    source: ActionSource::Pressure,
+                    ..
+                }
+            )
+        });
+        assert_eq!(pressure_evicts as u64, s.evictions);
+        assert!(pressure_downgrades + pressure_evicts > 0, "cap must bind");
+        // Arrivals cover every request; one bill per minute tick.
+        assert_eq!(
+            mem.count(|e| matches!(e, ObsEvent::Arrival { .. })) as u64,
+            s.requests()
+        );
+        assert_eq!(
+            mem.count(|e| matches!(e, ObsEvent::Bill { .. })),
+            s.memory_at_tick_mb.len()
+        );
+        // Every emitted event survives the JSONL round trip.
+        for ev in mem.events() {
+            assert_eq!(&ObsEvent::from_json(&ev.to_json()).unwrap(), ev);
+        }
     }
 
     #[test]

@@ -15,21 +15,12 @@
 
 use crate::metrics::RunMetrics;
 use crate::policy::KeepAlivePolicy;
+use pulse_core::global::DowngradeAction;
 use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
 use pulse_core::types::Minute;
-use pulse_models::{CostModel, ModelFamily, VariantId};
+use pulse_models::{CostModel, ModelFamily};
+use pulse_obs::{emit, ActionSource, ObsEvent, TraceSink};
 use pulse_trace::Trace;
-
-/// Deprecated alias of the schedule-slot sentinel, kept for one release so
-/// downstream code compiles. The sentinel now lives with the rest of the
-/// slot semantics in `pulse_core::schedule`; use [`pulse_core::schedule::Slot`]
-/// instead of comparing raw ids.
-#[deprecated(
-    since = "0.1.0",
-    note = "use pulse_core::schedule::Slot (the sentinel moved to pulse_core::schedule::HOLE)"
-)]
-// audit:allow(variant-sentinel): deprecated compatibility re-export of the ledger's sentinel
-pub const HOLE: VariantId = pulse_core::schedule::HOLE;
 
 /// Trace-driven serverless platform simulator.
 #[derive(Debug, Clone)]
@@ -75,6 +66,27 @@ impl Simulator {
     /// then [`SimSession::finish`] for the metrics; [`Self::run`] is exactly
     /// this loop.
     pub fn session<'a>(&'a self, policy: &'a mut dyn KeepAlivePolicy) -> SimSession<'a> {
+        self.session_impl(policy, None)
+    }
+
+    /// [`Self::session`] with a [`TraceSink`] attached: every adjust, serve,
+    /// bill, downgrade/eviction and watchdog transition is emitted as a
+    /// typed [`ObsEvent`]. With a disabled sink (e.g.
+    /// [`pulse_obs::NullSink`]) the run is bit-identical to the un-traced
+    /// one — sinks observe, they never steer.
+    pub fn session_traced<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        sink: &'a mut dyn TraceSink,
+    ) -> SimSession<'a> {
+        self.session_impl(policy, Some(sink))
+    }
+
+    fn session_impl<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> SimSession<'a> {
         let minutes = self.trace.minutes();
         SimSession {
             sim: self,
@@ -85,12 +97,26 @@ impl Simulator {
             invoked_last_minute: false,
             next: 0,
             minutes: minutes as Minute,
+            sink,
+            prev_fallback: false,
         }
     }
 
     /// Run the policy over the whole trace.
     pub fn run(&self, policy: &mut dyn KeepAlivePolicy) -> RunMetrics {
         let mut session = self.session(policy);
+        while session.step_minute().is_some() {}
+        session.finish()
+    }
+
+    /// [`Self::run`] with a [`TraceSink`] attached (see
+    /// [`Self::session_traced`] for the event contract).
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        sink: &mut dyn TraceSink,
+    ) -> RunMetrics {
+        let mut session = self.session_traced(policy, sink);
         while session.step_minute().is_some() {}
         session.finish()
     }
@@ -114,6 +140,11 @@ pub struct SimSession<'a> {
     invoked_last_minute: bool,
     next: Minute,
     minutes: Minute,
+    /// Attached observer, if any. Disabled/absent sinks cost one branch per
+    /// emission point and change nothing else (the transparency contract).
+    sink: Option<&'a mut dyn TraceSink>,
+    /// Watchdog state after the last observation (for transition events).
+    prev_fallback: bool,
 }
 
 impl SimSession<'_> {
@@ -174,7 +205,36 @@ impl SimSession<'_> {
         );
         self.demand_history.push(current_kam);
         self.metrics.downgrades += actions.len() as u64;
-        self.ledger.apply_actions(t, &actions);
+        // Apply action-by-action (the exact loop `apply_actions` runs) so
+        // each one's applied/ignored outcome can be reported.
+        let mut applied = 0usize;
+        for a in &actions {
+            let moved = self.ledger.apply_action(t, a);
+            applied += usize::from(moved);
+            emit(&mut self.sink, || match *a {
+                DowngradeAction::Downgrade { func, from, to } => ObsEvent::Downgrade {
+                    minute: t,
+                    func,
+                    from,
+                    to,
+                    source: ActionSource::Policy,
+                    applied: moved,
+                },
+                DowngradeAction::Evict { func, from } => ObsEvent::Evict {
+                    minute: t,
+                    func,
+                    from,
+                    source: ActionSource::Policy,
+                    applied: moved,
+                },
+            });
+        }
+        emit(&mut self.sink, || ObsEvent::Adjust {
+            minute: t,
+            requested: actions.len(),
+            applied,
+            keepalive_mb: current_kam,
+        });
         self.ledger.keep_alive_mb_at(&self.sim.families, t)
     }
 
@@ -194,7 +254,8 @@ impl SimSession<'_> {
             self.invoked_last_minute = true;
             minute_requests += count;
             let fam = &self.sim.families[f];
-            match self.ledger.alive_variant_at(f, t) {
+            let alive = self.ledger.alive_variant_at(f, t);
+            match alive {
                 Some(v) => {
                     let spec = fam.variant(v);
                     self.metrics.service_time_s += spec.warm_service_time_s * count as f64;
@@ -212,6 +273,12 @@ impl SimSession<'_> {
                     self.metrics.warm_starts += count - 1;
                 }
             }
+            emit(&mut self.sink, || ObsEvent::Serve {
+                minute: t,
+                func: f,
+                requests: count,
+                cold_starts: u64::from(alive.is_none()),
+            });
             self.ledger
                 .replace(f, self.policy.schedule_on_invocation(f, t));
         }
@@ -227,6 +294,11 @@ impl SimSession<'_> {
         self.metrics.keepalive_cost_usd += minute_cost;
         self.metrics.memory_series_mb.push(kam);
         self.metrics.cost_series_usd.push(minute_cost);
+        emit(&mut self.sink, || ObsEvent::Bill {
+            minute: t,
+            keepalive_mb: kam,
+            cost_usd: minute_cost,
+        });
         self.policy
             .observe_minute(&crate::policy::MinuteObservation {
                 minute: t,
@@ -234,6 +306,14 @@ impl SimSession<'_> {
                 slo_violations: cold,
                 keepalive_mb: kam,
             });
+        let fb = self.policy.in_fallback();
+        if fb != self.prev_fallback {
+            self.prev_fallback = fb;
+            emit(&mut self.sink, || ObsEvent::Watchdog {
+                minute: t,
+                fallback: fb,
+            });
+        }
     }
 }
 
@@ -245,17 +325,11 @@ mod tests {
     use pulse_core::global::AliveModel;
     use pulse_core::individual::KeepAliveSchedule;
     use pulse_core::types::PulseConfig;
-    use pulse_models::zoo;
+    use pulse_models::{zoo, VariantId};
     use pulse_trace::FunctionTrace;
 
     fn one_func_trace(counts: &[u32]) -> Trace {
         Trace::new(vec![FunctionTrace::new("f", counts.to_vec())])
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_hole_alias_matches_ledger_sentinel() {
-        assert_eq!(HOLE, pulse_core::schedule::HOLE);
     }
 
     #[test]
@@ -508,5 +582,76 @@ mod tests {
     #[should_panic(expected = "one family per traced function")]
     fn mismatched_assignment_rejected() {
         Simulator::new(one_func_trace(&[1]), vec![]);
+    }
+
+    #[test]
+    fn traced_run_event_stream_is_consistent_with_metrics() {
+        use pulse_obs::MemorySink;
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(9, 400);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let mut mem = MemorySink::new();
+        let m = sim.run_traced(
+            &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+            &mut mem,
+        );
+        // Per-type event counts reconcile exactly with the run's metrics.
+        let actions =
+            mem.count(|e| matches!(e, ObsEvent::Downgrade { .. } | ObsEvent::Evict { .. }));
+        assert_eq!(actions as u64, m.downgrades);
+        let (mut requests, mut colds) = (0u64, 0u64);
+        let mut bills = 0usize;
+        let mut billed_usd = 0.0f64;
+        for ev in mem.events() {
+            match *ev {
+                ObsEvent::Serve {
+                    requests: r,
+                    cold_starts: c,
+                    ..
+                } => {
+                    requests += r;
+                    colds += c;
+                }
+                ObsEvent::Bill { cost_usd, .. } => {
+                    bills += 1;
+                    billed_usd += cost_usd;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(requests, m.invocations());
+        assert_eq!(colds, m.cold_starts);
+        assert_eq!(bills, m.memory_series_mb.len());
+        assert!((billed_usd - m.keepalive_cost_usd).abs() < 1e-9);
+        // Adjust fires once per simulated minute.
+        assert_eq!(
+            mem.count(|e| matches!(e, ObsEvent::Adjust { .. })),
+            m.memory_series_mb.len()
+        );
+        // Every line of the stream survives the JSONL round trip.
+        for ev in mem.events() {
+            assert_eq!(&ObsEvent::from_json(&ev.to_json()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn null_sink_run_is_bit_identical_to_plain_run() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(17, 600);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let plain = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+        let mut null = pulse_obs::NullSink;
+        let traced = sim.run_traced(
+            &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+            &mut null,
+        );
+        assert_eq!(
+            plain.keepalive_cost_usd.to_bits(),
+            traced.keepalive_cost_usd.to_bits()
+        );
+        assert_eq!(plain.memory_series_mb, traced.memory_series_mb);
+        assert_eq!(plain.cold_starts, traced.cold_starts);
+        assert_eq!(plain.warm_starts, traced.warm_starts);
+        assert_eq!(plain.downgrades, traced.downgrades);
     }
 }

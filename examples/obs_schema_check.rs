@@ -1,0 +1,43 @@
+//! Validate a JSONL trace produced by `pulse-exp --trace-out`: every line
+//! must parse back into a typed `pulse::obs::ObsEvent` (CI's obs job runs
+//! this as a schema self-check), and the event mix is summarized by kind.
+//!
+//! ```bash
+//! cargo run --release -p pulse-experiments -- --runs 1 --horizon 300 \
+//!     --trace-out run.jsonl chaos
+//! cargo run --example obs_schema_check -- run.jsonl
+//! ```
+
+#![allow(clippy::expect_used)] // a validator should die loudly on bad input
+
+use pulse::obs::ObsEvent;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: obs_schema_check <trace.jsonl>");
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    let mut runs = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let ev = ObsEvent::from_json(line)
+            .unwrap_or_else(|e| panic!("{path}:{}: invalid event: {e}", i + 1));
+        if matches!(ev, ObsEvent::RunStart { .. }) {
+            runs += 1;
+        }
+        let kind = ev.kind();
+        match counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((kind, 1)),
+        }
+    }
+
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    assert!(total > 0, "trace must be non-empty");
+    assert!(runs > 0, "trace must contain at least one run_start header");
+    println!("{total} events across {runs} runs, all valid:");
+    for (kind, n) in &counts {
+        println!("  {kind:<10} {n}");
+    }
+}

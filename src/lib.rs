@@ -23,6 +23,9 @@
 //!   and the baseline policies;
 //! * [`forecast`] ([`pulse_forecast`]) — Serverless-in-the-Wild and
 //!   IceBreaker, standalone and PULSE-integrated;
+//! * [`obs`] ([`pulse_obs`]) — structured observability: trace sinks
+//!   (JSONL event streams over simulated time), counters and histograms,
+//!   all guaranteed not to perturb results;
 //! * [`milp`] ([`pulse_milp`]) — the from-scratch simplex + branch-and-bound
 //!   MILP baseline.
 //!
@@ -50,6 +53,7 @@ pub use pulse_core as core;
 pub use pulse_forecast as forecast;
 pub use pulse_milp as milp;
 pub use pulse_models as models;
+pub use pulse_obs as obs;
 pub use pulse_runtime as runtime;
 pub use pulse_sim as sim;
 pub use pulse_trace as trace;
@@ -58,6 +62,9 @@ pub use pulse_trace as trace;
 pub mod prelude {
     pub use pulse_core::{PulseConfig, PulseEngine, ScheduleLedger, Slot};
     pub use pulse_models::{CostModel, ModelFamily, VariantSpec};
+    pub use pulse_obs::{
+        CounterRegistry, HistogramRegistry, JsonlSink, MemorySink, NullSink, ObsEvent, TraceSink,
+    };
     pub use pulse_runtime::{
         AdmissionControl, ClusterConfig, FaultPlan, FaultRates, NodeCapacity, OpsEvent,
         RetryPolicy, Runtime, RuntimeConfig,

@@ -10,6 +10,7 @@ fn cfg() -> ExpConfig {
         seed: 42,
         horizon: 2000,
         n_runs: 8,
+        trace_out: None,
     }
 }
 
@@ -90,6 +91,7 @@ fn claim_fig8_integration_cuts_costs() {
         seed: 42,
         horizon: 1500,
         n_runs: 4,
+        trace_out: None,
     });
     let get = |n: &str| rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
     let (_, wild_cost, ..) = get("wild");
@@ -108,6 +110,7 @@ fn experiment_pipeline_is_deterministic() {
         seed: 42,
         horizon: 900,
         n_runs: 6,
+        trace_out: None,
     };
     let a = pulse_experiments::run_experiment("fig6a", &cfg).unwrap();
     let b = pulse_experiments::run_experiment("fig6a", &cfg).unwrap();
@@ -127,6 +130,7 @@ fn claim_fig9_milp_slower_and_not_more_accurate() {
         seed: 42,
         horizon: 1200,
         n_runs: 2,
+        trace_out: None,
     });
     assert!(milp_acc <= pulse_acc + 1.0);
 }

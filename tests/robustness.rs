@@ -511,6 +511,148 @@ fn fault_scenarios_replay_identically_under_the_chaos_seed() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// NullSink transparency: tracing with the no-op sink must be bit-identical
+// to running untraced, for every policy, at every entry point. CI's obs job
+// runs these with `cargo test --test robustness null_sink`.
+// ---------------------------------------------------------------------------
+
+/// Field-by-field bitwise comparison of two runtime summaries.
+fn assert_summaries_bit_identical(
+    name: &str,
+    a: &pulse::runtime::RuntimeSummary,
+    b: &pulse::runtime::RuntimeSummary,
+) {
+    assert_eq!(a.records, b.records, "{name}: records diverged");
+    assert_eq!(
+        a.keepalive_cost_usd.to_bits(),
+        b.keepalive_cost_usd.to_bits(),
+        "{name}: cost not bitwise equal"
+    );
+    let am: Vec<u64> = a.memory_at_tick_mb.iter().map(|m| m.to_bits()).collect();
+    let bm: Vec<u64> = b.memory_at_tick_mb.iter().map(|m| m.to_bits()).collect();
+    assert_eq!(am, bm, "{name}: memory series diverged");
+    assert_eq!(
+        a.accuracy_penalty_pct.to_bits(),
+        b.accuracy_penalty_pct.to_bits(),
+        "{name}"
+    );
+    assert_eq!(a.downgrades, b.downgrades, "{name}");
+    assert_eq!(a.provision_failures, b.provision_failures, "{name}");
+    assert_eq!(a.provision_retries, b.provision_retries, "{name}");
+    assert_eq!(a.exec_crashes, b.exec_crashes, "{name}");
+    assert_eq!(a.request_retries, b.request_retries, "{name}");
+    assert_eq!(a.degradations, b.degradations, "{name}");
+    assert_eq!(a.timeouts, b.timeouts, "{name}");
+    assert_eq!(a.reaped, b.reaped, "{name}");
+    assert_eq!(a.shed_requests, b.shed_requests, "{name}");
+    assert_eq!(a.evictions, b.evictions, "{name}");
+    assert_eq!(a.pressure_downgrades, b.pressure_downgrades, "{name}");
+    assert_eq!(a.pressure_minutes, b.pressure_minutes, "{name}");
+    assert_eq!(a.fallback_minutes, b.fallback_minutes, "{name}");
+}
+
+#[test]
+fn null_sink_simulator_run_is_bit_identical_for_every_policy() {
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let plain = sim.run(make().as_mut());
+        let traced = sim.run_traced(make().as_mut(), &mut NullSink);
+        assert_eq!(plain, traced, "{name}: metrics diverged");
+        assert_eq!(
+            plain.keepalive_cost_usd.to_bits(),
+            traced.keepalive_cost_usd.to_bits(),
+            "{name}: cost not bitwise equal"
+        );
+        let pm: Vec<u64> = plain.memory_series_mb.iter().map(|m| m.to_bits()).collect();
+        let tm: Vec<u64> = traced
+            .memory_series_mb
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(pm, tm, "{name}: memory series diverged");
+    }
+}
+
+#[test]
+fn null_sink_runtime_run_is_bit_identical_for_every_policy() {
+    use pulse::runtime::{Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let plain = rt.run(make().as_mut());
+        let traced = rt.run_traced(make().as_mut(), &mut NullSink);
+        assert_summaries_bit_identical(name, &plain, &traced);
+    }
+}
+
+#[test]
+fn null_sink_faulted_run_is_bit_identical_for_every_policy() {
+    use pulse::runtime::{FaultPlan, Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // Faults, retries, degradations and timeouts all firing: the sink hook
+    // sits on every one of those paths and must not perturb them.
+    let plan = FaultPlan::uniform(0.2, 0.1, 0.05, seed).with_timeout_ms(120_000);
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let plain = rt.run_with_faults(make().as_mut(), &plan);
+        let traced = rt.run_with_faults_traced(make().as_mut(), &plan, &mut NullSink);
+        assert_summaries_bit_identical(name, &plain, &traced);
+    }
+}
+
+#[test]
+fn null_sink_cluster_run_is_bit_identical_for_every_policy() {
+    use pulse::runtime::{
+        AdmissionControl, ClusterConfig, FaultPlan, NodeCapacity, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // A binding cluster: capacity pressure (evictions + pressure
+    // downgrades), bounded admission (sheds) and faults at once.
+    let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    let cluster = ClusterConfig {
+        capacity: NodeCapacity::mb(all_high * 0.3),
+        admission: AdmissionControl::bounded(16),
+    };
+    let plan = FaultPlan::uniform(0.1, 0.05, 0.02, seed);
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let plain = rt.run_with_cluster(make().as_mut(), &plan, &cluster);
+        let traced = rt.run_with_cluster_traced(make().as_mut(), &plan, &cluster, &mut NullSink);
+        assert_summaries_bit_identical(name, &plain, &traced);
+    }
+}
+
 #[test]
 fn one_minute_horizon_works() {
     let trace = Trace::new(vec![FunctionTrace::new("f", vec![3])]);
