@@ -1,0 +1,67 @@
+//! Audit throughput: cold (empty cache — every file lexed, indexed and
+//! rule-checked) vs warm (fingerprint hits — diagnostics served from the
+//! incremental cache). The warm path is the cost every CI run and every
+//! pre-commit hook after the first pays, so the gap between the two bars is
+//! the cache's whole value proposition; the acceptance bar is warm >= 5x
+//! faster than cold on the real workspace.
+
+use std::path::PathBuf;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pulse_audit::{audit_workspace_with, AuditOptions};
+
+/// Workspace root, resolved from this crate's manifest directory so the
+/// bench works from any CWD.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn cache_path(tag: &str) -> PathBuf {
+    workspace_root().join(format!("target/bench-audit-cache-{tag}.tsv"))
+}
+
+fn bench(c: &mut Criterion) {
+    let root = workspace_root();
+
+    // Cold: remove the cache before every iteration so each run pays the
+    // full parse + rule cost for every file.
+    let cold_cache = cache_path("cold");
+    let cold_opts = AuditOptions {
+        cache_path: Some(cold_cache.clone()),
+        jobs: 0,
+    };
+    c.bench_function("audit_workspace_cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&cold_cache);
+            let out = audit_workspace_with(&root, &cold_opts).expect("audit");
+            assert_eq!(out.cache_hits, 0, "cold run must not hit the cache");
+            black_box(out)
+        })
+    });
+    let _ = std::fs::remove_file(&cold_cache);
+
+    // Warm: seed the cache once, then measure steady-state re-runs where
+    // every file fingerprint-hits.
+    let warm_cache = cache_path("warm");
+    let _ = std::fs::remove_file(&warm_cache);
+    let warm_opts = AuditOptions {
+        cache_path: Some(warm_cache.clone()),
+        jobs: 0,
+    };
+    let seed = audit_workspace_with(&root, &warm_opts).expect("seed run");
+    assert!(seed.files_scanned > 0);
+    c.bench_function("audit_workspace_warm", |b| {
+        b.iter(|| {
+            let out = audit_workspace_with(&root, &warm_opts).expect("audit");
+            assert_eq!(out.cache_misses, 0, "warm run must serve fully from cache");
+            black_box(out)
+        })
+    });
+    let _ = std::fs::remove_file(&warm_cache);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

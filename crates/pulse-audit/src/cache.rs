@@ -1,0 +1,276 @@
+//! Incremental per-file diagnostics cache.
+//!
+//! The audit fingerprints every file's raw content (FNV-1a, [`fnv1a`]) and
+//! stores, per file: the fingerprint, the cross-file facts the file
+//! contributes (see [`crate::index::CrossFacts`]), the workspace fact
+//! digest its diagnostics were computed under, and the diagnostics
+//! themselves. On the next run a file is **not** re-lexed, re-indexed or
+//! re-scanned when its fingerprint and the workspace digest both match —
+//! the warm path is read + hash + cache lookup, which is what keeps the
+//! whole-workspace audit sub-second and the warm re-run several times
+//! faster than a cold one (see `crates/bench/benches/audit.rs`).
+//!
+//! Invalidation is layered:
+//! - **rule-set version bump** ([`crate::rules::RULES_VERSION`]) — the whole
+//!   cache is discarded (stored in the header);
+//! - **file edit** — that file's entry misses (fingerprint mismatch);
+//! - **cross-file fact change** (e.g. a function somewhere starts returning
+//!   a `HashMap`) — every entry misses (digest mismatch), because any file
+//!   may call it.
+//!
+//! The on-disk format is a line-oriented TSV (`target/pulse-audit-cache.tsv`
+//! by default) with `\t`/`\n`/`\\` escaped in free-text fields; any parse
+//! error simply yields an empty cache — the cache is a pure accelerator and
+//! never changes audit results.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diagnostics::Diagnostic;
+
+/// On-disk format version (bump on layout changes).
+pub const CACHE_FORMAT: u32 = 1;
+
+/// FNV-1a 64-bit hash — the fingerprint primitive for file contents and
+/// fact digests (stable across runs and platforms, dependency-free).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cached state for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// FNV-1a of the file's raw bytes.
+    pub fingerprint: u64,
+    /// Cross-file facts the file contributes ([`crate::index::FileIndex::facts`]).
+    pub facts: Vec<String>,
+    /// Workspace fact digest the diagnostics were computed under.
+    pub digest: u64,
+    /// Diagnostics produced for the file.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// The whole cache: path → entry, kept sorted for deterministic storage.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Entries by workspace-relative path.
+    pub entries: BTreeMap<PathBuf, CacheEntry>,
+}
+
+impl Cache {
+    /// Load the cache at `path`. Any mismatch — missing file, unreadable
+    /// text, wrong format or rules version, malformed line — yields an
+    /// empty cache rather than an error.
+    pub fn load(path: &Path, rules_version: u32) -> Self {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Self::default();
+        };
+        parse(&text, rules_version).unwrap_or_default()
+    }
+
+    /// Write the cache to `path` (parent directories are created).
+    pub fn store(&self, path: &Path, rules_version: u32) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pulse-audit-cache\t{CACHE_FORMAT}\t{rules_version}\n"
+        ));
+        for (p, e) in &self.entries {
+            out.push_str(&format!(
+                "F\t{}\t{:016x}\t{:016x}\n",
+                esc(&p.to_string_lossy()),
+                e.fingerprint,
+                e.digest
+            ));
+            for fact in &e.facts {
+                out.push_str(&format!("X\t{}\n", esc(fact)));
+            }
+            for d in &e.diagnostics {
+                out.push_str(&format!(
+                    "D\t{}\t{}\t{}\t{}\n",
+                    d.line,
+                    esc(d.rule),
+                    esc(&d.message),
+                    esc(d.hint.as_deref().unwrap_or(""))
+                ));
+            }
+        }
+        fs::write(path, out)
+    }
+}
+
+fn parse(text: &str, rules_version: u32) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut h = header.split('\t');
+    if h.next()? != "pulse-audit-cache"
+        || h.next()?.parse::<u32>().ok()? != CACHE_FORMAT
+        || h.next()?.parse::<u32>().ok()? != rules_version
+    {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut current: Option<(PathBuf, CacheEntry)> = None;
+    for line in lines {
+        let mut parts = line.split('\t');
+        match parts.next()? {
+            "F" => {
+                if let Some((p, e)) = current.take() {
+                    cache.entries.insert(p, e);
+                }
+                let path = PathBuf::from(unesc(parts.next()?));
+                let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+                let digest = u64::from_str_radix(parts.next()?, 16).ok()?;
+                current = Some((
+                    path,
+                    CacheEntry {
+                        fingerprint,
+                        facts: Vec::new(),
+                        digest,
+                        diagnostics: Vec::new(),
+                    },
+                ));
+            }
+            "X" => {
+                current.as_mut()?.1.facts.push(unesc(parts.next()?));
+            }
+            "D" => {
+                let line_no = parts.next()?.parse::<usize>().ok()?;
+                // Rule names must round-trip to the registry's 'static strs.
+                let rule = crate::rules::static_name(&unesc(parts.next()?))?;
+                let message = unesc(parts.next()?);
+                let hint = unesc(parts.next()?);
+                let mut d = Diagnostic::new(current.as_ref()?.0.clone(), line_no, rule, message);
+                if !hint.is_empty() {
+                    d = d.with_hint(hint);
+                }
+                current.as_mut()?.1.diagnostics.push(d);
+            }
+            _ => return None,
+        }
+    }
+    if let Some((p, e)) = current.take() {
+        cache.entries.insert(p, e);
+    }
+    Some(cache)
+}
+
+/// Escape `\t`, `\n`, `\r` and `\\` for the TSV format.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(fp: u64) -> CacheEntry {
+        CacheEntry {
+            fingerprint: fp,
+            facts: vec!["hash-fn:by_app".to_owned()],
+            digest: 99,
+            diagnostics: vec![
+                Diagnostic::new("a.rs", 3, "unwrap", "msg with\ttab").with_hint("use ? instead")
+            ],
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable_and_discriminating() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"pulse"), fnv1a(b"pulse"));
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("pulse-audit-cache-test-{}", std::process::id()));
+        let path = dir.join("cache.tsv");
+        let mut cache = Cache::default();
+        cache.entries.insert(PathBuf::from("a.rs"), entry(42));
+        cache.store(&path, 7).expect("store");
+        let loaded = Cache::load(&path, 7);
+        assert_eq!(loaded.entries.len(), 1);
+        let e = &loaded.entries[&PathBuf::from("a.rs")];
+        assert_eq!(e, &entry(42));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rules_version_bump_invalidates_everything() {
+        let dir = std::env::temp_dir().join(format!("pulse-audit-ver-test-{}", std::process::id()));
+        let path = dir.join("cache.tsv");
+        let mut cache = Cache::default();
+        cache.entries.insert(PathBuf::from("a.rs"), entry(42));
+        cache.store(&path, 7).expect("store");
+        assert!(Cache::load(&path, 8).entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_or_garbage_file_loads_empty() {
+        assert!(Cache::load(Path::new("/no/such/cache"), 1)
+            .entries
+            .is_empty());
+        let dir = std::env::temp_dir().join(format!("pulse-audit-bad-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cache.tsv");
+        std::fs::write(&path, "not a cache\nat all\n").expect("write");
+        assert!(Cache::load(&path, 1).entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_rule_name_invalidates() {
+        // A cached diagnostic naming a rule that no longer exists cannot be
+        // resurrected (its &'static str is gone) — the cache drops cleanly.
+        let text = "pulse-audit-cache\t1\t7\nF\ta.rs\t000000000000002a\t0000000000000063\nD\t3\tno-such-rule\tmsg\t\n";
+        assert!(parse(text, 7).is_none());
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let nasty = "tab\t nl\n bs\\ cr\r end";
+        assert_eq!(unesc(&esc(nasty)), nasty);
+    }
+}

@@ -1,0 +1,316 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! Tokenizes the *masked* view of a source file (see [`crate::source`]):
+//! string/char literal contents and comments are already blanked, so the
+//! lexer only has to split identifiers, numbers, lifetimes and punctuation,
+//! and every token carries its 1-based source line. The token stream is the
+//! foundation the item index ([`crate::index`]) and the semantic rules are
+//! built on — unlike the per-line text scans of the v1 rules, token
+//! sequences can be matched across line breaks and brace-matched into item
+//! spans.
+//!
+//! The only fused multi-character token is `::` (path separator), because
+//! nearly every semantic pattern (`Ordering::Relaxed`,
+//! `SmallRng::seed_from_u64`, `HashMap::new`) pivots on it. All other
+//! punctuation is a single character; compound operators like `+=` or `==`
+//! are matched as adjacent single-character tokens.
+
+use crate::source::SourceFile;
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `seed_from_u64`, ...).
+    Ident,
+    /// Numeric literal (`0`, `1.5e-3`, `0xff`, `1_000`).
+    Num,
+    /// Lifetime (`'a`, `'static`) — char literals are blanked by masking,
+    /// so a surviving quote always introduces a lifetime.
+    Lifetime,
+    /// Punctuation: one character, or the fused `::` path separator.
+    Punct,
+}
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Tokenize the masked lines of `file`.
+pub fn tokenize(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (i, line) in file.masked_lines.iter().enumerate() {
+        lex_line(line, i + 1, &mut out);
+    }
+    out
+}
+
+/// Tokenize one masked line, appending to `out`.
+fn lex_line(line: &str, lineno: usize, out: &mut Vec<Token>) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: lineno,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' {
+                    // `0..n` is a range, not a float: stop before `..`.
+                    if chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(chars.get(i.wrapping_sub(1)), Some('e') | Some('E'))
+                {
+                    // Exponent sign inside `1e-3`.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Num,
+                text: chars[start..i].iter().collect(),
+                line: lineno,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Masking blanks char literal contents, so this is a lifetime.
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Lifetime,
+                text: chars[start..i].iter().collect(),
+                line: lineno,
+            });
+            continue;
+        }
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: "::".to_owned(),
+                line: lineno,
+            });
+            i += 2;
+            continue;
+        }
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: lineno,
+        });
+        i += 1;
+    }
+}
+
+/// True when `tokens[at..]` starts with the given texts (kind-agnostic,
+/// text-exact) — the workhorse for matching paths like
+/// `["Ordering", "::", "Relaxed"]`.
+pub fn matches_seq(tokens: &[Token], at: usize, texts: &[&str]) -> bool {
+    texts.len() <= tokens.len().saturating_sub(at)
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, t)| tokens[at + k].text == *t)
+}
+
+/// Index of the delimiter matching the opener at `open` (`(`/`)`, `{`/`}`,
+/// `[`/`]`), tracking all three delimiter families so nested mixed groups
+/// stay balanced. Returns `None` when unbalanced or `open` is no opener.
+pub fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let close = match tokens.get(open)?.text.as_str() {
+        "(" => ")",
+        "{" => "}",
+        "[" => "]",
+        _ => return None,
+    };
+    let opener = tokens[open].text.clone();
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        if t.text == opener {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Span `[start, end)` of the statement containing token `at`: walks
+/// backwards and forwards to the nearest `;`, `{` or `}` at the same
+/// nesting level. Used by rules that reason about "the same statement"
+/// (e.g. an iteration and the sort that fixes its order).
+pub fn statement_span(tokens: &[Token], at: usize) -> (usize, usize) {
+    let mut start = at;
+    let mut depth = 0i64;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" if depth == 0 => break,
+            _ => {}
+        }
+        start -= 1;
+    }
+    let mut end = at;
+    let mut depth = 0i64;
+    while end < tokens.len() {
+        let t = &tokens[end];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" if depth == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lex(text: &str) -> Vec<Token> {
+        tokenize(&SourceFile::parse(PathBuf::from("x.rs"), "demo", text))
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let ts = lex("let x2 = 1_000 + 0.5e-3;\n");
+        let texts: Vec<&str> = ts.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x2", "=", "1_000", "+", "0.5e-3", ";"]);
+        assert_eq!(ts[1].kind, TokenKind::Ident);
+        assert_eq!(ts[3].kind, TokenKind::Num);
+        assert_eq!(ts[5].kind, TokenKind::Num);
+    }
+
+    #[test]
+    fn path_separator_is_fused() {
+        let ts = lex("Ordering::Relaxed\n");
+        let texts: Vec<&str> = ts.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Ordering", "::", "Relaxed"]);
+        assert!(ts[1].is_punct("::"));
+        assert!(matches_seq(&ts, 0, &["Ordering", "::", "Relaxed"]));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_breaks() {
+        let ts = lex("fn f()\n{ x }\n");
+        assert_eq!(ts[0].line, 1);
+        let brace = ts.iter().position(|t| t.is_punct("{")).expect("brace");
+        assert_eq!(ts[brace].line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_tokens() {
+        let ts = lex("let s = \"HashMap in a string\"; // HashMap in a comment\n");
+        assert!(!ts.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let ts = lex("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(ts
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(!ts.iter().any(|t| t.text == "'x'"));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let ts = lex("for i in 0..n {}\n");
+        let texts: Vec<&str> = ts.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["for", "i", "in", "0", ".", ".", "n", "{", "}"]);
+    }
+
+    #[test]
+    fn matching_close_balances_nested_mixed_delims() {
+        let ts = lex("f(a, (b + g[1]), c)\n");
+        let open = ts.iter().position(|t| t.is_punct("(")).expect("open");
+        let close = matching_close(&ts, open).expect("balanced");
+        assert_eq!(close, ts.len() - 1);
+        assert_eq!(matching_close(&ts, 0), None, "ident is no opener");
+    }
+
+    #[test]
+    fn statement_span_stops_at_semicolons_and_braces() {
+        let ts = lex("let a = 1; let b = m.values().sum(); let c = 2;\n");
+        let sum = ts.iter().position(|t| t.is_ident("sum")).expect("sum");
+        let (s, e) = statement_span(&ts, sum);
+        let texts: Vec<&str> = ts[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "b", "=", "m", ".", "values", "(", ")", ".", "sum", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn statement_span_ignores_semicolons_inside_parens() {
+        let ts = lex("g([0; 4]).iter()\n");
+        let it = ts.iter().position(|t| t.is_ident("iter")).expect("iter");
+        let (s, _) = statement_span(&ts, it);
+        assert_eq!(s, 0, "the `;` inside `[0; 4]` must not split the chain");
+    }
+}

@@ -5,22 +5,37 @@
 //! (see `rules` for the registry). It is deliberately dependency-free so it
 //! runs in offline CI and can never be broken by the code it checks.
 //!
-//! Library layout:
+//! Library layout (the pipeline runs top to bottom; see DESIGN.md §13):
+//! - [`walk`] — workspace file discovery (raw text, crate attribution);
 //! - [`source`] — masked-text model of one file (strings/comments blanked,
 //!   `#[cfg(test)]` spans and `audit:allow` waivers resolved);
+//! - [`lex`] — token stream over the masked text;
+//! - [`index`] — brace-matched item index (functions, typed bindings, spawn
+//!   sites) and the cross-file fact table;
 //! - [`rules`] — the rule trait, registry and one module per rule;
-//! - [`walk`] — workspace file discovery;
-//! - [`diagnostics`] — the `file:line: [rule] message` diagnostic type.
+//! - [`cache`] — incremental per-file diagnostics cache (content
+//!   fingerprints, layered invalidation);
+//! - [`diagnostics`] / [`output`] — the diagnostic type and its text / JSON
+//!   / SARIF renderings;
+//! - [`baseline`] — the committed CI ratchet (fail only on NEW findings).
 
+pub mod baseline;
+pub mod cache;
 pub mod diagnostics;
+pub mod index;
+pub mod lex;
+pub mod output;
 pub mod rules;
 pub mod source;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use cache::{fnv1a, Cache, CacheEntry};
 use diagnostics::Diagnostic;
+use index::{Context, CrossFacts, FileIndex};
 use source::SourceFile;
 
 /// Result of auditing a set of files.
@@ -30,6 +45,10 @@ pub struct AuditOutcome {
     pub files_scanned: usize,
     /// All violations, sorted by (path, line, rule).
     pub diagnostics: Vec<Diagnostic>,
+    /// Files whose diagnostics were served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files that were (re-)lexed, indexed and rule-checked this run.
+    pub cache_misses: usize,
 }
 
 impl AuditOutcome {
@@ -39,31 +58,232 @@ impl AuditOutcome {
     }
 }
 
-/// Run every registered rule over `files` (in-memory entry point; the CLI
-/// and tests share it).
-pub fn audit_files(files: &[SourceFile]) -> AuditOutcome {
+/// Tuning knobs for a workspace audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditOptions {
+    /// Incremental cache file; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+    /// Worker threads for parsing and rule runs; `0` picks a default from
+    /// the machine's available parallelism.
+    pub jobs: usize,
+}
+
+/// Check one parsed file against every in-scope rule (plus the framework
+/// waiver-hygiene check); diagnostics come back sorted by (line, rule).
+fn check_file(file: &SourceFile, ctx: &Context) -> Vec<Diagnostic> {
     let rules = rules::registry();
     let rule_names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    let mut out = rules::check_waiver_hygiene(file, &rule_names);
+    for rule in &rules {
+        if rule.scope().includes(&file.krate) {
+            out.extend(rule.check(file, ctx));
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Run every registered rule over `files` (in-memory entry point; the CLI
+/// and tests share it). No cache is involved: every file counts as a miss.
+pub fn audit_files(files: &[SourceFile]) -> AuditOutcome {
+    let ctx = Context::of(files);
     let mut diagnostics = Vec::new();
     for file in files {
-        diagnostics.extend(rules::check_waiver_hygiene(file, &rule_names));
-        for rule in &rules {
-            if rule.scope().includes(&file.krate) {
-                diagnostics.extend(rule.check(file));
-            }
-        }
+        diagnostics.extend(check_file(file, &ctx));
     }
     diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     AuditOutcome {
         files_scanned: files.len(),
         diagnostics,
+        cache_hits: 0,
+        cache_misses: files.len(),
     }
 }
 
-/// Walk the workspace rooted at `root` and audit every in-scope file.
+/// Walk the workspace rooted at `root` and audit every in-scope file,
+/// without a cache (tests and one-shot callers).
 pub fn audit_workspace(root: &Path) -> io::Result<AuditOutcome> {
-    let files = walk::workspace_files(root)?;
-    Ok(audit_files(&files))
+    audit_workspace_with(root, &AuditOptions::default())
+}
+
+/// Walk the workspace rooted at `root` and audit every in-scope file, with
+/// incremental caching and parallel parsing per `opts`.
+///
+/// The run is phased so cached files cost one read + one hash:
+///
+/// 1. **discover + fingerprint** every file (serial, I/O bound);
+/// 2. **parse + index** files whose fingerprint misses the cache (parallel);
+///    fingerprint hits contribute their cross-file facts *from the cache*
+///    without being parsed;
+/// 3. **digest** the workspace-wide facts; a cached entry is valid only if
+///    its fingerprint **and** digest both match (editing one file only
+///    invalidates others when the cross-file fact set actually changed);
+/// 4. **rule-check** invalid files (parallel; fingerprint-hit/digest-miss
+///    files get a second parse wave first), reuse cached diagnostics for
+///    valid ones;
+/// 5. **store** the updated cache.
+pub fn audit_workspace_with(root: &Path, opts: &AuditOptions) -> io::Result<AuditOutcome> {
+    let raws = walk::discover(root)?;
+    let n = raws.len();
+    let jobs = effective_jobs(opts.jobs, n);
+    let old_cache = match &opts.cache_path {
+        Some(p) => Cache::load(p, rules::RULES_VERSION),
+        None => Cache::default(),
+    };
+
+    // Phase 1: fingerprints.
+    let fingerprints: Vec<u64> = raws.iter().map(|r| fnv1a(r.text.as_bytes())).collect();
+    let fp_hit: Vec<bool> = (0..n)
+        .map(|i| {
+            old_cache
+                .entries
+                .get(&raws[i].path)
+                .is_some_and(|e| e.fingerprint == fingerprints[i])
+        })
+        .collect();
+
+    // Phase 2: parse + index fingerprint misses in parallel.
+    let wave1: Vec<usize> = (0..n).filter(|&i| !fp_hit[i]).collect();
+    let parsed1 = par_map(wave1, jobs, |i| {
+        let file = raws[i].parse();
+        let ix = FileIndex::build(&file);
+        (i, file, ix)
+    });
+
+    // Facts per file: from the fresh index for misses, from the cache for
+    // hits (same content ⇒ same facts, no parse needed).
+    let mut facts: Vec<Vec<String>> = vec![Vec::new(); n];
+    for (i, _, ix) in &parsed1 {
+        facts[*i] = ix.facts();
+    }
+    for i in (0..n).filter(|&i| fp_hit[i]) {
+        if let Some(e) = old_cache.entries.get(&raws[i].path) {
+            facts[i].clone_from(&e.facts);
+        }
+    }
+
+    // Phase 3: workspace digest; a cache entry is valid iff fingerprint and
+    // digest both match.
+    let cross = CrossFacts::from_facts(facts.iter().flatten());
+    let digest = cross.digest();
+    let valid: Vec<bool> = (0..n)
+        .map(|i| {
+            fp_hit[i]
+                && old_cache
+                    .entries
+                    .get(&raws[i].path)
+                    .is_some_and(|e| e.digest == digest)
+        })
+        .collect();
+
+    // Second parse wave: content unchanged but the cross-file facts moved
+    // under the cached diagnostics, so the file must be re-checked.
+    let wave2: Vec<usize> = (0..n).filter(|&i| fp_hit[i] && !valid[i]).collect();
+    let parsed2 = par_map(wave2, jobs, |i| {
+        let file = raws[i].parse();
+        let ix = FileIndex::build(&file);
+        (i, file, ix)
+    });
+
+    // Phase 4: rule runs for every invalid file, under one shared context.
+    let mut to_check: Vec<(usize, SourceFile)> = Vec::new();
+    let mut indexes: BTreeMap<PathBuf, FileIndex> = BTreeMap::new();
+    for (i, file, ix) in parsed1.into_iter().chain(parsed2) {
+        indexes.insert(file.path.clone(), ix);
+        to_check.push((i, file));
+    }
+    let ctx = Context::from_parts(cross, indexes);
+    let checked: Vec<(usize, Vec<Diagnostic>)> =
+        par_map(to_check, jobs, |(i, file)| (i, check_file(&file, &ctx)));
+
+    let mut per_file: Vec<Vec<Diagnostic>> = vec![Vec::new(); n];
+    let mut cache_hits = 0usize;
+    for i in (0..n).filter(|&i| valid[i]) {
+        if let Some(e) = old_cache.entries.get(&raws[i].path) {
+            per_file[i].clone_from(&e.diagnostics);
+            cache_hits += 1;
+        }
+    }
+    for (i, ds) in checked {
+        per_file[i] = ds;
+    }
+
+    // Phase 5: store the refreshed cache.
+    if let Some(cache_path) = &opts.cache_path {
+        let mut new_cache = Cache::default();
+        for i in 0..n {
+            new_cache.entries.insert(
+                raws[i].path.clone(),
+                CacheEntry {
+                    fingerprint: fingerprints[i],
+                    facts: std::mem::take(&mut facts[i]),
+                    digest,
+                    diagnostics: per_file[i].clone(),
+                },
+            );
+        }
+        // Best-effort: a read-only target dir must not fail the audit.
+        let _ = new_cache.store(cache_path, rules::RULES_VERSION);
+    }
+
+    let mut diagnostics: Vec<Diagnostic> = per_file.into_iter().flatten().collect();
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(AuditOutcome {
+        files_scanned: n,
+        diagnostics,
+        cache_hits,
+        cache_misses: n - cache_hits,
+    })
+}
+
+/// Resolve the worker-thread count: an explicit `jobs`, else the machine's
+/// available parallelism (capped — parsing is cheap, oversubscription only
+/// adds spawn overhead), never more than one thread per item.
+fn effective_jobs(jobs: usize, items: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let picked = if jobs == 0 { auto.min(8) } else { jobs };
+    picked.clamp(1, items.max(1))
+}
+
+/// Order-preserving parallel map over owned items using scoped threads:
+/// items are split into `jobs` contiguous chunks, each processed on its own
+/// thread, and the chunk results are re-concatenated in order. A worker
+/// panic is propagated to the caller.
+fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(jobs);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(jobs);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(results) => out.extend(results),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -111,5 +331,47 @@ mod tests {
             "let t = Instant::now();\nlet x = v.unwrap();\n",
         )];
         assert!(audit_files(&files).is_clean());
+    }
+
+    #[test]
+    fn semantic_rules_see_cross_file_facts_via_audit_files() {
+        let files = vec![
+            SourceFile::parse(
+                PathBuf::from("a.rs"),
+                "pulse-core",
+                "/// Returns per-app totals.\npub fn by_app() -> HashMap<String, f64> { todo!() }\n",
+            ),
+            SourceFile::parse(
+                PathBuf::from("b.rs"),
+                "pulse-core",
+                "/// Sums totals.\npub fn total() -> f64 { by_app().into_values().sum::<f64>() }\n",
+            ),
+        ];
+        let out = audit_files(&files);
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.rule == "float-reduce-order"),
+            "{:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_job_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 5, 64] {
+            let doubled = par_map(items.clone(), jobs, |x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        assert!(par_map(Vec::<usize>::new(), 4, |x| x).is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_bounds() {
+        assert_eq!(effective_jobs(3, 100), 3);
+        assert_eq!(effective_jobs(16, 2), 2);
+        assert_eq!(effective_jobs(0, 0), 1);
+        assert!(effective_jobs(0, 100) >= 1);
     }
 }

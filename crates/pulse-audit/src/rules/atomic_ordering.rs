@@ -1,0 +1,219 @@
+//! `atomic-ordering`: no `Ordering::Relaxed` on cross-thread control flags.
+//!
+//! `Relaxed` guarantees atomicity but no inter-thread ordering: a worker
+//! that observes `abort == true` via a relaxed load may still see *earlier*
+//! writes (the failure message, partial results) un-published. The
+//! many-run harness's sibling-abort `AtomicBool` is exactly this shape —
+//! the failing worker stores its diagnostic context and then raises the
+//! flag, and siblings must observe both in that order, which takes a
+//! `Release` store paired with `Acquire` loads.
+//!
+//! The rule uses the item index to find bindings, statics and struct fields
+//! of type `AtomicBool` (boolean atomics are control flags by construction
+//! — there is nothing to "count") and fires on any `load`/`store`/`swap`/
+//! `compare_exchange*`/`fetch_*` on them whose argument list names
+//! `Ordering::Relaxed` (or a `use`-shortened `Relaxed`). Numeric atomics
+//! used as counters (`fetch_add(1, Relaxed)`) are deliberately out of
+//! scope: relaxed counting is correct and idiomatic.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::{BindKind, Context};
+use crate::lex::{matches_seq, matching_close, TokenKind};
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct AtomicOrdering;
+
+/// Atomic methods that take an `Ordering` argument.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+];
+
+impl Rule for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Ordering::Relaxed on AtomicBool control flags — use Acquire loads / Release stores"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::AllCrates
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context) -> Vec<Diagnostic> {
+        let Some(ix) = ctx.index_of(&file.path) else {
+            return Vec::new();
+        };
+        let tokens = &ix.tokens;
+        let mut out = Vec::new();
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if !(tokens.get(i + 1).is_some_and(|t| t.is_punct("."))
+                && tokens
+                    .get(i + 2)
+                    .is_some_and(|t| ATOMIC_METHODS.contains(&t.text.as_str()))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct("(")))
+            {
+                continue;
+            }
+            if !ix
+                .binding(&t.text, i)
+                .is_some_and(|b| b.kind == BindKind::AtomicBool)
+            {
+                continue;
+            }
+            let Some(close) = matching_close(tokens, i + 3) else {
+                continue;
+            };
+            let relaxed = (i + 4..close).any(|j| {
+                matches_seq(tokens, j, &["Ordering", "::", "Relaxed"])
+                    || (tokens[j].is_ident("Relaxed")
+                        && !tokens
+                            .get(j.wrapping_sub(1))
+                            .is_some_and(|t| t.is_punct("::")))
+            });
+            if !relaxed {
+                continue;
+            }
+            let lineno = t.line;
+            if file.in_test[lineno - 1] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            let method = &tokens[i + 2].text;
+            out.push(
+                Diagnostic::new(
+                    file.path.clone(),
+                    lineno,
+                    "atomic-ordering",
+                    format!(
+                        "`Ordering::Relaxed` on `{}.{}` — `{}` is an AtomicBool control \
+                         flag, and relaxed ordering publishes no prior writes to its observers",
+                        t.text, method, t.text
+                    ),
+                )
+                .with_hint(
+                    "store with Ordering::Release and load with Ordering::Acquire (or use \
+                     AcqRel for read-modify-write)",
+                ),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-sim", text);
+        let ctx = Context::of(std::slice::from_ref(&f));
+        AtomicOrdering.check(&f, &ctx)
+    }
+
+    #[test]
+    fn flags_relaxed_load_and_store_on_atomic_bool() {
+        let ds = check(
+            "fn f() {\n\
+             let abort = AtomicBool::new(false);\n\
+             if abort.load(Ordering::Relaxed) { return; }\n\
+             abort.store(true, Ordering::Relaxed);\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert_eq!(ds[0].line, 3);
+        assert_eq!(ds[1].line, 4);
+        assert!(ds[0].message.contains("abort.load"));
+    }
+
+    #[test]
+    fn acquire_release_is_clean() {
+        let ds = check(
+            "fn f() {\n\
+             let abort = AtomicBool::new(false);\n\
+             if abort.load(Ordering::Acquire) { return; }\n\
+             abort.store(true, Ordering::Release);\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn relaxed_counter_is_allowed() {
+        let ds = check(
+            "fn f() {\n\
+             let next = AtomicUsize::new(0);\n\
+             let r = next.fetch_add(1, Ordering::Relaxed);\n\
+             let n = next.load(Ordering::Relaxed);\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn struct_field_flag_is_tracked() {
+        let ds = check(
+            "struct W { abort: AtomicBool }\n\
+             impl W { fn hot(&self) -> bool { self.abort.load(Ordering::Relaxed) } }\n",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].line, 2);
+    }
+
+    #[test]
+    fn use_shortened_relaxed_is_caught() {
+        let ds = check(
+            "fn f() {\n\
+             let stop = AtomicBool::new(false);\n\
+             stop.store(true, Relaxed);\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+    }
+
+    #[test]
+    fn seqcst_relaxed_path_in_other_enums_is_not_confused() {
+        // `Other::Relaxed` (a different enum) must not fire: the pattern
+        // requires either the `Ordering::` path or a bare `Relaxed`.
+        let ds = check(
+            "fn f() {\n\
+             let stop = AtomicBool::new(false);\n\
+             stop.store(true, Ordering::SeqCst);\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn test_code_and_waivers_exempt() {
+        let ds = check(
+            "#[cfg(test)]\nmod t { fn f() {\n\
+             let stop = AtomicBool::new(false);\n\
+             stop.store(true, Ordering::Relaxed);\n} }\n",
+        );
+        assert!(ds.is_empty());
+        let ds = check(
+            "fn f() {\n\
+             let stop = AtomicBool::new(false);\n\
+             // audit:allow(atomic-ordering): flag is advisory, no data published\n\
+             stop.store(true, Ordering::Relaxed);\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+}

@@ -8,7 +8,7 @@
 //! the `clippy::float_cmp` workspace lint covers typed ones.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -27,7 +27,7 @@ impl Rule for FloatCmp {
         Scope::Only(&["pulse-core", "pulse-sim"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (i, line) in file.masked_lines.iter().enumerate() {
             let lineno = i + 1;
@@ -128,7 +128,7 @@ mod tests {
 
     fn check(text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-core", text);
-        FloatCmp.check(&f)
+        FloatCmp.check(&f, &Context::default())
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! `float-reduce-order`: no float reductions over unordered sources.
+//!
+//! Float addition is not associative: `(a + b) + c != a + (b + c)` in
+//! general, so a `sum()`/`fold()` over an iterator whose order is
+//! unspecified (hash-container iteration, parallel iterators) yields
+//! different bits run-to-run even when the *set* of addends is identical.
+//! The engines' cost ledgers are pinned by exact `f64` equality across
+//! engines and sessions, so a single unordered reduction quietly breaks the
+//! reproduction's core guarantee.
+//!
+//! The rule fires when a `sum`/`product`/`fold` reduction sits in the same
+//! statement as an unordered source — an iteration over an indexed
+//! hash-container binding/field, a call of a (workspace-indexed)
+//! hash-returning function, or a `par_iter` — and the reduction is
+//! float-typed (an `::<f64>`/`::<f32>` turbofish, a float literal `fold`
+//! init, or a hash container indexed with float values). Integer
+//! reductions commute exactly and are left to `hashmap-iter-order`.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::{BindKind, Context, FileIndex, ITER_METHODS};
+use crate::lex::{statement_span, Token, TokenKind};
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct FloatReduceOrder;
+
+const REDUCERS: &[&str] = &["sum", "product", "fold"];
+
+/// Does the statement slice contain an unordered source? Returns the
+/// evidence: `Some(float_values)` for a hash container (float flag from the
+/// index), or `Some(true)` for a parallel iterator (element type unknown,
+/// assume the worst).
+fn unordered_source(
+    ix: &FileIndex,
+    ctx: &Context,
+    tokens: &[Token],
+    s: usize,
+    e: usize,
+) -> Option<bool> {
+    for j in s..e {
+        let t = &tokens[j];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "par_iter" || t.text == "into_par_iter" {
+            return Some(true);
+        }
+        let iterated = tokens.get(j + 1).is_some_and(|t| t.is_punct("."))
+            && tokens
+                .get(j + 2)
+                .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()));
+        if iterated {
+            if let Some(b) = ix.binding(&t.text, j) {
+                if let BindKind::HashContainer { float_values } = b.kind {
+                    return Some(float_values);
+                }
+            }
+        }
+        // A hash-returning function call anywhere in the chain.
+        if tokens.get(j + 1).is_some_and(|t| t.is_punct("("))
+            && ctx.cross.hash_returning_fns.contains(&t.text)
+        {
+            return Some(false);
+        }
+    }
+    None
+}
+
+/// Is the reduction at token `r` float-typed, given hash-value evidence?
+fn float_evidence(tokens: &[Token], r: usize, hash_has_floats: bool) -> bool {
+    if hash_has_floats {
+        return true;
+    }
+    // `sum::<f64>()` turbofish.
+    if tokens.get(r + 1).is_some_and(|t| t.is_punct("::"))
+        && tokens.get(r + 2).is_some_and(|t| t.is_punct("<"))
+        && tokens
+            .get(r + 3)
+            .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"))
+    {
+        return true;
+    }
+    // `fold(0.0, …)` float-literal init.
+    if tokens[r].is_ident("fold")
+        && tokens.get(r + 1).is_some_and(|t| t.is_punct("("))
+        && tokens
+            .get(r + 2)
+            .is_some_and(|t| t.kind == TokenKind::Num && t.text.contains('.'))
+    {
+        return true;
+    }
+    // A float-typed let binding annotation in the same statement
+    // (`let total: f64 = …sum();`).
+    let (s, e) = statement_span(tokens, r);
+    tokens[s..e]
+        .iter()
+        .take_while(|t| !t.is_punct("="))
+        .any(|t| t.is_ident("f64") || t.is_ident("f32"))
+}
+
+impl Rule for FloatReduceOrder {
+    fn name(&self) -> &'static str {
+        "float-reduce-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "no f64 sum/fold over unordered or cross-thread sources — float addition is order-sensitive"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::AllCrates
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context) -> Vec<Diagnostic> {
+        let Some(ix) = ctx.index_of(&file.path) else {
+            return Vec::new();
+        };
+        let tokens = &ix.tokens;
+        let mut out = Vec::new();
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident || !REDUCERS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // Reductions are method calls: `.sum(`, `.fold(`.
+            if !(i > 0
+                && tokens[i - 1].is_punct(".")
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct("(") || t.is_punct("::")))
+            {
+                continue;
+            }
+            let lineno = t.line;
+            if file.in_test[lineno - 1] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            let (s, e) = statement_span(tokens, i);
+            let Some(hash_has_floats) = unordered_source(ix, ctx, tokens, s, e) else {
+                continue;
+            };
+            if !float_evidence(tokens, i, hash_has_floats) {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    file.path.clone(),
+                    lineno,
+                    "float-reduce-order",
+                    format!(
+                        "float `{}` over an unordered source — float addition is not \
+                         associative, so the result depends on iteration order",
+                        t.text
+                    ),
+                )
+                .with_hint("fix the order first (BTreeMap, or collect + sort by key), then reduce"),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-core", text);
+        let ctx = Context::of(std::slice::from_ref(&f));
+        FloatReduceOrder.check(&f, &ctx)
+    }
+
+    #[test]
+    fn flags_sum_over_float_hashmap_values() {
+        let ds = check(
+            "fn total() -> f64 {\n\
+             let costs: HashMap<String, f64> = HashMap::new();\n\
+             costs.values().sum()\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].line, 3);
+    }
+
+    #[test]
+    fn flags_turbofish_sum_over_hash_set() {
+        let ds = check(
+            "fn f() -> f64 {\n\
+             let s: HashSet<u64> = HashSet::new();\n\
+             s.iter().map(cost_of).sum::<f64>()\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+    }
+
+    #[test]
+    fn flags_float_fold_over_hash_iteration() {
+        let ds = check(
+            "fn f() -> f64 {\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             m.values().fold(0.0, |a, b| a + score(b))\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 1, "{ds:?}");
+    }
+
+    #[test]
+    fn integer_sum_over_hash_is_left_to_hashmap_rule() {
+        let ds = check(
+            "fn f() -> u64 {\n\
+             let m: HashMap<u32, u64> = HashMap::new();\n\
+             m.values().sum()\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn sum_over_vec_is_clean() {
+        let ds = check("fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn cross_file_hash_fn_feeding_sum_is_flagged() {
+        let def = SourceFile::parse(
+            PathBuf::from("a.rs"),
+            "pulse-core",
+            "pub fn by_app() -> HashMap<String, f64> { todo!() }\n",
+        );
+        let user = SourceFile::parse(
+            PathBuf::from("b.rs"),
+            "pulse-core",
+            "pub fn total() -> f64 { by_app().into_values().sum::<f64>() }\n",
+        );
+        let files = vec![def, user];
+        let ctx = Context::of(&files);
+        let ds = FloatReduceOrder.check(&files[1], &ctx);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+    }
+
+    #[test]
+    fn test_code_and_waiver_exempt() {
+        let body = "let m: HashMap<u32, f64> = HashMap::new();\nlet t: f64 = m.values().sum();\n";
+        let ds = check(&format!("#[cfg(test)]\nmod t {{ fn f() {{\n{body}}} }}\n"));
+        assert!(ds.is_empty());
+        let ds = check(
+            "fn f() {\nlet m: HashMap<u32, f64> = HashMap::new();\n\
+             // audit:allow(float-reduce-order): fixture\nlet t: f64 = m.values().sum();\n}\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+}

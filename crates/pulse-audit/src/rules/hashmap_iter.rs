@@ -1,0 +1,292 @@
+//! `hashmap-iter-order`: no iteration over unordered hash containers.
+//!
+//! Every headline assertion in this repo is exact `f64` equality — the
+//! batch-vs-stepped session bit-identity, the chaos/overload transparency
+//! checks, the cross-engine equivalence proptests. Iterating a
+//! `HashMap`/`HashSet` in any path that feeds cost sums, summaries,
+//! schedules or obs events makes the result depend on hasher state, which
+//! std randomizes per process: the same inputs then produce different
+//! float-accumulation orders and the bit-identity silently breaks.
+//!
+//! The rule fires on any iteration of a hash-container binding, struct
+//! field, or the result of a function indexed (workspace-wide) as
+//! returning a hash container — whether through `.iter()`-family methods or
+//! a `for … in` loop — unless the same statement visibly fixes the order
+//! (a `sort*` call or a collect into `BTreeMap`/`BTreeSet`) or reduces
+//! order-insensitively (`count`/`len`/`min`/`max`/`any`/`all`). Switch the
+//! container to `BTreeMap`/`BTreeSet`, or collect and sort before
+//! consuming; waive only where order provably cannot escape.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::{BindKind, Context, FileIndex, ITER_METHODS};
+use crate::lex::{matching_close, statement_span, Token, TokenKind};
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct HashMapIterOrder;
+
+/// Statement-level escapes: the iteration's order is fixed or irrelevant.
+const ORDER_FIXERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "count",
+    "len",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "any",
+    "all",
+];
+
+fn mitigated(tokens: &[Token], at: usize) -> bool {
+    let (s, e) = statement_span(tokens, at);
+    tokens[s..e]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && ORDER_FIXERS.contains(&t.text.as_str()))
+}
+
+fn is_hash_binding(ix: &FileIndex, name: &str, at: usize) -> bool {
+    ix.binding(name, at)
+        .is_some_and(|b| matches!(b.kind, BindKind::HashContainer { .. }))
+}
+
+impl Rule for HashMapIterOrder {
+    fn name(&self) -> &'static str {
+        "hashmap-iter-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet iteration feeding deterministic paths — use BTreeMap or sort first"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::AllCrates
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context) -> Vec<Diagnostic> {
+        let Some(ix) = ctx.index_of(&file.path) else {
+            return Vec::new();
+        };
+        let tokens = &ix.tokens;
+        let mut flagged: Vec<usize> = Vec::new();
+
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            // `x.iter()` / `x.values()` / … on a hash binding or field.
+            if tokens.get(i + 1).is_some_and(|t| t.is_punct("."))
+                && tokens
+                    .get(i + 2)
+                    .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+                && is_hash_binding(ix, &t.text, i)
+            {
+                flagged.push(i);
+                continue;
+            }
+            // `by_app(...).values()` / `for … in by_app(...)` where `by_app`
+            // is indexed (in any workspace file) as returning a hash
+            // container.
+            if ctx.cross.hash_returning_fns.contains(&t.text)
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            {
+                if let Some(close) = matching_close(tokens, i + 1) {
+                    let chained_iter = tokens.get(close + 1).is_some_and(|t| t.is_punct("."))
+                        && tokens
+                            .get(close + 2)
+                            .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()));
+                    if chained_iter || in_for_range(tokens, i) {
+                        flagged.push(i);
+                        continue;
+                    }
+                }
+            }
+            // Bare `for x in m` / `for x in &m` (no method call to anchor on).
+            if is_hash_binding(ix, &t.text, i)
+                && !tokens.get(i + 1).is_some_and(|t| t.is_punct("."))
+                && in_for_range(tokens, i)
+            {
+                flagged.push(i);
+            }
+        }
+
+        let mut out = Vec::new();
+        for i in flagged {
+            let lineno = tokens[i].line;
+            if file.in_test[lineno - 1]
+                || file.is_waived(self.name(), lineno)
+                || mitigated(tokens, i)
+            {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    file.path.clone(),
+                    lineno,
+                    "hashmap-iter-order",
+                    format!(
+                        "iteration over unordered hash container `{}` — order depends on \
+                         hasher state and breaks bit-identical reproduction",
+                        tokens[i].text
+                    ),
+                )
+                .with_hint("use BTreeMap/BTreeSet, or collect and sort before consuming the order"),
+            );
+        }
+        out
+    }
+}
+
+/// Is token `at` inside the range expression of a `for … in <range> {` head?
+fn in_for_range(tokens: &[Token], at: usize) -> bool {
+    // Walk back for `in` then `for` before any `{`/`}`/`;` boundary.
+    let mut j = at;
+    let mut depth = 0i64;
+    let mut saw_in = false;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => depth -= 1,
+            "{" | "}" | ";" => return false,
+            "in" if depth == 0 && tokens[j].kind == TokenKind::Ident => {
+                saw_in = true;
+            }
+            "for" if saw_in && depth == 0 && tokens[j].kind == TokenKind::Ident => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-sim", text);
+        let ctx = Context::of(std::slice::from_ref(&f));
+        HashMapIterOrder.check(&f, &ctx)
+    }
+
+    #[test]
+    fn flags_values_iteration_on_hash_binding() {
+        let ds = check(
+            "fn cost() -> f64 {\n\
+             let m = std::collections::HashMap::<String, f64>::new();\n\
+             m.values().sum()\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 3);
+        assert!(ds[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn flags_for_loop_over_hash_binding() {
+        let ds = check(
+            "fn f() {\n\
+             let m: HashMap<u32, f64> = HashMap::new();\n\
+             for (k, v) in &m { emit(k, v); }\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 3);
+    }
+
+    #[test]
+    fn btree_map_is_clean() {
+        let ds = check(
+            "fn f() {\n\
+             let m: std::collections::BTreeMap<u32, f64> = BTreeMap::new();\n\
+             for (k, v) in &m { emit(k, v); }\n\
+             let s: f64 = m.values().sum();\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn sorted_collect_in_same_statement_is_clean() {
+        let ds = check(
+            "fn f() {\n\
+             let m: HashMap<u32, f64> = HashMap::new();\n\
+             let ordered: BTreeMap<_, _> = m.iter().collect();\n\
+             let n = m.keys().count();\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn cross_file_hash_returning_fn_is_flagged_at_call_site() {
+        let def = SourceFile::parse(
+            PathBuf::from("a.rs"),
+            "pulse-sim",
+            "pub fn by_app() -> std::collections::HashMap<String, f64> { todo!() }\n",
+        );
+        let user = SourceFile::parse(
+            PathBuf::from("b.rs"),
+            "pulse-sim",
+            "pub fn total() -> f64 { by_app().values().sum() }\n\
+             pub fn walk() { for (k, v) in by_app() { emit(k, v); } }\n",
+        );
+        let files = vec![def, user];
+        let ctx = Context::of(&files);
+        let ds = HashMapIterOrder.check(&files[1], &ctx);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert_eq!(ds[0].line, 1);
+        assert_eq!(ds[1].line, 2);
+    }
+
+    #[test]
+    fn struct_field_iteration_is_flagged() {
+        let ds = check(
+            "struct S { costs: HashMap<String, f64> }\n\
+             impl S { fn dump(&self) { for c in self.costs.values() { emit(c); } } }\n",
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_and_waivers_are_exempt() {
+        let ds = check(
+            "#[cfg(test)]\nmod t {\n fn f() {\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             for k in m.keys() { use_it(k); }\n } }\n",
+        );
+        assert!(ds.is_empty());
+        let ds = check(
+            "fn f() {\n\
+             let m: HashMap<u32, u32> = HashMap::new();\n\
+             // audit:allow(hashmap-iter-order): order-independent counter merge\n\
+             for k in m.keys() { use_it(k); }\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn plain_vec_iteration_is_clean() {
+        let ds = check("fn f() { let v = vec![1, 2]; let s: u32 = v.iter().sum(); }\n");
+        assert!(ds.is_empty());
+    }
+}

@@ -2,22 +2,41 @@
 //!
 //! Adding a rule is three steps (see DESIGN.md "Static analysis &
 //! invariants"): create a module implementing [`Rule`], add it to
-//! [`registry`], and cover it with good/bad fixture tests. Waivers use
+//! [`registry`] (and bump [`RULES_VERSION`] so cached diagnostics are
+//! recomputed), and cover it with good/bad fixture tests. Waivers use
 //! `// audit:allow(<rule-name>): <justification>` on the offending line or
 //! on a comment line directly above it; the framework rejects waivers with
 //! an empty justification.
+//!
+//! Rules come in two families sharing one trait:
+//! - **text rules** (v1) scan the masked line view of a single file;
+//! - **semantic rules** (v2) consume the token stream and item index in the
+//!   [`Context`] — bindings classified by type, function signatures, spawn
+//!   sites, and cross-file facts like "which functions return a `HashMap`".
 
+pub mod atomic_ordering;
 pub mod float_cmp;
+pub mod float_reduce;
+pub mod hashmap_iter;
 pub mod no_cast;
 pub mod no_unwrap;
 pub mod obs_sim_time;
 pub mod probability_usage;
 pub mod pub_docs;
+pub mod shared_mut_scope;
+pub mod unseeded_rng;
 pub mod variant_sentinel;
 pub mod wall_clock;
 
 use crate::diagnostics::Diagnostic;
+pub use crate::index::Context;
 use crate::source::SourceFile;
+
+/// Version of the rule set. Bump whenever a rule is added, removed, or its
+/// behavior changes: the incremental cache stores this in its header and
+/// discards itself wholesale on mismatch, so stale diagnostics can never
+/// survive a rule change.
+pub const RULES_VERSION: u32 = 2;
 
 /// Which crates a rule applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,14 +62,16 @@ pub trait Rule {
     /// Stable rule name, used in diagnostics and waiver comments.
     fn name(&self) -> &'static str;
 
-    /// One-line description for `--list-rules`.
+    /// One-line description for `--list-rules` and the SARIF rule table.
     fn description(&self) -> &'static str;
 
     /// Crates the rule applies to.
     fn scope(&self) -> Scope;
 
-    /// Scan one file; return all violations.
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic>;
+    /// Scan one file; return all violations. Text rules ignore `ctx`;
+    /// semantic rules read the file's token index and the cross-file facts
+    /// from it.
+    fn check(&self, file: &SourceFile, ctx: &Context) -> Vec<Diagnostic>;
 }
 
 /// All registered rules, in reporting order.
@@ -64,7 +85,26 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(pub_docs::PubDocs),
         Box::new(probability_usage::ProbabilityUsage),
         Box::new(variant_sentinel::VariantSentinel),
+        Box::new(hashmap_iter::HashMapIterOrder),
+        Box::new(unseeded_rng::UnseededRng),
+        Box::new(float_reduce::FloatReduceOrder),
+        Box::new(atomic_ordering::AtomicOrdering),
+        Box::new(shared_mut_scope::SharedMutInScope),
     ]
+}
+
+/// Map a rule name back to its registry `&'static str` (plus the framework
+/// `waiver` pseudo-rule). The incremental cache uses this to rehydrate
+/// diagnostics; an unknown name means the rule set changed and the entry is
+/// dropped.
+pub fn static_name(name: &str) -> Option<&'static str> {
+    if name == "waiver" {
+        return Some("waiver");
+    }
+    registry()
+        .into_iter()
+        .map(|r| r.name())
+        .find(|n| *n == name)
 }
 
 /// Framework-level check shared by all rules: every waiver present in the
@@ -111,6 +151,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_kebab() {
         let rules = registry();
+        assert!(rules.len() >= 13, "the audit ships at least 13 rules");
         let mut names: Vec<_> = rules.iter().map(|r| r.name()).collect();
         names.sort_unstable();
         let n = names.len();
@@ -122,6 +163,15 @@ mod tests {
                 "{name} is not kebab-case"
             );
         }
+    }
+
+    #[test]
+    fn static_name_roundtrips_registry_and_waiver() {
+        for rule in registry() {
+            assert_eq!(static_name(rule.name()), Some(rule.name()));
+        }
+        assert_eq!(static_name("waiver"), Some("waiver"));
+        assert_eq!(static_name("no-such-rule"), None);
     }
 
     #[test]

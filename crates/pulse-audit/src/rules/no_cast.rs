@@ -8,7 +8,7 @@
 //! `// audit:allow(cast): <why lossless>`.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -32,7 +32,7 @@ impl Rule for NoCast {
         Scope::Only(&["pulse-core"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (i, line) in file.masked_lines.iter().enumerate() {
             let lineno = i + 1;
@@ -79,7 +79,7 @@ mod tests {
 
     fn check(text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-core", text);
-        NoCast.check(&f)
+        NoCast.check(&f, &Context::default())
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! error handling). Waive with `// audit:allow(unwrap): <why infallible>`.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -45,7 +45,7 @@ impl Rule for NoUnwrap {
         Scope::Only(&["pulse-core", "pulse-sim"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (i, line) in file.masked_lines.iter().enumerate() {
             let lineno = i + 1;
@@ -90,7 +90,7 @@ mod tests {
 
     fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
-        NoUnwrap.check(&f)
+        NoUnwrap.check(&f, &Context::default())
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! type, not just its `::now()` call).
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -47,7 +47,7 @@ impl Rule for ObsSimTime {
         Scope::Only(&["pulse-obs"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (i, line) in file.masked_lines.iter().enumerate() {
             let lineno = i + 1;
@@ -75,7 +75,7 @@ mod tests {
 
     fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
-        ObsSimTime.check(&f)
+        ObsSimTime.check(&f, &Context::default())
     }
 
     #[test]

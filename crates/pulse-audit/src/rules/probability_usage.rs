@@ -8,7 +8,7 @@
 //! checked at the boundary instead of being re-derived at every call site.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -30,7 +30,7 @@ impl Rule for ProbabilityUsage {
         Scope::Only(&["pulse-core"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let file_name = file
             .path
             .file_name()
@@ -64,7 +64,7 @@ mod tests {
 
     fn check(name: &str, text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from(name), "pulse-core", text);
-        ProbabilityUsage.check(&f)
+        ProbabilityUsage.check(&f, &Context::default())
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Algorithm 1/2 invariants rot. `pub(crate)` and test functions are exempt.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -25,7 +25,7 @@ impl Rule for PubDocs {
         Scope::Only(&["pulse-core"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (i, line) in file.masked_lines.iter().enumerate() {
             let lineno = i + 1;
@@ -104,7 +104,7 @@ mod tests {
 
     fn check(text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-core", text);
-        PubDocs.check(&f)
+        PubDocs.check(&f, &Context::default())
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! `shared-mut-in-scope`: no unsynchronized mutation of captured state
+//! inside thread-scope spawns.
+//!
+//! `crossbeam::thread::scope` / `std::thread::scope` closures borrow from
+//! the enclosing stack frame, and the borrow checker stops *aliased* `&mut`
+//! captures — but it cannot stop the shapes that sneak shared mutation past
+//! it in review: a `Cell`/`RefCell` wrapper, an `unsafe` pointer, or (the
+//! common near-miss this rule actually targets) code written as if the
+//! capture were shared, which then gets "fixed" by cloning per spawn and
+//! silently forking the state. The repo's stance is that anything mutated
+//! from inside a spawn closure must be visibly synchronized at the
+//! declaration: a `Mutex`/`RwLock`, an atomic, or a channel.
+//!
+//! Concretely, the rule fires when a spawn-closure body mutates a binding
+//! that (a) is declared *before* the scope call in the same file, and
+//! (b) is not classified `Sync`/`AtomicBool` by the index. Mutation means
+//! assignment (`x = …`, `x += …`), a known mutating method
+//! (`push`/`insert`/…), or taking `&mut x`. Bindings declared inside the
+//! spawn body itself (per-thread locals) never fire.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::{BindKind, Context, FileIndex};
+use crate::lex::{Token, TokenKind};
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct SharedMutInScope;
+
+/// Container methods that mutate the receiver.
+const MUT_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "remove",
+    "extend",
+    "append",
+    "clear",
+    "drain",
+    "truncate",
+    "pop",
+    "retain",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "swap",
+    "fill",
+    "resize",
+];
+
+/// Is the binding used at token `use_pos` the *outer* one declared at
+/// `decl_token`, rather than a shadowing redeclaration inside the spawn?
+fn resolves_to_outer(ix: &FileIndex, name: &str, use_pos: usize, decl_token: usize) -> bool {
+    ix.binding(name, use_pos)
+        .is_some_and(|b| b.token == decl_token)
+}
+
+/// How token `i` (an identifier) mutates its binding, if it does.
+fn mutation_kind(tokens: &[Token], i: usize) -> Option<&'static str> {
+    // `&mut x`
+    if i >= 2 && tokens[i - 1].is_ident("mut") && tokens[i - 2].is_punct("&") {
+        return Some("`&mut` borrow");
+    }
+    let next = tokens.get(i + 1)?;
+    // `x = …` (not `==`, not `x <= y` etc. — those put a punct before `=`).
+    if next.is_punct("=")
+        && !tokens.get(i + 2).is_some_and(|t| t.is_punct("="))
+        && tokens
+            .get(i.wrapping_sub(1))
+            .is_none_or(|t| !t.is_ident("let") && !t.is_ident("mut"))
+    {
+        return Some("assignment");
+    }
+    // Compound assignment: adjacent punct pair `+=`, `-=`, `*=`, … .
+    if ["+", "-", "*", "/", "%", "&", "|", "^"].contains(&next.text.as_str())
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct("="))
+    {
+        return Some("compound assignment");
+    }
+    // `x.push(…)` and friends.
+    if next.is_punct(".")
+        && tokens
+            .get(i + 2)
+            .is_some_and(|t| MUT_METHODS.contains(&t.text.as_str()))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct("("))
+    {
+        return Some("mutating method call");
+    }
+    None
+}
+
+impl Rule for SharedMutInScope {
+    fn name(&self) -> &'static str {
+        "shared-mut-in-scope"
+    }
+
+    fn description(&self) -> &'static str {
+        "state mutated inside thread-scope spawns must be synchronized at its declaration"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::AllCrates
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context) -> Vec<Diagnostic> {
+        let Some(ix) = ctx.index_of(&file.path) else {
+            return Vec::new();
+        };
+        let tokens = &ix.tokens;
+        let mut out = Vec::new();
+        for spawn in &ix.spawns {
+            let (body_s, body_e) = spawn.body;
+            for i in body_s + 1..body_e {
+                let t = &tokens[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                // The binding must be declared before the scope call (a
+                // shared capture, not a per-thread local or shadow) …
+                let Some(decl) = ix.binding(&t.text, spawn.scope_token) else {
+                    continue;
+                };
+                if decl.token >= spawn.scope_token || !resolves_to_outer(ix, &t.text, i, decl.token)
+                {
+                    continue;
+                }
+                // … unsynchronized …
+                if matches!(decl.kind, BindKind::Sync | BindKind::AtomicBool) {
+                    continue;
+                }
+                // … and actually mutated here.
+                let Some(how) = mutation_kind(tokens, i) else {
+                    continue;
+                };
+                let lineno = t.line;
+                if file.in_test[lineno - 1] || file.is_waived(self.name(), lineno) {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        lineno,
+                        "shared-mut-in-scope",
+                        format!(
+                            "{how} on `{}` inside a thread-scope spawn, but `{}` is declared \
+                             outside the scope without synchronization",
+                            t.text, t.text
+                        ),
+                    )
+                    .with_hint(
+                        "wrap the shared state in a Mutex/RwLock or an atomic, or send results \
+                         over a channel and merge after the scope joins",
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-sim", text);
+        let ctx = Context::of(std::slice::from_ref(&f));
+        SharedMutInScope.check(&f, &ctx)
+    }
+
+    #[test]
+    fn flags_assignment_and_push_on_outer_binding() {
+        let ds = check(
+            "fn run() {\n\
+             let mut total = 0u64;\n\
+             let mut rows = Vec::new();\n\
+             crossbeam::thread::scope(|s| {\n\
+             s.spawn(|_| { total = 1; rows.push(2); });\n\
+             });\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds[0].message.contains("assignment"));
+        assert!(ds[1].message.contains("mutating method"));
+    }
+
+    #[test]
+    fn flags_compound_assign_and_mut_borrow() {
+        let ds = check(
+            "fn run() {\n\
+             let mut acc = 0.0f64;\n\
+             let mut buf = String::new();\n\
+             std::thread::scope(|s| {\n\
+             s.spawn(|| { acc += 1.0; fill(&mut buf); });\n\
+             });\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds[0].message.contains("compound assignment"));
+        assert!(ds[1].message.contains("`&mut` borrow"));
+    }
+
+    #[test]
+    fn mutex_and_atomics_are_clean() {
+        let ds = check(
+            "fn run() {\n\
+             let total = Mutex::new(0u64);\n\
+             let hits = AtomicUsize::new(0);\n\
+             let abort = AtomicBool::new(false);\n\
+             crossbeam::thread::scope(|s| {\n\
+             s.spawn(|_| {\n\
+             *total.lock() += 1;\n\
+             hits.fetch_add(1, Ordering::Relaxed);\n\
+             abort.store(true, Ordering::Release);\n\
+             });\n\
+             });\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn per_thread_locals_and_shadows_are_clean() {
+        let ds = check(
+            "fn run() {\n\
+             let mut total = 0u64;\n\
+             crossbeam::thread::scope(|s| {\n\
+             s.spawn(|_| {\n\
+             let mut local = Vec::new();\n\
+             local.push(1);\n\
+             let mut total = 0u64;\n\
+             total = 7;\n\
+             });\n\
+             });\n\
+             report(total);\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn reads_and_comparisons_do_not_fire() {
+        let ds = check(
+            "fn run(limit: u64) {\n\
+             let total = 5u64;\n\
+             crossbeam::thread::scope(|s| {\n\
+             s.spawn(|_| { if total == limit { stop(); } use_it(total); });\n\
+             });\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn mutation_outside_any_spawn_is_clean() {
+        let ds = check(
+            "fn run() {\n\
+             let mut total = 0u64;\n\
+             total += 1;\n\
+             crossbeam::thread::scope(|s| {\n\
+             s.spawn(|_| { read(total); });\n\
+             });\n\
+             total += 1;\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn test_code_and_waivers_exempt() {
+        let ds = check(
+            "#[cfg(test)]\nmod t {\nfn run() {\n\
+             let mut total = 0u64;\n\
+             crossbeam::thread::scope(|s| { s.spawn(|_| { total = 1; }); });\n\
+             } }\n",
+        );
+        assert!(ds.is_empty());
+        let ds = check(
+            "fn run() {\n\
+             let mut total = 0u64;\n\
+             crossbeam::thread::scope(|s| {\n\
+             // audit:allow(shared-mut-in-scope): single spawn, joined before read\n\
+             s.spawn(|_| { total = 1; });\n\
+             });\n\
+             }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+}

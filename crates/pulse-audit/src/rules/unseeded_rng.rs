@@ -1,0 +1,186 @@
+//! `unseeded-rng`: RNG construction must route through a seed parameter.
+//!
+//! Every stochastic path in the reproduction — assignment draws, synthetic
+//! traces, fault injection, policy randomness — replays bit-identically
+//! because the seed always arrives as data (a config field, a function
+//! parameter, `base_seed + run`). Two constructions break that:
+//!
+//! - **ambient entropy** (`thread_rng()`, `from_entropy()`, `rand::random`)
+//!   produces unreproducible runs outright;
+//! - **hard-coded literal seeds** (`SmallRng::seed_from_u64(42)` in library
+//!   code) look deterministic but cannot be varied per run, and two call
+//!   sites sharing a literal silently correlate their streams.
+//!
+//! The rule fires on both, outside `#[cfg(test)]`. Route the seed in from
+//! the caller instead; fixed seeds in tests are exempt by design.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::Context;
+use crate::lex::{matches_seq, matching_close, TokenKind};
+use crate::rules::{Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct UnseededRng;
+
+/// Constructors whose argument list must mention at least one identifier
+/// (a parameter, field or expression carrying the seed in from outside).
+const SEEDED_CTORS: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// Ambient-entropy constructors: always wrong in library code.
+const AMBIENT: &[&str] = &["thread_rng", "from_entropy"];
+
+impl Rule for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "RNG construction routes through a seed parameter: no ambient entropy or literal seeds"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::AllCrates
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context) -> Vec<Diagnostic> {
+        let Some(ix) = ctx.index_of(&file.path) else {
+            return Vec::new();
+        };
+        let tokens = &ix.tokens;
+        let mut out = Vec::new();
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let lineno = t.line;
+            if file.in_test[lineno - 1] || file.is_waived(self.name(), lineno) {
+                continue;
+            }
+            if AMBIENT.contains(&t.text.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        lineno,
+                        "unseeded-rng",
+                        format!(
+                            "ambient entropy `{}` — runs cannot be replayed bit-identically",
+                            t.text
+                        ),
+                    )
+                    .with_hint("construct the RNG from a seed passed in by the caller"),
+                );
+                continue;
+            }
+            if matches_seq(tokens, i, &["rand", "::", "random"]) {
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        lineno,
+                        "unseeded-rng",
+                        "ambient entropy `rand::random` — runs cannot be replayed bit-identically",
+                    )
+                    .with_hint("draw from a seeded RNG passed in by the caller"),
+                );
+                continue;
+            }
+            if SEEDED_CTORS.contains(&t.text.as_str())
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            {
+                let Some(close) = matching_close(tokens, i + 1) else {
+                    continue;
+                };
+                let has_ident = tokens[i + 2..close]
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Ident);
+                if !has_ident && close > i + 2 {
+                    out.push(
+                        Diagnostic::new(
+                            file.path.clone(),
+                            lineno,
+                            "unseeded-rng",
+                            format!(
+                                "`{}` called with a hard-coded literal seed — route the seed \
+                                 in as a parameter so runs can vary and replay",
+                                t.text
+                            ),
+                        )
+                        .with_hint(
+                            "take a `seed: u64` parameter (or config field) and pass it through",
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), "pulse-trace", text);
+        let ctx = Context::of(std::slice::from_ref(&f));
+        UnseededRng.check(&f, &ctx)
+    }
+
+    #[test]
+    fn flags_ambient_entropy() {
+        let ds = check(
+            "fn f() -> f64 {\n\
+             let mut rng = rand::thread_rng();\n\
+             let r = SmallRng::from_entropy();\n\
+             rand::random()\n\
+             }\n",
+        );
+        assert_eq!(ds.len(), 3, "{ds:?}");
+        assert_eq!(ds[0].line, 2);
+        assert_eq!(ds[1].line, 3);
+        assert_eq!(ds[2].line, 4);
+    }
+
+    #[test]
+    fn flags_literal_seed_in_library_code() {
+        let ds = check("fn gen() -> SmallRng { SmallRng::seed_from_u64(42) }\n");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("hard-coded literal seed"));
+    }
+
+    #[test]
+    fn seed_routed_through_parameter_is_clean() {
+        let ds = check(
+            "fn gen(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }\n\
+             fn gen2(cfg: &Cfg) -> SmallRng { SmallRng::seed_from_u64(cfg.seed.wrapping_add(1)) }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn literal_seed_in_tests_is_exempt() {
+        let ds = check(
+            "#[cfg(test)]\nmod t {\n\
+             fn rng() -> SmallRng { SmallRng::seed_from_u64(1234) }\n\
+             }\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let ds = check(
+            "// audit:allow(unseeded-rng): protocol constant shared with the paper artifact\n\
+             fn gen() -> SmallRng { SmallRng::seed_from_u64(2024) }\n",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn idents_containing_the_names_are_not_matched() {
+        let ds = check("fn f() { let thread_rng_like = 1; random_assignment(); }\n");
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+}

@@ -17,7 +17,7 @@
 //! compatibility re-export, carries a waiver naming this rule.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 use std::path::Path;
 
@@ -43,7 +43,7 @@ impl Rule for VariantSentinel {
         Scope::AllCrates
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         if file.path == Path::new(LEDGER_MODULE) {
             return Vec::new();
         }
@@ -104,7 +104,7 @@ mod tests {
 
     fn check_at(path: &str, text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from(path), "pulse-sim", text);
-        VariantSentinel.check(&f)
+        VariantSentinel.check(&f, &Context::default())
     }
 
     fn check(text: &str) -> Vec<Diagnostic> {
@@ -148,7 +148,7 @@ mod tests {
             "pulse-core",
             "pub const HOLE: VariantId = usize::MAX;\nif raw == HOLE {}\n",
         );
-        assert!(VariantSentinel.check(&f).is_empty());
+        assert!(VariantSentinel.check(&f, &Context::default()).is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! passed in by the caller.
 
 use crate::diagnostics::Diagnostic;
-use crate::rules::{Rule, Scope};
+use crate::rules::{Context, Rule, Scope};
 use crate::source::SourceFile;
 
 /// See module docs.
@@ -50,7 +50,7 @@ impl Rule for WallClock {
         Scope::Only(&["pulse-core", "pulse-sim"])
     }
 
-    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for (i, line) in file.masked_lines.iter().enumerate() {
             let lineno = i + 1;
@@ -78,7 +78,7 @@ mod tests {
 
     fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
         let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
-        WallClock.check(&f)
+        WallClock.check(&f, &Context::default())
     }
 
     #[test]

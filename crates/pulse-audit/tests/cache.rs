@@ -1,0 +1,167 @@
+//! End-to-end tests for the incremental cache: a synthetic workspace is
+//! written to a temp directory and audited twice through
+//! [`pulse_audit::audit_workspace_with`], asserting hit/miss accounting and
+//! — more importantly — that cached and fresh runs report identical
+//! diagnostics under every invalidation path (file edit, cross-file fact
+//! change, corrupted cache file).
+
+// Scratch-workspace helpers sit outside `#[test]` fns, where the
+// allow-unwrap-in-tests exemption does not reach.
+#![allow(clippy::unwrap_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pulse_audit::{audit_workspace_with, AuditOptions, AuditOutcome};
+
+/// A scratch workspace under the target dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("cache-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/pulse-core/src")).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        fs::write(self.root.join(rel), text).unwrap();
+    }
+
+    fn opts(&self) -> AuditOptions {
+        AuditOptions {
+            cache_path: Some(self.root.join("audit-cache.tsv")),
+            jobs: 2,
+        }
+    }
+
+    fn audit(&self) -> AuditOutcome {
+        audit_workspace_with(&self.root, &self.opts()).unwrap()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const LIB_WITH_VIOLATION: &str = "\
+//! Scratch crate.
+use std::collections::HashMap;
+
+/// Iterates a hash map: flagged by hashmap-iter-order.
+pub fn walk(m: &HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for k in m.keys() {
+        acc += *k;
+    }
+    acc
+}
+";
+
+const HELPER_CLEAN: &str = "\
+//! Scratch helper.
+
+/// Adds.
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}
+";
+
+fn keyed(out: &AuditOutcome) -> Vec<String> {
+    out.diagnostics.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn second_run_is_all_hits_with_identical_diagnostics() {
+    let ws = Scratch::new("warm");
+    ws.write("crates/pulse-core/src/lib.rs", LIB_WITH_VIOLATION);
+    ws.write("crates/pulse-core/src/helper.rs", HELPER_CLEAN);
+
+    let cold = ws.audit();
+    assert_eq!(cold.files_scanned, 2);
+    assert_eq!((cold.cache_hits, cold.cache_misses), (0, 2));
+    assert!(
+        keyed(&cold)
+            .iter()
+            .any(|d| d.contains("hashmap-iter-order")),
+        "seeded violation not found: {:?}",
+        keyed(&cold)
+    );
+
+    let warm = ws.audit();
+    assert_eq!((warm.cache_hits, warm.cache_misses), (2, 0));
+    assert_eq!(keyed(&warm), keyed(&cold));
+}
+
+#[test]
+fn editing_one_file_invalidates_only_that_file() {
+    let ws = Scratch::new("edit");
+    ws.write("crates/pulse-core/src/lib.rs", LIB_WITH_VIOLATION);
+    ws.write("crates/pulse-core/src/helper.rs", HELPER_CLEAN);
+    let cold = ws.audit();
+
+    // An edit that leaves cross-file facts unchanged: only the edited file
+    // should miss.
+    ws.write(
+        "crates/pulse-core/src/helper.rs",
+        &format!("{HELPER_CLEAN}\n/// Subtracts.\npub fn sub(a: u32, b: u32) -> u32 {{ a.wrapping_sub(b) }}\n"),
+    );
+    let warm = ws.audit();
+    assert_eq!((warm.cache_hits, warm.cache_misses), (1, 1));
+    assert_eq!(keyed(&warm), keyed(&cold));
+}
+
+#[test]
+fn cross_file_fact_change_invalidates_everything() {
+    let ws = Scratch::new("facts");
+    ws.write("crates/pulse-core/src/lib.rs", LIB_WITH_VIOLATION);
+    ws.write("crates/pulse-core/src/helper.rs", HELPER_CLEAN);
+    ws.audit();
+
+    // Adding a hash-returning fn changes the workspace CrossFacts digest,
+    // which must re-run rules on every file — a cached file might call it.
+    ws.write(
+        "crates/pulse-core/src/helper.rs",
+        "\
+//! Scratch helper.
+use std::collections::HashMap;
+
+/// Builds a map: changes the hash-fn fact set.
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+",
+    );
+    let out = ws.audit();
+    assert_eq!(
+        (out.cache_hits, out.cache_misses),
+        (0, 2),
+        "digest change must drop every cached entry"
+    );
+}
+
+#[test]
+fn corrupted_cache_is_ignored_not_fatal() {
+    let ws = Scratch::new("corrupt");
+    ws.write("crates/pulse-core/src/lib.rs", LIB_WITH_VIOLATION);
+    let cold = ws.audit();
+
+    fs::write(ws.root.join("audit-cache.tsv"), "not\ta\tcache\n").unwrap();
+    let out = ws.audit();
+    assert_eq!((out.cache_hits, out.cache_misses), (0, 1));
+    assert_eq!(keyed(&out), keyed(&cold));
+}
+
+#[test]
+fn uncached_options_never_touch_disk() {
+    let ws = Scratch::new("nocache");
+    ws.write("crates/pulse-core/src/lib.rs", LIB_WITH_VIOLATION);
+    let out = audit_workspace_with(&ws.root, &AuditOptions::default()).unwrap();
+    assert_eq!((out.cache_hits, out.cache_misses), (0, 1));
+    assert!(!ws.root.join("audit-cache.tsv").exists());
+}

@@ -1,0 +1,14 @@
+// Fixture: Acquire/Release on the flag and Relaxed counters stay silent.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn poll(abort: &AtomicBool) -> bool {
+    abort.load(Ordering::Acquire)
+}
+
+pub fn raise(abort: &AtomicBool) {
+    abort.store(true, Ordering::Release);
+}
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+// Fixture: Ordering::Relaxed on an AtomicBool control flag must fire.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn poll(abort: &AtomicBool) -> bool {
+    abort.load(Ordering::Relaxed)
+}
+
+pub fn raise() {
+    let stop = AtomicBool::new(false);
+    stop.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified waiver suppresses the finding on its line.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn advisory_poll(hint: &AtomicBool) -> bool {
+    // audit:allow(atomic-ordering): advisory hint, no prior writes consumed
+    hint.load(Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+// Fixture: ordered float reductions and integer hash reductions stay silent.
+use std::collections::BTreeMap;
+
+pub fn total_cost(costs: &[f64]) -> f64 {
+    costs.iter().sum()
+}
+
+pub fn ordered_total() -> f64 {
+    let costs: BTreeMap<String, f64> = BTreeMap::new();
+    costs.values().sum()
+}

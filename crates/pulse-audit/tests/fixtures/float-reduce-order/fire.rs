@@ -1,0 +1,12 @@
+// Fixture: float reductions over unordered sources must fire.
+use std::collections::HashMap;
+
+pub fn total_cost() -> f64 {
+    let costs: HashMap<String, f64> = HashMap::new();
+    costs.values().sum()
+}
+
+pub fn folded() -> f64 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.values().fold(0.0, |acc, v| acc + f64::from(*v))
+}

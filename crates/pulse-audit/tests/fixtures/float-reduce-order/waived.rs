@@ -1,0 +1,8 @@
+// Fixture: a justified waiver suppresses the finding on its line.
+use std::collections::HashMap;
+
+pub fn diagnostics_only_total() -> f64 {
+    let costs: HashMap<String, f64> = HashMap::new();
+    // audit:allow(float-reduce-order): debug display only, never asserted on
+    costs.values().sum()
+}

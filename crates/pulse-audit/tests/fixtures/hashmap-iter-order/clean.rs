@@ -1,0 +1,20 @@
+// Fixture: ordered containers and order-insensitive reductions stay silent.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn emit_all(emit: impl FnMut(&u32)) {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    for k in m.keys() {
+        emit(k);
+    }
+}
+
+pub fn count_entries() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.keys().count()
+}
+
+pub fn sorted_keys() -> Vec<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let ordered: BTreeMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    ordered.into_keys().collect()
+}

@@ -1,0 +1,14 @@
+// Fixture: iteration over unordered hash containers must fire.
+use std::collections::{HashMap, HashSet};
+
+pub fn emit_all(emit: impl FnMut(&u32)) {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for k in m.keys() {
+        emit(k);
+    }
+}
+
+pub fn first_seen() -> Vec<u32> {
+    let s: HashSet<u32> = HashSet::new();
+    s.iter().copied().collect()
+}

@@ -1,0 +1,14 @@
+// Fixture: synchronized shared state and per-thread locals stay silent.
+
+pub fn run() {
+    let total = Mutex::new(0u64);
+    let hits = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| {
+            let mut local: Vec<u64> = Vec::new();
+            local.push(1);
+            *total.lock() += 1;
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+}

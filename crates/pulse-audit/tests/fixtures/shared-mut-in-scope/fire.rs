@@ -1,0 +1,12 @@
+// Fixture: unsynchronized mutation of captured state in spawns must fire.
+
+pub fn run() {
+    let mut total = 0u64;
+    let mut rows: Vec<u64> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| {
+            total += 1;
+            rows.push(total);
+        });
+    });
+}

@@ -1,0 +1,11 @@
+// Fixture: a justified waiver suppresses the finding on its line.
+
+pub fn run() {
+    let mut total = 0u64;
+    crossbeam::thread::scope(|s| {
+        s.spawn(|_| {
+            // audit:allow(shared-mut-in-scope): single spawn, joined before any read
+            total += 1;
+        });
+    });
+}

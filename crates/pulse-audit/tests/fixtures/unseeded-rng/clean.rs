@@ -1,0 +1,9 @@
+// Fixture: seeds routed in from the caller stay silent.
+
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn derived(cfg: &Config, run: u64) -> SmallRng {
+    SmallRng::seed_from_u64(cfg.base_seed.wrapping_add(run))
+}

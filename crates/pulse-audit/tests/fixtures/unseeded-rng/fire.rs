@@ -1,0 +1,10 @@
+// Fixture: ambient entropy and hard-coded literal seeds must fire.
+
+pub fn ambient() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn literal_seed() -> SmallRng {
+    SmallRng::seed_from_u64(42)
+}

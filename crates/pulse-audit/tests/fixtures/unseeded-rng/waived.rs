@@ -1,0 +1,6 @@
+// Fixture: a justified waiver suppresses the finding on its line.
+
+pub fn protocol_rng() -> SmallRng {
+    // audit:allow(unseeded-rng): protocol constant fixed by the paper artifact
+    SmallRng::seed_from_u64(2024)
+}

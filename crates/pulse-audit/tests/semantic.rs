@@ -1,0 +1,111 @@
+//! Fixture tests for the v2 semantic rules: each rule has a `fire.rs`
+//! (positive), `clean.rs` (negative) and `waived.rs` (suppressed) fixture
+//! under `tests/fixtures/<rule>/`, audited through the public
+//! [`pulse_audit::audit_files`] entry point.
+//!
+//! Fixtures are parsed under the `pulse-experiments` crate name so only the
+//! `Scope::AllCrates` semantic rules apply — the crate-scoped text rules
+//! (wall-clock, unwrap, …) stay out of the assertion's way. Assertions
+//! filter by the rule under test because fixtures may legitimately trip a
+//! sibling rule too (a float sum over a HashMap is both a
+//! `float-reduce-order` and a `hashmap-iter-order` finding).
+
+use std::path::PathBuf;
+
+use pulse_audit::audit_files;
+use pulse_audit::source::SourceFile;
+
+const FIXTURES: &[(&str, &str, &str, &str)] = &[
+    (
+        "hashmap-iter-order",
+        include_str!("fixtures/hashmap-iter-order/fire.rs"),
+        include_str!("fixtures/hashmap-iter-order/clean.rs"),
+        include_str!("fixtures/hashmap-iter-order/waived.rs"),
+    ),
+    (
+        "unseeded-rng",
+        include_str!("fixtures/unseeded-rng/fire.rs"),
+        include_str!("fixtures/unseeded-rng/clean.rs"),
+        include_str!("fixtures/unseeded-rng/waived.rs"),
+    ),
+    (
+        "float-reduce-order",
+        include_str!("fixtures/float-reduce-order/fire.rs"),
+        include_str!("fixtures/float-reduce-order/clean.rs"),
+        include_str!("fixtures/float-reduce-order/waived.rs"),
+    ),
+    (
+        "atomic-ordering",
+        include_str!("fixtures/atomic-ordering/fire.rs"),
+        include_str!("fixtures/atomic-ordering/clean.rs"),
+        include_str!("fixtures/atomic-ordering/waived.rs"),
+    ),
+    (
+        "shared-mut-in-scope",
+        include_str!("fixtures/shared-mut-in-scope/fire.rs"),
+        include_str!("fixtures/shared-mut-in-scope/clean.rs"),
+        include_str!("fixtures/shared-mut-in-scope/waived.rs"),
+    ),
+];
+
+fn findings_of(rule: &str, text: &str) -> Vec<String> {
+    let file = SourceFile::parse(PathBuf::from("fixture.rs"), "pulse-experiments", text);
+    audit_files(std::slice::from_ref(&file))
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn every_semantic_rule_fires_on_its_positive_fixture() {
+    for (rule, fire, _, _) in FIXTURES {
+        let found = findings_of(rule, fire);
+        assert!(
+            found.len() >= 2,
+            "{rule} fired {} time(s) on fire.rs (expected >= 2):\n{found:?}",
+            found.len()
+        );
+    }
+}
+
+#[test]
+fn every_semantic_rule_stays_silent_on_its_negative_fixture() {
+    for (rule, _, clean, _) in FIXTURES {
+        let found = findings_of(rule, clean);
+        assert!(found.is_empty(), "{rule} fired on clean.rs:\n{found:?}");
+    }
+}
+
+#[test]
+fn every_semantic_rule_is_suppressed_by_a_justified_waiver() {
+    for (rule, _, _, waived) in FIXTURES {
+        let found = findings_of(rule, waived);
+        assert!(found.is_empty(), "{rule} fired on waived.rs:\n{found:?}");
+        // The waiver itself is well-formed: no waiver-hygiene diagnostics.
+        let hygiene = findings_of("waiver", waived);
+        assert!(
+            hygiene.is_empty(),
+            "{rule} waived.rs waiver rejected:\n{hygiene:?}"
+        );
+    }
+}
+
+#[test]
+fn waived_fixtures_differ_from_fire_fixtures_only_by_the_waiver() {
+    // Guard against a waived fixture accidentally also removing the
+    // offending pattern: stripping the waiver comment must re-fire the rule.
+    for (rule, _, _, waived) in FIXTURES {
+        let stripped: String = waived
+            .lines()
+            .filter(|l| !l.contains("audit:allow"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let found = findings_of(rule, &stripped);
+        assert!(
+            !found.is_empty(),
+            "{rule} waived.rs without its waiver no longer fires — fixture is vacuous"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Regression pins against real workspace source. Memory-ordering bugs
+//! cannot be distinguished behaviorally on x86 (its hardware model is
+//! stronger than Relaxed), so the fix in `pulse-sim`'s worker-abort path is
+//! pinned structurally: the audit's own `atomic-ordering` rule must stay
+//! silent on `runner.rs`, and the abort flag's accesses must carry the
+//! Acquire/Release pair the failure-context handoff relies on.
+
+// The source-loading helper sits outside `#[test]` fns, where the
+// allow-unwrap-in-tests exemption does not reach.
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+
+use pulse_audit::audit_files;
+use pulse_audit::source::SourceFile;
+
+fn runner_source() -> (PathBuf, String) {
+    // Integration tests run with the crate under test as CWD; the workspace
+    // root is two levels up.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../pulse-sim/src/runner.rs")
+        .canonicalize()
+        .unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    (path, text)
+}
+
+#[test]
+fn sim_runner_abort_flag_passes_the_atomic_ordering_rule() {
+    let (path, text) = runner_source();
+    let file = SourceFile::parse(path, "pulse-sim", &text);
+    let findings: Vec<String> = audit_files(std::slice::from_ref(&file))
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.rule == "atomic-ordering")
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "worker-abort flag regressed to a too-weak ordering:\n{findings:?}"
+    );
+}
+
+#[test]
+fn sim_runner_abort_flag_uses_acquire_release_pair() {
+    let (_, text) = runner_source();
+    // The flag is raised with Release so the failing worker's writes (the
+    // failure context) are published, and polled with Acquire so siblings
+    // observe them. Both halves must survive refactors.
+    assert!(
+        text.contains("abort.store(true, Ordering::Release)"),
+        "abort raise no longer uses Ordering::Release"
+    );
+    assert!(
+        text.contains("abort.load(Ordering::Acquire)"),
+        "abort poll no longer uses Ordering::Acquire"
+    );
+    assert!(
+        !text.contains("abort.load(Ordering::Relaxed)")
+            && !text.contains("abort.store(true, Ordering::Relaxed)"),
+        "abort flag regressed to Ordering::Relaxed"
+    );
+}

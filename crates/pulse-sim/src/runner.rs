@@ -136,7 +136,11 @@ pub fn run_many_observed(
                 let h_cold = histograms.histogram("run_cold_starts");
                 let h_downgrades = histograms.histogram("run_downgrades");
                 loop {
-                    if abort.load(Ordering::Relaxed) {
+                    // Acquire pairs with the failing worker's Release store:
+                    // a sibling that observes the flag also observes every
+                    // write the failing worker published before raising it
+                    // (in particular the failure-context message).
+                    if abort.load(Ordering::Acquire) {
                         break;
                     }
                     let r = next.fetch_add(1, Ordering::Relaxed);
@@ -170,7 +174,7 @@ pub fn run_many_observed(
                             local.push((r, m));
                         }
                         Err(payload) => {
-                            abort.store(true, Ordering::Relaxed);
+                            abort.store(true, Ordering::Release);
                             let cause = panic_message(payload.as_ref());
                             let zoo_idx: Vec<String> = assignment
                                 .iter()
