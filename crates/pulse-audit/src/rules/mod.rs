@@ -20,6 +20,7 @@ pub mod float_reduce;
 pub mod hashmap_iter;
 pub mod no_cast;
 pub mod no_unwrap;
+pub mod obs_event_coverage;
 pub mod obs_sim_time;
 pub mod probability_usage;
 pub mod pub_docs;
@@ -36,7 +37,7 @@ use crate::source::SourceFile;
 /// behavior changes: the incremental cache stores this in its header and
 /// discards itself wholesale on mismatch, so stale diagnostics can never
 /// survive a rule change.
-pub const RULES_VERSION: u32 = 2;
+pub const RULES_VERSION: u32 = 3;
 
 /// Which crates a rule applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +83,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(float_cmp::FloatCmp),
         Box::new(wall_clock::WallClock),
         Box::new(obs_sim_time::ObsSimTime),
+        Box::new(obs_event_coverage::ObsEventCoverage),
         Box::new(pub_docs::PubDocs),
         Box::new(probability_usage::ProbabilityUsage),
         Box::new(variant_sentinel::VariantSentinel),
@@ -151,7 +153,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_kebab() {
         let rules = registry();
-        assert!(rules.len() >= 13, "the audit ships at least 13 rules");
+        assert!(rules.len() >= 14, "the audit ships at least 14 rules");
         let mut names: Vec<_> = rules.iter().map(|r| r.name()).collect();
         names.sort_unstable();
         let n = names.len();

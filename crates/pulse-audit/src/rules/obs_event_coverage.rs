@@ -1,0 +1,179 @@
+//! `obs-event-coverage`: every `ObsEvent` kind must round-trip the JSON
+//! schema.
+//!
+//! `ObsEvent::to_json` is a match on `self`, so the compiler forces a
+//! serializer arm for every variant — but `from_json` dispatches on the
+//! kind *string*, which the compiler cannot tie back to the enum. Adding a
+//! variant (say, a new fleet lifecycle event) with a `kind()` arm and a
+//! serializer but no parser arm compiles cleanly and silently breaks the
+//! round-trip contract the JSONL schema check relies on. This rule closes
+//! that gap textually: in any file declaring both `kind()` and
+//! `from_json`, the set of kind strings returned by `kind()` must exactly
+//! match the set of kind strings `from_json` accepts. (The behavioral half
+//! — field-level fidelity — is pinned by the exemplar round-trip test in
+//! `pulse-obs`.)
+//!
+//! String literals are masked out of the view ordinary rules see, so this
+//! rule scans the raw lines.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Context, Rule, Scope};
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct ObsEventCoverage;
+
+/// Extract the string literal starting right after `start` in `line`
+/// (which must point at the opening quote's content).
+fn quoted(line: &str, after: &str) -> Option<String> {
+    let i = line.find(after)? + after.len();
+    let rest = &line[i..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+impl Rule for ObsEventCoverage {
+    fn name(&self) -> &'static str {
+        "obs-event-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every ObsEvent kind() string has a matching from_json arm (and vice versa)"
+    }
+
+    fn scope(&self) -> Scope {
+        Scope::Only(&["pulse-obs"])
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context) -> Vec<Diagnostic> {
+        let text = file.raw_lines.join("\n");
+        if !(text.contains("fn kind(") && text.contains("fn from_json(")) {
+            return Vec::new();
+        }
+
+        // Kind strings declared by `kind()`: `ObsEvent::Name { .. } => "kind"`.
+        let mut declared: Vec<(String, usize)> = Vec::new();
+        // Kind strings `from_json` dispatches on: `"kind" => Ok(ObsEvent::`.
+        let mut parsed: Vec<(String, usize)> = Vec::new();
+        for (i, line) in file.raw_lines.iter().enumerate() {
+            let lineno = i + 1;
+            if file.in_test[i] {
+                continue;
+            }
+            let t = line.trim_start();
+            if t.starts_with("ObsEvent::") && t.contains("=> \"") {
+                if let Some(kind) = quoted(t, "=> \"") {
+                    declared.push((kind, lineno));
+                }
+            } else if t.starts_with('"') && t.contains("=> Ok(ObsEvent::") {
+                if let Some(kind) = quoted(t, "\"") {
+                    parsed.push((kind, lineno));
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        for (kind, lineno) in &declared {
+            if file.is_waived(self.name(), *lineno) {
+                continue;
+            }
+            if !parsed.iter().any(|(k, _)| k == kind) {
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        *lineno,
+                        self.name(),
+                        format!(
+                            "ObsEvent kind \"{kind}\" has no from_json arm — it cannot round-trip"
+                        ),
+                    )
+                    .with_hint("add a parser arm (and an exemplar) for the new event kind"),
+                );
+            }
+        }
+        for (kind, lineno) in &parsed {
+            if file.is_waived(self.name(), *lineno) {
+                continue;
+            }
+            if !declared.iter().any(|(k, _)| k == kind) {
+                out.push(
+                    Diagnostic::new(
+                        file.path.clone(),
+                        *lineno,
+                        self.name(),
+                        format!("from_json accepts kind \"{kind}\" that kind() never emits"),
+                    )
+                    .with_hint("remove the dead parser arm or add the missing kind() arm"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check(krate: &str, text: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), krate, text);
+        ObsEventCoverage.check(&f, &Context::default())
+    }
+
+    const BALANCED: &str = r#"
+impl ObsEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::Bill { .. } => "bill",
+            ObsEvent::NodeDown { .. } => "node_down",
+        }
+    }
+    pub fn from_json(line: &str) -> Result<Self, ParseError> {
+        match fields.str("type")? {
+            "bill" => Ok(ObsEvent::Bill { minute: 0 }),
+            "node_down" => Ok(ObsEvent::NodeDown { minute: 0 }),
+            other => Err(ParseError::unknown(other)),
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn balanced_schema_is_clean() {
+        assert!(check("pulse-obs", BALANCED).is_empty());
+    }
+
+    #[test]
+    fn missing_parser_arm_is_flagged_at_the_kind_arm() {
+        let text = BALANCED.replace("\"node_down\" => Ok(ObsEvent::NodeDown { minute: 0 }),", "");
+        let ds = check("pulse-obs", &text);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("\"node_down\""));
+        assert!(ds[0].message.contains("no from_json arm"));
+    }
+
+    #[test]
+    fn dead_parser_arm_is_flagged() {
+        let text = BALANCED.replace("ObsEvent::NodeDown { .. } => \"node_down\",", "");
+        let ds = check("pulse-obs", &text);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("never emits"));
+    }
+
+    #[test]
+    fn files_without_the_schema_pair_are_ignored() {
+        // A file that merely *uses* events (no kind()/from_json decl).
+        let ds = check(
+            "pulse-obs",
+            "fn f() { let k = ev.kind(); sink.record(&ObsEvent::Bill { minute: 0 }); }\n",
+        );
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn other_crates_out_of_scope() {
+        assert!(!ObsEventCoverage.scope().includes("pulse-runtime"));
+        assert!(ObsEventCoverage.scope().includes("pulse-obs"));
+    }
+}

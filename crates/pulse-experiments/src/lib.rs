@@ -24,6 +24,7 @@ pub mod exp_fig4_fig7;
 pub mod exp_fig5_fig6;
 pub mod exp_fig8;
 pub mod exp_fig9;
+pub mod exp_fleet;
 pub mod exp_nodes;
 pub mod exp_overload;
 pub mod exp_predictors;
@@ -60,6 +61,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "window",
     "validate",
     "chaos",
+    "fleet",
     "characterize",
     "predictors",
     "nodes",
@@ -91,6 +93,7 @@ pub fn run_experiment(name: &str, cfg: &ExpConfig) -> Result<String, String> {
         "window" => exp_scalability::run_window(cfg),
         "validate" => exp_validation::run(cfg),
         "chaos" => exp_chaos::run(cfg),
+        "fleet" => exp_fleet::run(cfg),
         "characterize" => exp_characterize::run(cfg),
         "predictors" => exp_predictors::run(cfg),
         "nodes" => exp_nodes::run(cfg),

@@ -46,6 +46,38 @@ impl ActionSource {
     }
 }
 
+/// The observability taxonomy of node-level faults (a mirror of the
+/// runtime's fault kinds — this crate stays dependency-free, so the payload
+/// a `Degraded` fault carries is not repeated here, only the class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeFaultClass {
+    /// The node died: containers reaped, in-flight work aborted.
+    Crash,
+    /// The node runs slow (a straggler): durations stretched.
+    Straggler,
+    /// The node is unreachable: containers dropped, in-flight work finishes.
+    Partition,
+}
+
+impl NodeFaultClass {
+    fn as_str(self) -> &'static str {
+        match self {
+            NodeFaultClass::Crash => "crash",
+            NodeFaultClass::Straggler => "straggler",
+            NodeFaultClass::Partition => "partition",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "crash" => Ok(NodeFaultClass::Crash),
+            "straggler" => Ok(NodeFaultClass::Straggler),
+            "partition" => Ok(NodeFaultClass::Partition),
+            other => Err(ParseError::new(format!("unknown fault class {other:?}"))),
+        }
+    }
+}
+
 /// One structured observation from an engine run. See the module docs for
 /// the time semantics; `minute`-carrying events come from the minute-tick
 /// pipeline, `at_ms`-carrying events from the runtime's request machinery.
@@ -162,6 +194,33 @@ pub enum ObsEvent {
         /// Billed keep-alive cost, USD.
         cost_usd: f64,
     },
+    /// A node-level fault window opened (fleet runs only).
+    NodeDown {
+        /// Minute the fault struck.
+        minute: u64,
+        /// Affected node.
+        node: usize,
+        /// What kind of fault.
+        kind: NodeFaultClass,
+    },
+    /// A node healed fully — no fault window covers it anymore.
+    NodeRecovered {
+        /// Minute the node came back up.
+        minute: u64,
+        /// Affected node.
+        node: usize,
+    },
+    /// The rebalancer migrated a warm container between nodes.
+    Migrate {
+        /// Minute tick at which the rebalancer ran.
+        minute: u64,
+        /// Owning function.
+        func: usize,
+        /// Source node.
+        from_node: usize,
+        /// Destination node.
+        to_node: usize,
+    },
 }
 
 impl ObsEvent {
@@ -179,6 +238,9 @@ impl ObsEvent {
             ObsEvent::Reap { .. } => "reap",
             ObsEvent::Watchdog { .. } => "watchdog",
             ObsEvent::Bill { .. } => "bill",
+            ObsEvent::NodeDown { .. } => "node_down",
+            ObsEvent::NodeRecovered { .. } => "node_recovered",
+            ObsEvent::Migrate { .. } => "migrate",
         }
     }
 
@@ -276,6 +338,27 @@ impl ObsEvent {
                 s.push_str(",\"cost_usd\":");
                 push_f64(&mut s, *cost_usd);
             }
+            ObsEvent::NodeDown { minute, node, kind } => {
+                let _ = write!(
+                    s,
+                    ",\"minute\":{minute},\"node\":{node},\"kind\":\"{}\"",
+                    kind.as_str()
+                );
+            }
+            ObsEvent::NodeRecovered { minute, node } => {
+                let _ = write!(s, ",\"minute\":{minute},\"node\":{node}");
+            }
+            ObsEvent::Migrate {
+                minute,
+                func,
+                from_node,
+                to_node,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"minute\":{minute},\"func\":{func},\"from_node\":{from_node},\"to_node\":{to_node}"
+                );
+            }
         }
         s.push('}');
         s
@@ -343,6 +426,21 @@ impl ObsEvent {
                 minute: fields.u64("minute")?,
                 keepalive_mb: fields.f64("keepalive_mb")?,
                 cost_usd: fields.f64("cost_usd")?,
+            }),
+            "node_down" => Ok(ObsEvent::NodeDown {
+                minute: fields.u64("minute")?,
+                node: fields.usize("node")?,
+                kind: NodeFaultClass::parse(fields.str("kind")?)?,
+            }),
+            "node_recovered" => Ok(ObsEvent::NodeRecovered {
+                minute: fields.u64("minute")?,
+                node: fields.usize("node")?,
+            }),
+            "migrate" => Ok(ObsEvent::Migrate {
+                minute: fields.u64("minute")?,
+                func: fields.usize("func")?,
+                from_node: fields.usize("from_node")?,
+                to_node: fields.usize("to_node")?,
             }),
             other => Err(ParseError::new(format!("unknown event type {other:?}"))),
         }
@@ -415,6 +513,21 @@ mod tests {
                 minute: 61,
                 keepalive_mb: 0.1 + 0.2,
                 cost_usd: 1.234e-5,
+            },
+            ObsEvent::NodeDown {
+                minute: 63,
+                node: 2,
+                kind: NodeFaultClass::Partition,
+            },
+            ObsEvent::NodeRecovered {
+                minute: 68,
+                node: 2,
+            },
+            ObsEvent::Migrate {
+                minute: 64,
+                func: 5,
+                from_node: 2,
+                to_node: 0,
             },
         ]
     }

@@ -8,9 +8,10 @@
 //!   `io::Write`), and [`MemorySink`] (typed in-memory capture for tests
 //!   and programmatic consumers);
 //! * [`ObsEvent`] — the typed taxonomy both engines emit: adjust, serve,
-//!   bill, downgrade, evict, shed, degrade, reap, and watchdog transitions,
-//!   each timestamped in monotonic *simulation* time (never wall clock —
-//!   the `obs-sim-time` audit rule enforces this);
+//!   bill, downgrade, evict, shed, degrade, reap, watchdog transitions, and
+//!   the fleet lifecycle (node down/recovered, container migration), each
+//!   timestamped in monotonic *simulation* time (never wall clock — the
+//!   `obs-sim-time` audit rule enforces this);
 //! * [`CounterRegistry`] / [`HistogramRegistry`] — cheap named metrics with
 //!   commutative [`CounterRegistry::merge`], built for per-worker
 //!   aggregation in the parallel campaign runner.
@@ -38,7 +39,7 @@ mod json;
 mod registry;
 mod sink;
 
-pub use event::{ActionSource, ObsEvent};
+pub use event::{ActionSource, NodeFaultClass, ObsEvent};
 pub use json::ParseError;
 pub use registry::{CounterId, CounterRegistry, Histogram, HistogramId, HistogramRegistry};
 pub use sink::{emit, JsonlSink, MemorySink, NullSink, TraceSink};

@@ -151,6 +151,33 @@ pub enum OpsEvent {
         /// Minute tick at which the recovery was observed.
         minute: u64,
     },
+    /// A node-level fault struck (fleet runs only).
+    NodeDown {
+        /// Minute at which the fault struck.
+        minute: u64,
+        /// Affected node.
+        node: usize,
+        /// What kind of fault.
+        kind: crate::node::NodeFaultKind,
+    },
+    /// A node healed fully (no fault window covers it anymore).
+    NodeRecovered {
+        /// Minute at which the node came back up.
+        minute: u64,
+        /// Affected node.
+        node: usize,
+    },
+    /// The rebalancer migrated a warm container between nodes.
+    Migrated {
+        /// Minute tick at which the rebalancer ran.
+        minute: u64,
+        /// Owning function.
+        func: usize,
+        /// Source node.
+        from_node: usize,
+        /// Destination node.
+        to_node: usize,
+    },
 }
 
 #[cfg(test)]

@@ -31,6 +31,10 @@ pub enum Event {
         func: usize,
         /// Request id.
         req: usize,
+        /// Execution generation of the request when it was started — a node
+        /// crash aborts in-flight work by bumping the generation, so stale
+        /// completions are ignored. Always `0` outside node-fault runs.
+        gen: u64,
     },
     /// A provisioning attempt failed (fault injection). Same staleness
     /// semantics as [`Event::ProvisionDone`].
@@ -50,6 +54,8 @@ pub enum Event {
         /// Epoch of the container that was executing — if the function has
         /// since swapped containers, the replacement is not reaped.
         epoch: u64,
+        /// Execution generation (see [`Event::ExecDone::gen`]).
+        gen: u64,
     },
     /// `req` exceeded its per-request SLO budget (fault plans with a
     /// timeout). Ignored when the request already completed.
@@ -71,6 +77,31 @@ pub enum Event {
     MinuteTick {
         /// The minute that begins at this tick.
         minute: u64,
+    },
+    /// A node-level fault strikes (fleet runs only). Scheduled right after
+    /// the tick of its minute, before that minute's arrivals.
+    NodeDown {
+        /// Affected node.
+        node: usize,
+        /// Index of the fault window in the fleet's `NodeFaultPlan`.
+        fault: usize,
+    },
+    /// A node-level fault window ends (fleet runs only). The node's health
+    /// is recomputed from the plan — overlapping windows may keep it down.
+    NodeRecovered {
+        /// Affected node.
+        node: usize,
+        /// Index of the fault window that just expired.
+        fault: usize,
+    },
+    /// A warm-container migration's charged pause elapsed: the container is
+    /// serving again on its new node. Same staleness semantics as
+    /// [`Event::ProvisionDone`].
+    MigrationDone {
+        /// Owning function.
+        func: usize,
+        /// Epoch stamped when the migration began.
+        epoch: u64,
     },
 }
 
@@ -142,7 +173,14 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(30, Event::MinuteTick { minute: 0 });
         q.push(10, Event::Arrival { func: 0, req: 0 });
-        q.push(20, Event::ExecDone { func: 0, req: 0 });
+        q.push(
+            20,
+            Event::ExecDone {
+                func: 0,
+                req: 0,
+                gen: 0,
+            },
+        );
         let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(times, vec![10, 20, 30]);
     }

@@ -34,6 +34,13 @@
 //!    control (excess arrivals shed, not queued forever), and support for
 //!    the `pulse_sim::watchdog` policy fallback (see
 //!    `Runtime::run_with_cluster` and `pulse-exp overload`).
+//! 5. **Fleet-robustness experiments** — a multi-node generalization
+//!    ([`fleet`] + [`node`]): heterogeneous nodes behind a net-utility
+//!    global placer, deterministic node-level faults (crash / straggler /
+//!    partition with heal times), warm-container migration off pressured
+//!    nodes, and two-tier admission (see `Runtime::run_with_fleet` and
+//!    `pulse-exp fleet`). A 1-node fleet with no node faults is
+//!    bit-identical to `run_with_cluster`.
 //!
 //! ```
 //! use pulse_runtime::{Runtime, RuntimeConfig};
@@ -52,14 +59,18 @@ pub mod cluster;
 pub mod container;
 pub mod event;
 pub mod fault;
+pub mod fleet;
 pub mod metrics;
+pub mod node;
 pub mod runtime;
 
 pub use cluster::{AdmissionControl, ClusterConfig, NodeCapacity, OpsEvent};
 pub use container::{ContainerState, LiveContainer};
 pub use event::{Event, EventQueue};
 pub use fault::{FaultInjector, FaultPlan, FaultRates, RetryPolicy};
-pub use metrics::{RequestRecord, RuntimeSummary};
+pub use fleet::{FleetConfig, MigrationConfig};
+pub use metrics::{NodeSummary, RequestRecord, RuntimeSummary};
+pub use node::{NodeFault, NodeFaultKind, NodeFaultPlan, NodeHealth, NodeSpec};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeSession};
 
 /// Milliseconds per simulated minute.

@@ -84,9 +84,63 @@ pub struct RuntimeSummary {
     pub pressure_minutes: u64,
     /// Minute ticks spent with the policy watchdog in its safe fallback.
     pub fallback_minutes: u64,
-    /// Ordered operational log: capacity evictions/downgrades, sheds, and
-    /// watchdog transitions.
+    /// Ordered operational log: capacity evictions/downgrades, sheds,
+    /// watchdog transitions, and — under a fleet — node faults/recoveries
+    /// and migrations.
     pub ops_events: Vec<OpsEvent>,
+    /// Warm-container migrations performed by the fleet rebalancer.
+    pub migrations: u64,
+    /// Total charged migration pause, ms (each migration pauses its
+    /// container for `MigrationConfig::pause_ms`).
+    pub migration_pause_ms: u64,
+    /// Node-crash fault windows that struck.
+    pub node_crashes: u64,
+    /// Node-partition fault windows that struck.
+    pub node_partitions: u64,
+    /// Node-straggler (degraded) fault windows that struck.
+    pub node_stragglers: u64,
+    /// Nodes that healed fully (no fault window covering them anymore).
+    pub node_recoveries: u64,
+    /// In-flight executions aborted by a node crash and re-dispatched
+    /// through the retry ladder (or failed once the budget was spent).
+    pub redispatched_requests: u64,
+    /// Ledger slots evicted because no live node could host the function.
+    pub node_loss_evictions: u64,
+    /// Cold starts that failed outright because no live node could take the
+    /// placement (counted as failed requests).
+    pub placement_failures: u64,
+    /// Arrivals shed by the per-node admission bound (tier 2); also counted
+    /// in [`Self::shed_requests`].
+    pub node_shed_requests: u64,
+    /// Per-node accounting, in node order. Always one entry per fleet node
+    /// (a plain cluster run has exactly one, the implicit `node0`).
+    pub node_summaries: Vec<NodeSummary>,
+}
+
+/// Per-node slice of a fleet run's accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeSummary {
+    /// Node name (from its [`crate::node::NodeSpec`]).
+    pub name: String,
+    /// Keep-alive cost billed for memory held on this node, USD (already
+    /// scaled by the node's price factor).
+    pub keepalive_cost_usd: f64,
+    /// This node's keep-alive memory at each minute tick, MB. Summing these
+    /// across nodes reproduces `RuntimeSummary::memory_at_tick_mb` exactly.
+    pub memory_at_tick_mb: Vec<f64>,
+    /// Minute ticks this node spent crashed or partitioned.
+    pub minutes_down: u64,
+    /// Warm containers migrated onto this node.
+    pub migrations_in: u64,
+    /// Warm containers migrated off this node.
+    pub migrations_out: u64,
+}
+
+impl NodeSummary {
+    /// Peak keep-alive memory billed on this node, MB.
+    pub fn peak_memory_mb(&self) -> f64 {
+        stats::max(&self.memory_at_tick_mb)
+    }
 }
 
 impl RuntimeSummary {

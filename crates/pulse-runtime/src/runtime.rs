@@ -71,7 +71,9 @@ use crate::cluster::{ClusterConfig, OpsEvent};
 use crate::container::{ContainerState, LiveContainer};
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultInjector, FaultPlan};
-use crate::metrics::{RequestRecord, RuntimeSummary};
+use crate::fleet::FleetConfig;
+use crate::metrics::{NodeSummary, RequestRecord, RuntimeSummary};
+use crate::node::{NodeFaultKind, NodeHealth, NodeSpec};
 use crate::MS_PER_MINUTE;
 use pulse_core::global::{flatten_peak, DowngradeAction};
 use pulse_core::priority::PriorityStructure;
@@ -153,11 +155,59 @@ struct FnState {
     waiting: VecDeque<usize>,
     /// In-flight request count (for the concurrency cap).
     in_flight: u32,
+    /// Requests currently executing (so a node crash can abort them).
+    executing: Vec<usize>,
+    /// Node hosting this function's container (index into the fleet).
+    node: usize,
     /// Last minute for which the policy was asked for a schedule.
     scheduled_minute: Option<u64>,
     epoch: u64,
     /// Failed provisioning attempts of the current rung (fault injection).
     provision_attempts: u32,
+}
+
+/// Live per-node state of a fleet run.
+struct NodeRt {
+    spec: NodeSpec,
+    health: NodeHealth,
+    /// Keep-alive cost billed to this node (price-factor scaled), USD.
+    cost_usd: f64,
+    /// This node's billed footprint per minute tick, MB.
+    billed_series: Vec<f64>,
+    /// Ticks spent crashed or partitioned.
+    minutes_down: u64,
+    migrations_in: u64,
+    migrations_out: u64,
+}
+
+impl NodeRt {
+    fn new(spec: NodeSpec) -> Self {
+        Self {
+            spec,
+            health: NodeHealth::Up,
+            cost_usd: 0.0,
+            billed_series: Vec::new(),
+            minutes_down: 0,
+            migrations_in: 0,
+            migrations_out: 0,
+        }
+    }
+
+    /// Combined duration multiplier currently in force on this node.
+    fn time_factor(&self) -> f64 {
+        self.spec.speed_factor * self.health.time_scale()
+    }
+}
+
+/// Scale a sampled duration by a node's time factor. Exactly the identity
+/// when the factor is exactly `1.0` (the nominal-node fast path the 1-node
+/// bit-identity contract relies on).
+fn scale_ms(ms: u64, factor: f64) -> u64 {
+    if factor.to_bits() == 1.0f64.to_bits() {
+        ms
+    } else {
+        ((ms as f64) * factor).round().max(1.0) as u64
+    }
 }
 
 /// The mutable machinery of one execution: event queue, per-function and
@@ -176,6 +226,10 @@ struct RunState<'a> {
     req_retries: Vec<u32>,
     /// Whether each request reached a terminal state (done or failed).
     req_done: Vec<bool>,
+    /// Execution generation per request: bumped when a node crash aborts the
+    /// in-flight execution, so its already-queued completion is ignored.
+    /// Never bumped outside node-fault runs (bit-identity contract).
+    req_gen: Vec<u64>,
     summary: RuntimeSummary,
     sampler: DurationSampler,
     injector: FaultInjector,
@@ -183,9 +237,12 @@ struct RunState<'a> {
     /// Requests currently waiting across all functions (for provisioning or
     /// a concurrency slot) — the backlog admission control bounds.
     pending: usize,
-    /// Downgrade counts of the capacity enforcer (shields repeat victims,
-    /// exactly as Algorithm 2's priority term does for policy peaks).
-    pressure_priority: PriorityStructure,
+    /// Downgrade counts of the capacity enforcer, one structure per node
+    /// (shields repeat victims, exactly as Algorithm 2's priority term does
+    /// for policy peaks).
+    pressure_priority: Vec<PriorityStructure>,
+    /// Live node state, indexed like `FleetConfig::nodes`.
+    nodes: Vec<NodeRt>,
     /// Arrivals observed since the last minute tick.
     minute_requests: u64,
     /// SLO violations (cold arrivals, terminal failures, sheds) since the
@@ -201,22 +258,129 @@ struct RunState<'a> {
 }
 
 impl RunState<'_> {
+    /// Combined duration multiplier of the node hosting `func`.
+    fn node_time_factor(&self, func: usize) -> f64 {
+        self.nodes[self.fns[func].node].time_factor()
+    }
+
+    /// Can the node currently hosting `func` accept new work?
+    fn node_ok(&self, func: usize) -> bool {
+        self.nodes[self.fns[func].node].health.accepts_work()
+    }
+
+    /// Requests waiting across the functions hosted on `node` (the per-node
+    /// backlog the tier-2 admission bound applies to).
+    fn node_waiting(&self, node: usize) -> usize {
+        self.fns
+            .iter()
+            .filter(|st| st.node == node)
+            .map(|st| st.waiting.len())
+            .sum()
+    }
+
+    /// Place a cold start needing `needed_mb` MB: the live node with the
+    /// best net utility — capacity headroom (after the placement) discounted
+    /// by the node's price and speed factors, ties to the lowest index.
+    /// `None` only when no node accepts work.
+    fn place_for(&self, families: &[ModelFamily], needed_mb: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, node) in self.nodes.iter().enumerate() {
+            if !node.health.accepts_work() {
+                continue;
+            }
+            let headroom = match node.spec.capacity.keepalive_mb {
+                Some(cap) if cap > 0.0 => {
+                    let used = self.node_used_mb(families, k);
+                    ((cap - used - needed_mb) / cap).max(0.0)
+                }
+                Some(_) => 0.0,
+                None => 1.0,
+            };
+            let utility = (1.0 + headroom) / (node.spec.price_factor * node.spec.speed_factor);
+            if best.is_none_or(|(_, bu)| utility > bu) {
+                best = Some((k, utility));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+
+    /// Best live node other than `exclude` with actual room for a
+    /// `needed_mb` container (same net-utility score as
+    /// [`Self::place_for`], but a node that would immediately be over its
+    /// own cap is not a valid migration target — that would just move the
+    /// pressure). `None` when nowhere fits.
+    fn migration_target(
+        &self,
+        families: &[ModelFamily],
+        needed_mb: f64,
+        exclude: usize,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, node) in self.nodes.iter().enumerate() {
+            if k == exclude || !node.health.accepts_work() {
+                continue;
+            }
+            let headroom = match node.spec.capacity.keepalive_mb {
+                Some(cap) if cap > 0.0 => {
+                    let h = (cap - self.node_used_mb(families, k) - needed_mb) / cap;
+                    if h < 0.0 {
+                        continue;
+                    }
+                    h
+                }
+                Some(_) => continue,
+                None => 1.0,
+            };
+            let utility = (1.0 + headroom) / (node.spec.price_factor * node.spec.speed_factor);
+            if best.is_none_or(|(_, bu)| utility > bu) {
+                best = Some((k, utility));
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+
+    /// Total footprint of the live containers currently hosted on `node`,
+    /// MB.
+    fn node_used_mb(&self, families: &[ModelFamily], node: usize) -> f64 {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.node == node)
+            .filter_map(|(f, st)| st.container.as_ref().map(|c| (f, c)))
+            .map(|(f, c)| families[f].variant(c.variant).memory_mb)
+            .sum()
+    }
+
     /// Begin executing `req` on `func`'s warm container, drawing the
     /// execution duration and (under faults) a possible mid-execution crash.
     fn start_exec(&mut self, fam: &ModelFamily, func: usize, req: usize, now: u64) {
         self.fns[func].in_flight += 1;
+        self.fns[func].executing.push(req);
         let mut epoch = 0;
         if let Some(c) = self.fns[func].container.as_mut() {
             c.begin_exec();
             epoch = c.epoch;
         }
         let v = self.req_warm_variant[req];
-        let exec = self.sampler.warm_ms(fam.variant(v));
+        let exec = scale_ms(
+            self.sampler.warm_ms(fam.variant(v)),
+            self.node_time_factor(func),
+        );
+        let gen = self.req_gen[req];
         if self.injector.exec_crashes(func, v) {
             let at = now + self.injector.crash_point_ms(exec);
-            self.queue.push(at, Event::ExecFailed { func, req, epoch });
+            self.queue.push(
+                at,
+                Event::ExecFailed {
+                    func,
+                    req,
+                    epoch,
+                    gen,
+                },
+            );
         } else {
-            self.queue.push(now + exec, Event::ExecDone { func, req });
+            self.queue
+                .push(now + exec, Event::ExecDone { func, req, gen });
         }
     }
 
@@ -231,7 +395,10 @@ impl RunState<'_> {
         now: u64,
         delay_ms: u64,
     ) {
-        let dur = self.sampler.provision_ms(fam.variant(v));
+        let dur = scale_ms(
+            self.sampler.provision_ms(fam.variant(v)),
+            self.node_time_factor(func),
+        );
         let ready = now + delay_ms + dur;
         let st = &mut self.fns[func];
         st.epoch += 1;
@@ -334,9 +501,23 @@ impl RunState<'_> {
     /// A container crashed mid-execution: reap it (unless already
     /// replaced), retry the aborted request with backoff, and re-provision
     /// for any queued requests.
-    fn on_exec_failed(&mut self, fam: &ModelFamily, func: usize, req: usize, epoch: u64, now: u64) {
+    fn on_exec_failed(
+        &mut self,
+        fam: &ModelFamily,
+        func: usize,
+        req: usize,
+        epoch: u64,
+        gen: u64,
+        now: u64,
+    ) {
+        if gen != self.req_gen[req] {
+            return; // aborted by a node crash; the re-dispatch owns it now
+        }
         self.summary.exec_crashes += 1;
         self.fns[func].in_flight = self.fns[func].in_flight.saturating_sub(1);
+        if let Some(pos) = self.fns[func].executing.iter().position(|&r| r == req) {
+            self.fns[func].executing.swap_remove(pos);
+        }
         let same_container = self.fns[func]
             .container
             .as_ref()
@@ -370,10 +551,11 @@ impl RunState<'_> {
     }
 
     /// Re-attempt a crashed request after its backoff.
-    fn on_retry_request(&mut self, fam: &ModelFamily, func: usize, req: usize, now: u64) {
+    fn on_retry_request(&mut self, families: &[ModelFamily], func: usize, req: usize, now: u64) {
         if self.req_done[req] {
             return;
         }
+        let fam = &families[func];
         let warm_variant = self.fns[func]
             .container
             .as_ref()
@@ -398,6 +580,18 @@ impl RunState<'_> {
             }
             (None, false) => {
                 let v = self.req_warm_variant[req];
+                if !self.node_ok(func) {
+                    // The assigned node is down: re-place before
+                    // provisioning, or fail the retry if no node is live.
+                    match self.place_for(families, fam.variant(v).memory_mb) {
+                        Some(k) => self.fns[func].node = k,
+                        None => {
+                            self.summary.placement_failures += 1;
+                            self.fail_request(req, now);
+                            return;
+                        }
+                    }
+                }
                 self.pending += 1;
                 self.fns[func].waiting.push_back(req);
                 self.fns[func].provision_attempts = 0;
@@ -464,7 +658,23 @@ impl Runtime {
         plan: &FaultPlan,
         cluster: &ClusterConfig,
     ) -> RuntimeSummary {
-        let mut session = self.session(policy, plan, *cluster);
+        self.run_with_fleet(policy, plan, &FleetConfig::from_cluster(*cluster))
+    }
+
+    /// Execute the whole trace under `policy` with faults per `plan` on a
+    /// multi-node *fleet*: cold starts placed by net utility across
+    /// heterogeneous nodes, per-node capacity enforcement, warm-container
+    /// migration off pressured nodes, two-tier admission, and deterministic
+    /// node-level faults (see [`crate::fleet`]). With
+    /// [`FleetConfig::from_cluster`] this is bit-identical to
+    /// [`Self::run_with_cluster`].
+    pub fn run_with_fleet(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: &FleetConfig,
+    ) -> RuntimeSummary {
+        let mut session = self.fleet_session(policy, plan, fleet.clone());
         while session.step().is_some() {}
         session.finish()
     }
@@ -497,7 +707,19 @@ impl Runtime {
         cluster: &ClusterConfig,
         sink: &mut dyn TraceSink,
     ) -> RuntimeSummary {
-        let mut session = self.session_traced(policy, plan, *cluster, sink);
+        self.run_with_fleet_traced(policy, plan, &FleetConfig::from_cluster(*cluster), sink)
+    }
+
+    /// [`Self::run_with_fleet`] with a [`TraceSink`] attached (adds node
+    /// lifecycle and migration events to the stream).
+    pub fn run_with_fleet_traced(
+        &self,
+        policy: &mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: &FleetConfig,
+        sink: &mut dyn TraceSink,
+    ) -> RuntimeSummary {
+        let mut session = self.fleet_session_traced(policy, plan, fleet.clone(), sink);
         while session.step().is_some() {}
         session.finish()
     }
@@ -515,7 +737,7 @@ impl Runtime {
         plan: &FaultPlan,
         cluster: ClusterConfig,
     ) -> RuntimeSession<'a> {
-        self.session_impl(policy, plan, cluster, None)
+        self.session_impl(policy, plan, FleetConfig::from_cluster(cluster), None)
     }
 
     /// [`Self::session`] with a [`TraceSink`] attached: every adjust, bill,
@@ -531,16 +753,39 @@ impl Runtime {
         cluster: ClusterConfig,
         sink: &'a mut dyn TraceSink,
     ) -> RuntimeSession<'a> {
-        self.session_impl(policy, plan, cluster, Some(sink))
+        self.session_impl(policy, plan, FleetConfig::from_cluster(cluster), Some(sink))
+    }
+
+    /// [`Self::session`] over a multi-node fleet (see
+    /// [`Self::run_with_fleet`] for the semantics).
+    pub fn fleet_session<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: FleetConfig,
+    ) -> RuntimeSession<'a> {
+        self.session_impl(policy, plan, fleet, None)
+    }
+
+    /// [`Self::fleet_session`] with a [`TraceSink`] attached.
+    pub fn fleet_session_traced<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: FleetConfig,
+        sink: &'a mut dyn TraceSink,
+    ) -> RuntimeSession<'a> {
+        self.session_impl(policy, plan, fleet, Some(sink))
     }
 
     fn session_impl<'a>(
         &'a self,
         policy: &'a mut dyn KeepAlivePolicy,
         plan: &FaultPlan,
-        cluster: ClusterConfig,
+        fleet: FleetConfig,
         sink: Option<&'a mut dyn TraceSink>,
     ) -> RuntimeSession<'a> {
+        assert!(!fleet.nodes.is_empty(), "a fleet needs at least one node");
         let n = self.families.len();
         let minutes = self.trace.minutes() as u64;
         let mut rs = RunState {
@@ -550,6 +795,8 @@ impl Runtime {
                     container: None,
                     waiting: VecDeque::new(),
                     in_flight: 0,
+                    executing: Vec::new(),
+                    node: 0,
                     scheduled_minute: None,
                     epoch: 0,
                     provision_attempts: 0,
@@ -560,12 +807,16 @@ impl Runtime {
             req_warm_variant: Vec::new(),
             req_retries: Vec::new(),
             req_done: Vec::new(),
+            req_gen: Vec::new(),
             summary: RuntimeSummary::default(),
             sampler: DurationSampler::new(self.config.stochastic_seed),
             injector: FaultInjector::new(plan),
             cap: self.config.max_concurrency.unwrap_or(u32::MAX),
             pending: 0,
-            pressure_priority: PriorityStructure::new(n),
+            pressure_priority: (0..fleet.nodes.len())
+                .map(|_| PriorityStructure::new(n))
+                .collect(),
+            nodes: fleet.nodes.iter().cloned().map(NodeRt::new).collect(),
             minute_requests: 0,
             minute_violations: 0,
             last_billed_mb: 0.0,
@@ -578,6 +829,32 @@ impl Runtime {
         for m in 0..minutes {
             rs.queue
                 .push(m * MS_PER_MINUTE, Event::MinuteTick { minute: m });
+        }
+        // Node fault windows (fleet runs only; an empty plan pushes nothing,
+        // preserving event sequence numbers — the bit-identity contract).
+        // Scheduled after the ticks so that at equal timestamps the minute
+        // tick bills first, and before that minute's arrivals.
+        for (i, f) in fleet.node_faults.faults.iter().enumerate() {
+            assert!(
+                f.node < fleet.nodes.len(),
+                "fault targets node {} but the fleet has {} nodes",
+                f.node,
+                fleet.nodes.len()
+            );
+            rs.queue.push(
+                f.at_minute * MS_PER_MINUTE,
+                Event::NodeDown {
+                    node: f.node,
+                    fault: i,
+                },
+            );
+            rs.queue.push(
+                (f.at_minute + f.duration_minutes) * MS_PER_MINUTE,
+                Event::NodeRecovered {
+                    node: f.node,
+                    fault: i,
+                },
+            );
         }
         // Arrivals, spread across each active minute (offset ≥ 1 ms so the
         // tick always precedes them).
@@ -602,6 +879,7 @@ impl Runtime {
                     rs.req_warm_variant.push(0);
                     rs.req_retries.push(0);
                     rs.req_done.push(false);
+                    rs.req_gen.push(0);
                     rs.queue.push(at, Event::Arrival { func: f, req });
                 }
             }
@@ -618,7 +896,7 @@ impl Runtime {
         RuntimeSession {
             rt: self,
             policy,
-            cluster,
+            fleet,
             rs,
             demand_history: Vec::with_capacity(minutes as usize),
             invoked_this_minute: false,
@@ -631,7 +909,7 @@ impl Runtime {
 pub struct RuntimeSession<'a> {
     rt: &'a Runtime,
     policy: &'a mut dyn KeepAlivePolicy,
-    cluster: ClusterConfig,
+    fleet: FleetConfig,
     rs: RunState<'a>,
     demand_history: Vec<f64>,
     invoked_this_minute: bool,
@@ -670,16 +948,26 @@ impl RuntimeSession<'_> {
                 self.rs
                     .on_provision_failed(&self.rt.families[*func], *func, *epoch, now);
             }
-            Event::ExecDone { func, req } => self.on_exec_done(now, *func, *req),
-            Event::ExecFailed { func, req, epoch } => {
+            Event::ExecDone { func, req, gen } => self.on_exec_done(now, *func, *req, *gen),
+            Event::ExecFailed {
+                func,
+                req,
+                epoch,
+                gen,
+            } => {
                 self.rs
-                    .on_exec_failed(&self.rt.families[*func], *func, *req, *epoch, now);
+                    .on_exec_failed(&self.rt.families[*func], *func, *req, *epoch, *gen, now);
             }
             Event::RequestTimeout { func, req } => self.rs.on_timeout(*func, *req, now),
             Event::RetryRequest { func, req } => {
                 self.rs
-                    .on_retry_request(&self.rt.families[*func], *func, *req, now);
+                    .on_retry_request(&self.rt.families, *func, *req, now);
             }
+            Event::NodeDown { node, fault } => self.on_node_down(now, *node, *fault),
+            Event::NodeRecovered { node, fault } => self.on_node_recovered(now, *node, *fault),
+            // A migration pause elapsing is exactly a provisioning attempt
+            // succeeding: warm the container (unless stale) and drain.
+            Event::MigrationDone { func, epoch } => self.on_provision_done(now, *func, *epoch),
         }
         Some((now, event))
     }
@@ -689,13 +977,30 @@ impl RuntimeSession<'_> {
     pub fn finish(self) -> RuntimeSummary {
         let mut summary = self.rs.summary;
         summary.records = self.rs.records;
+        summary.node_summaries = self
+            .rs
+            .nodes
+            .into_iter()
+            .map(|nd| NodeSummary {
+                name: nd.spec.name,
+                keepalive_cost_usd: nd.cost_usd,
+                memory_at_tick_mb: nd.billed_series,
+                minutes_down: nd.minutes_down,
+                migrations_in: nd.migrations_in,
+                migrations_out: nd.migrations_out,
+            })
+            .collect();
         summary
     }
 
-    /// The minute-tick pipeline, in billing-significant order.
+    /// The minute-tick pipeline, in billing-significant order. The two
+    /// fleet stages (node health, rebalance) are no-ops on a single healthy
+    /// node, keeping cluster-compatible runs bit-identical.
     fn on_minute_tick(&mut self, now: u64, minute: u64) {
         self.stage_observe_previous(minute);
         self.stage_adjust(minute);
+        self.stage_node_health(minute);
+        self.stage_rebalance(now, minute);
         self.stage_enforce_capacity(minute);
         self.stage_materialize_and_bill(now, minute);
     }
@@ -777,30 +1082,184 @@ impl RuntimeSession<'_> {
         });
     }
 
-    /// Tick stage 3: node-capacity enforcement — when the post-adjustment
-    /// plan still exceeds the hard cap, flatten the overage with Algorithm
-    /// 2's utility-ordered downgrade loop (lowest `Uv` first; the pressure
-    /// priority structure shields repeat victims across ticks). Applied
-    /// before billing, so the billed footprint can never exceed the cap.
-    fn stage_enforce_capacity(&mut self, minute: u64) {
-        let Some(cap_mb) = self.cluster.capacity.keepalive_mb else {
-            return;
-        };
-        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
-        let mut planned = footprint.alive;
-        let planned_mb = footprint.total_mb;
-        if planned_mb <= cap_mb {
+    /// Tick stage 3 (fleet): account downtime and move scheduled functions
+    /// off nodes that cannot accept work — each is re-placed on the best
+    /// live node, or evicted from the ledger when the whole fleet is down.
+    /// A no-op when every node is up, in particular in every
+    /// cluster-compatible run without node faults.
+    fn stage_node_health(&mut self, minute: u64) {
+        if self
+            .rs
+            .nodes
+            .iter()
+            .all(|nd| matches!(nd.health, NodeHealth::Up))
+        {
             return;
         }
-        self.rs.summary.pressure_minutes += 1;
-        let outcome = flatten_peak(
-            &mut planned,
-            &self.rt.families,
-            &mut self.rs.pressure_priority,
-            planned_mb,
-            cap_mb,
-        );
-        for a in &outcome.actions {
+        for nd in &mut self.rs.nodes {
+            if !nd.health.accepts_work() {
+                nd.minutes_down += 1;
+            }
+        }
+        for f in 0..self.rt.families.len() {
+            if self.rs.node_ok(f) {
+                continue;
+            }
+            let Some(v) = self.rs.ledger.alive_variant_at(f, minute) else {
+                continue;
+            };
+            let mem = self.rt.families[f].variant(v).memory_mb;
+            match self.rs.place_for(&self.rt.families, mem) {
+                Some(k) => self.rs.fns[f].node = k,
+                None => {
+                    self.rs.ledger.apply_eviction(f, minute);
+                    self.rs.summary.node_loss_evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Tick stage 4 (fleet): migrate idle warm containers off nodes whose
+    /// planned keep-alive footprint exceeds their capacity, before the
+    /// pressure enforcer starts downgrading. A migration is a charged pause
+    /// ([`crate::fleet::MigrationConfig::pause_ms`] during which the
+    /// container queues arrivals like a provisioning one) — much cheaper
+    /// than the cold start an eviction would cause. Single-node fleets skip
+    /// this stage entirely.
+    fn stage_rebalance(&mut self, now: u64, minute: u64) {
+        if self.rs.nodes.len() < 2 {
+            return;
+        }
+        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
+        let pause = self.fleet.migration.pause_ms;
+        for k in 0..self.rs.nodes.len() {
+            let Some(cap) = self.rs.nodes[k].spec.capacity.keepalive_mb else {
+                continue;
+            };
+            let on_node: Vec<(usize, VariantId)> = footprint
+                .alive
+                .iter()
+                .filter(|a| self.rs.fns[a.func].node == k)
+                .map(|a| (a.func, a.variant))
+                .collect();
+            let mut planned: f64 = on_node
+                .iter()
+                .map(|&(f, v)| self.rt.families[f].variant(v).memory_mb)
+                .sum();
+            if planned <= cap {
+                continue;
+            }
+            for (f, v) in on_node {
+                if planned <= cap {
+                    break;
+                }
+                // Only idle warm containers move: in-flight work and queued
+                // requests pin a container to its node.
+                let movable = self.rs.fns[f]
+                    .container
+                    .as_ref()
+                    .is_some_and(|c| c.is_warm() && c.busy == 0)
+                    && self.rs.fns[f].waiting.is_empty();
+                if !movable {
+                    continue;
+                }
+                let mem = self.rt.families[f].variant(v).memory_mb;
+                let Some(to) = self.rs.migration_target(&self.rt.families, mem, k) else {
+                    continue;
+                };
+                let st = &mut self.rs.fns[f];
+                st.node = to;
+                st.epoch += 1;
+                let epoch = st.epoch;
+                if let Some(c) = st.container.as_mut() {
+                    c.state = ContainerState::Provisioning;
+                    c.epoch = epoch;
+                }
+                self.rs
+                    .queue
+                    .push(now + pause, Event::MigrationDone { func: f, epoch });
+                planned -= mem;
+                self.rs.summary.migrations += 1;
+                self.rs.summary.migration_pause_ms += pause;
+                self.rs.nodes[k].migrations_out += 1;
+                self.rs.nodes[to].migrations_in += 1;
+                self.rs.summary.ops_events.push(OpsEvent::Migrated {
+                    minute,
+                    func: f,
+                    from_node: k,
+                    to_node: to,
+                });
+                emit(&mut self.rs.sink, || ObsEvent::Migrate {
+                    minute,
+                    func: f,
+                    from_node: k,
+                    to_node: to,
+                });
+            }
+        }
+    }
+
+    /// Tick stage 5: per-node capacity enforcement — when a node's
+    /// post-adjustment plan still exceeds its hard cap, flatten the overage
+    /// with Algorithm 2's utility-ordered downgrade loop (lowest `Uv`
+    /// first; each node's pressure priority structure shields repeat
+    /// victims across ticks). Applied before billing, so no node's billed
+    /// footprint can exceed its cap.
+    fn stage_enforce_capacity(&mut self, minute: u64) {
+        if self
+            .rs
+            .nodes
+            .iter()
+            .all(|nd| nd.spec.capacity.keepalive_mb.is_none())
+        {
+            return;
+        }
+        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
+        let mut pressured = false;
+        // Nodes partition functions, so flattening node k's plan never
+        // touches a model counted for node k+1 — the shared footprint
+        // snapshot stays valid across the loop.
+        for k in 0..self.rs.nodes.len() {
+            let Some(cap_mb) = self.rs.nodes[k].spec.capacity.keepalive_mb else {
+                continue;
+            };
+            let mut planned: Vec<_> = footprint
+                .alive
+                .iter()
+                .filter(|a| self.rs.fns[a.func].node == k)
+                .cloned()
+                .collect();
+            // The whole-fleet case reuses the footprint's own sum so a
+            // 1-node fleet stays bitwise identical to the cluster path.
+            let planned_mb = if planned.len() == footprint.alive.len() {
+                footprint.total_mb
+            } else {
+                planned
+                    .iter()
+                    .map(|a| self.rt.families[a.func].variant(a.variant).memory_mb)
+                    .sum()
+            };
+            if planned_mb <= cap_mb {
+                continue;
+            }
+            pressured = true;
+            let outcome = flatten_peak(
+                &mut planned,
+                &self.rt.families,
+                &mut self.rs.pressure_priority[k],
+                planned_mb,
+                cap_mb,
+            );
+            self.apply_pressure_actions(minute, &outcome.actions);
+        }
+        if pressured {
+            self.rs.summary.pressure_minutes += 1;
+        }
+    }
+
+    /// Record and apply one node's pressure-flattening actions.
+    fn apply_pressure_actions(&mut self, minute: u64, actions: &[DowngradeAction]) {
+        for a in actions {
             let moved = self.rs.ledger.apply_action(minute, a);
             match *a {
                 DowngradeAction::Downgrade { func, from, to } => {
@@ -841,17 +1300,19 @@ impl RuntimeSession<'_> {
         }
     }
 
-    /// Tick stage 4: materialize containers per the post-adjustment plan
-    /// and bill the minute. Billing is schedule-driven: fault outcomes below
-    /// never change what this minute costs.
+    /// Tick stage 6: materialize containers per the post-adjustment plan
+    /// and bill the minute, per node (each node's footprint priced by its
+    /// own price factor). Billing is schedule-driven: fault outcomes below
+    /// never change what this minute costs. With one nominal node the sums
+    /// collapse bitwise to the single-node cluster accounting.
     #[allow(clippy::needless_range_loop)] // parallel per-function tables
     fn stage_materialize_and_bill(&mut self, now: u64, minute: u64) {
         let rs = &mut self.rs;
-        let mut billed = 0.0f64;
+        let mut billed_node = vec![0.0f64; rs.nodes.len()];
         for f in 0..self.rt.families.len() {
             let desired = rs.ledger.alive_variant_at(f, minute);
             if let Some(v) = desired {
-                billed += self.rt.families[f].variant(v).memory_mb;
+                billed_node[rs.fns[f].node] += self.rt.families[f].variant(v).memory_mb;
             }
             let held = rs.fns[f]
                 .container
@@ -894,11 +1355,23 @@ impl RuntimeSession<'_> {
                 (None, None) => {}
             }
         }
-        let minute_cost = self
-            .rt
-            .config
-            .cost
-            .keepalive_cost_usd_per_minutes(billed, 1.0);
+        let mut billed = 0.0f64;
+        let mut minute_cost = 0.0f64;
+        for (k, nd) in rs.nodes.iter_mut().enumerate() {
+            billed += billed_node[k];
+            // Multiplying by the price factor is exact (IEEE) so the
+            // nominal factor of 1.0 cannot perturb the cluster-compatible
+            // cost stream.
+            let node_cost = self
+                .rt
+                .config
+                .cost
+                .keepalive_cost_usd_per_minutes(billed_node[k], 1.0)
+                * nd.spec.price_factor;
+            nd.cost_usd += node_cost;
+            nd.billed_series.push(billed_node[k]);
+            minute_cost += node_cost;
+        }
         rs.summary.keepalive_cost_usd += minute_cost;
         rs.summary.memory_at_tick_mb.push(billed);
         rs.last_billed_mb = billed;
@@ -923,14 +1396,30 @@ impl RuntimeSession<'_> {
             .as_ref()
             .map(|c| (c.is_warm(), c.variant));
 
-        // Admission control: an arrival that cannot start executing
-        // immediately joins the pending backlog; once the backlog is full it
-        // is shed at the front door — no schedule refresh, no provisioning,
-        // the policy never hears about it.
-        if let Some(max_pending) = self.cluster.admission.max_pending {
-            let starts_now = matches!(held, Some((true, _))) && rs.fns[func].in_flight < rs.cap;
+        // Admission control, tier 1 (global front door): an arrival that
+        // cannot start executing immediately joins the pending backlog; once
+        // the backlog is full it is shed — no schedule refresh, no
+        // provisioning, the policy never hears about it.
+        let starts_now = matches!(held, Some((true, _))) && rs.fns[func].in_flight < rs.cap;
+        if let Some(max_pending) = self.fleet.admission.max_pending {
             if !starts_now && rs.pending >= max_pending {
                 rs.summary.shed_requests += 1;
+                rs.summary.ops_events.push(OpsEvent::Overloaded {
+                    at_ms: now,
+                    func,
+                    req,
+                });
+                emit(&mut rs.sink, || ObsEvent::Shed { at_ms: now, func });
+                rs.fail_request(req, now);
+                return;
+            }
+        }
+        // Admission control, tier 2 (per-node backlog): the bound applies to
+        // the node currently hosting the function, keeping one pressured
+        // node's queue from absorbing the whole fleet's arrivals.
+        if let Some(max_node) = self.fleet.node_admission {
+            if !starts_now && rs.node_waiting(rs.fns[func].node) >= max_node {
+                rs.summary.node_shed_requests += 1;
                 rs.summary.ops_events.push(OpsEvent::Overloaded {
                     at_ms: now,
                     func,
@@ -977,6 +1466,19 @@ impl RuntimeSession<'_> {
                 rs.records[req].warm = false;
                 rs.records[req].accuracy_pct = fam.variant(v).accuracy_pct;
                 rs.req_warm_variant[req] = v;
+                // Fleet placement: pick the host before provisioning. A
+                // single always-up node resolves to node 0 without running
+                // the placer, so cluster-compatible runs never touch it.
+                if rs.nodes.len() > 1 || !rs.node_ok(func) {
+                    match rs.place_for(&self.rt.families, fam.variant(v).memory_mb) {
+                        Some(k) => rs.fns[func].node = k,
+                        None => {
+                            rs.summary.placement_failures += 1;
+                            rs.fail_request(req, now);
+                            return;
+                        }
+                    }
+                }
                 rs.fns[func].provision_attempts = 0;
                 rs.begin_provision(fam, func, v, now, 0);
                 rs.pending += 1;
@@ -1021,19 +1523,148 @@ impl RuntimeSession<'_> {
     }
 
     /// An execution finished: record it, free the slot, start waiting work.
-    fn on_exec_done(&mut self, now: u64, func: usize, req: usize) {
+    /// Completions whose generation was bumped by a node crash are stale —
+    /// the re-dispatch owns the request now.
+    fn on_exec_done(&mut self, now: u64, func: usize, req: usize, gen: u64) {
         let rs = &mut self.rs;
+        if gen != rs.req_gen[req] {
+            return;
+        }
         if !rs.req_done[req] {
             rs.records[req].done_ms = now;
             rs.req_done[req] = true;
         }
         rs.fns[func].in_flight -= 1;
+        if let Some(pos) = rs.fns[func].executing.iter().position(|&r| r == req) {
+            rs.fns[func].executing.swap_remove(pos);
+        }
         if let Some(c) = rs.fns[func].container.as_mut() {
             if c.busy > 0 {
                 c.end_exec();
             }
         }
         rs.drain_waiting(&self.rt.families[func], func, now);
+    }
+
+    /// A node-level fault window opened. Health is recomputed from the
+    /// whole plan (overlap precedence: crash > partition > straggler). A
+    /// crash reaps the node's containers and aborts its in-flight
+    /// executions (each re-dispatched through the retry ladder); a
+    /// partition drops the containers but lets in-flight executions finish;
+    /// a straggler only stretches durations drawn from now on.
+    fn on_node_down(&mut self, now: u64, node: usize, fault: usize) {
+        let minute = now / MS_PER_MINUTE;
+        let kind = self.fleet.node_faults.faults[fault].kind;
+        match kind {
+            NodeFaultKind::Crash => self.rs.summary.node_crashes += 1,
+            NodeFaultKind::Partition => self.rs.summary.node_partitions += 1,
+            NodeFaultKind::Degraded { .. } => self.rs.summary.node_stragglers += 1,
+        }
+        self.rs.nodes[node].health =
+            NodeHealth::from_active(self.fleet.node_faults.active_kind(node, minute));
+        self.rs
+            .summary
+            .ops_events
+            .push(OpsEvent::NodeDown { minute, node, kind });
+        emit(&mut self.rs.sink, || ObsEvent::NodeDown {
+            minute,
+            node,
+            kind: obs_fault_class(kind),
+        });
+        match kind {
+            NodeFaultKind::Degraded { .. } => {}
+            NodeFaultKind::Crash => self.evacuate_node(now, node, true),
+            NodeFaultKind::Partition => self.evacuate_node(now, node, false),
+        }
+    }
+
+    /// Strip a lost node of its containers. With `abort_in_flight` (crash)
+    /// the node's executing requests are aborted and re-dispatched; without
+    /// it (partition) they run to completion. Queued requests are re-placed
+    /// behind a fresh cold start on the best live node, or failed when the
+    /// whole fleet is down.
+    fn evacuate_node(&mut self, now: u64, node: usize, abort_in_flight: bool) {
+        for f in 0..self.rt.families.len() {
+            if self.rs.fns[f].node != node {
+                continue;
+            }
+            // The container is gone either way; pending ProvisionDone /
+            // MigrationDone events for it are neutralized by the
+            // container-is-none staleness checks.
+            self.rs.fns[f].container = None;
+            if abort_in_flight {
+                let aborted = std::mem::take(&mut self.rs.fns[f].executing);
+                self.rs.fns[f].in_flight = 0;
+                for r in aborted {
+                    self.rs.req_gen[r] += 1; // the queued completion is now stale
+                    if self.rs.req_done[r] {
+                        continue;
+                    }
+                    self.rs.summary.redispatched_requests += 1;
+                    self.rs.req_retries[r] += 1;
+                    if self.rs.req_retries[r] <= self.rs.injector.plan().retry.max_retries {
+                        self.rs.summary.request_retries += 1;
+                        let backoff = self.rs.injector.backoff_ms(self.rs.req_retries[r]);
+                        self.rs
+                            .queue
+                            .push(now + backoff, Event::RetryRequest { func: f, req: r });
+                    } else {
+                        self.rs.fail_request(r, now);
+                    }
+                }
+            }
+            if self.rs.fns[f].waiting.is_empty() {
+                continue;
+            }
+            let front = *self.rs.fns[f].waiting.front().expect("checked non-empty");
+            let v = self.rs.req_warm_variant[front];
+            let mem = self.rt.families[f].variant(v).memory_mb;
+            match self.rs.place_for(&self.rt.families, mem) {
+                Some(k) => {
+                    self.rs.fns[f].node = k;
+                    self.rs.fns[f].provision_attempts = 0;
+                    self.rs.begin_provision(&self.rt.families[f], f, v, now, 0);
+                }
+                None => {
+                    self.rs.summary.placement_failures += 1;
+                    while let Some(r) = self.rs.fns[f].waiting.pop_front() {
+                        self.rs.pending -= 1;
+                        self.rs.fail_request(r, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A node-level fault window closed: recompute health from the plan
+    /// (overlapping windows may keep the node impaired) and log the
+    /// recovery only on a transition back to fully up.
+    fn on_node_recovered(&mut self, now: u64, node: usize, _fault: usize) {
+        let minute = now / MS_PER_MINUTE;
+        let was_up = matches!(self.rs.nodes[node].health, NodeHealth::Up);
+        let health = NodeHealth::from_active(self.fleet.node_faults.active_kind(node, minute));
+        self.rs.nodes[node].health = health;
+        if !was_up && matches!(health, NodeHealth::Up) {
+            self.rs.summary.node_recoveries += 1;
+            self.rs
+                .summary
+                .ops_events
+                .push(OpsEvent::NodeRecovered { minute, node });
+            emit(&mut self.rs.sink, || ObsEvent::NodeRecovered {
+                minute,
+                node,
+            });
+        }
+    }
+}
+
+/// Map the runtime's fault kind onto the observability taxonomy (pulse-obs
+/// cannot depend on this crate).
+fn obs_fault_class(kind: NodeFaultKind) -> pulse_obs::NodeFaultClass {
+    match kind {
+        NodeFaultKind::Crash => pulse_obs::NodeFaultClass::Crash,
+        NodeFaultKind::Degraded { .. } => pulse_obs::NodeFaultClass::Straggler,
+        NodeFaultKind::Partition => pulse_obs::NodeFaultClass::Partition,
     }
 }
 

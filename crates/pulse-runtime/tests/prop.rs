@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use pulse_runtime::{
-    ClusterConfig, FaultInjector, FaultPlan, NodeCapacity, Runtime, RuntimeConfig,
+    ClusterConfig, FaultInjector, FaultPlan, FleetConfig, NodeCapacity, NodeFault, NodeFaultKind,
+    NodeFaultPlan, Runtime, RuntimeConfig,
 };
 use pulse_sim::assignment::round_robin_assignment;
 use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
@@ -25,6 +26,37 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                     .collect(),
             )
         })
+    })
+}
+
+/// An arbitrary node-fault plan against an `n_nodes`-node fleet: up to six
+/// windows of crashes, partitions, and stragglers at arbitrary minutes, with
+/// arbitrary (possibly overlapping) durations.
+fn arb_node_fault_plan(n_nodes: usize, minutes: u64) -> impl Strategy<Value = NodeFaultPlan> {
+    proptest::collection::vec((0..n_nodes, 0u8..3, 0..minutes.max(1), 1u64..10), 0..6).prop_map(
+        |windows| NodeFaultPlan {
+            faults: windows
+                .into_iter()
+                .map(|(node, kind, at_minute, duration_minutes)| NodeFault {
+                    node,
+                    kind: match kind {
+                        0 => NodeFaultKind::Crash,
+                        1 => NodeFaultKind::Partition,
+                        _ => NodeFaultKind::Degraded { slowdown: 3.0 },
+                    },
+                    at_minute,
+                    duration_minutes,
+                })
+                .collect(),
+        },
+    )
+}
+
+/// A workload plus a node-fault plan whose windows fall inside its horizon.
+fn arb_faulted_fleet_trace() -> impl Strategy<Value = (Trace, NodeFaultPlan)> {
+    arb_trace().prop_flat_map(|trace| {
+        let minutes = trace.minutes() as u64;
+        (Just(trace), arb_node_fault_plan(3, minutes))
     })
 }
 
@@ -176,5 +208,147 @@ proptest! {
                 t, mb, cap
             );
         }
+    }
+
+    /// Per-node capacity enforcement survives arbitrary node-fault plans:
+    /// no node ever bills over its own cap, the fleet never bills over the
+    /// sum of the caps, and the fleet-wide memory series is exactly the sum
+    /// of the per-node series (containers are conserved — a migrated
+    /// container is never billed on two nodes, and warm state is never
+    /// silently dropped from the ledger).
+    #[test]
+    fn fleet_keepalive_respects_node_caps_under_any_fault_plan(
+        (trace, node_faults) in arb_faulted_fleet_trace(),
+        cap_frac in 0.1f64..0.9,
+        use_pulse in 0u8..2,
+    ) {
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let cap = all_high * cap_frac;
+        let fleet = FleetConfig::uniform(3, NodeCapacity::mb(cap))
+            .with_node_faults(node_faults);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let mut fixed;
+        let mut pulse;
+        let policy: &mut dyn pulse_sim::KeepAlivePolicy = if use_pulse == 1 {
+            pulse = PulsePolicy::new(fams.clone(), Default::default());
+            &mut pulse
+        } else {
+            fixed = OpenWhiskFixed::new(&fams);
+            &mut fixed
+        };
+        let s = rt.run_with_fleet(policy, &FaultPlan::none(), &fleet);
+        prop_assert_eq!(s.node_summaries.len(), 3);
+        for n in &s.node_summaries {
+            prop_assert_eq!(n.memory_at_tick_mb.len(), s.memory_at_tick_mb.len());
+            for (t, &mb) in n.memory_at_tick_mb.iter().enumerate() {
+                prop_assert!(
+                    mb <= cap + 1e-9,
+                    "node {} minute {}: {} MB over its {} MB cap",
+                    &n.name, t, mb, cap
+                );
+            }
+        }
+        for (t, &mb) in s.memory_at_tick_mb.iter().enumerate() {
+            prop_assert!(
+                mb <= 3.0 * cap + 1e-9,
+                "minute {}: fleet kept {} MB alive over the {} MB cap sum",
+                t, mb, 3.0 * cap
+            );
+            let node_sum: f64 = s
+                .node_summaries
+                .iter()
+                .map(|n| n.memory_at_tick_mb[t])
+                .sum();
+            prop_assert_eq!(
+                mb.to_bits(), node_sum.to_bits(),
+                "minute {}: fleet series {} != per-node sum {}",
+                t, mb, node_sum
+            );
+        }
+    }
+
+    /// Under arbitrary node faults (with request-level faults layered on
+    /// top) every request still reaches a terminal state, migration flows
+    /// balance exactly (every container that left a node arrived at
+    /// another), and the fleet bill is the sum of the per-node bills.
+    #[test]
+    fn node_faults_never_strand_requests_and_migrations_balance(
+        (trace, node_faults) in arb_faulted_fleet_trace(),
+        cap_frac in 0.2f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+        let total = trace.total_invocations();
+        let fleet = FleetConfig::uniform(3, NodeCapacity::mb(all_high * cap_frac))
+            .with_node_faults(node_faults);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let plan = FaultPlan::uniform(0.05, 0.02, 0.02, seed);
+        let s = rt.run_with_fleet(&mut OpenWhiskFixed::new(&fams), &plan, &fleet);
+        prop_assert_eq!(s.requests(), total);
+        prop_assert_eq!(s.records.len() as u64, total);
+        for rec in &s.records {
+            prop_assert!(rec.done_ms >= rec.arrival_ms);
+        }
+        let inflow: u64 = s.node_summaries.iter().map(|n| n.migrations_in).sum();
+        let outflow: u64 = s.node_summaries.iter().map(|n| n.migrations_out).sum();
+        prop_assert_eq!(inflow, s.migrations, "inflow != migration count");
+        prop_assert_eq!(outflow, s.migrations, "outflow != migration count");
+        let node_cost: f64 = s
+            .node_summaries
+            .iter()
+            .map(|n| n.keepalive_cost_usd)
+            .sum();
+        prop_assert!(
+            (s.keepalive_cost_usd - node_cost).abs()
+                <= 1e-9 * (1.0 + s.keepalive_cost_usd.abs()),
+            "fleet bill {} != per-node sum {}",
+            s.keepalive_cost_usd, node_cost
+        );
+    }
+
+    /// Spreading an unconstrained workload across more identical unlimited
+    /// nodes changes nothing: the global placer keeps the plan where it was
+    /// and the run is bit-identical to the classic single-node cluster.
+    #[test]
+    fn unlimited_homogeneous_fleet_is_bitwise_transparent(
+        trace in arb_trace(),
+        n_nodes in 1usize..5,
+    ) {
+        let fams = round_robin_assignment(
+            &pulse_models::zoo::standard(),
+            trace.n_functions(),
+        );
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let base = rt.run_with_cluster(
+            &mut OpenWhiskFixed::new(&fams),
+            &FaultPlan::none(),
+            &ClusterConfig::unlimited(),
+        );
+        let fleet = FleetConfig::uniform(n_nodes, NodeCapacity::unlimited());
+        let f = rt.run_with_fleet(
+            &mut OpenWhiskFixed::new(&fams),
+            &FaultPlan::none(),
+            &fleet,
+        );
+        prop_assert_eq!(base.warm_starts(), f.warm_starts());
+        prop_assert_eq!(base.cold_starts(), f.cold_starts());
+        prop_assert_eq!(base.requests(), f.requests());
+        prop_assert_eq!(
+            base.keepalive_cost_usd.to_bits(),
+            f.keepalive_cost_usd.to_bits()
+        );
+        for (a, b) in base.memory_at_tick_mb.iter().zip(&f.memory_at_tick_mb) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(f.migrations, 0);
+        prop_assert_eq!(f.placement_failures, 0);
     }
 }

@@ -66,8 +66,9 @@ pub mod prelude {
         CounterRegistry, HistogramRegistry, JsonlSink, MemorySink, NullSink, ObsEvent, TraceSink,
     };
     pub use pulse_runtime::{
-        AdmissionControl, ClusterConfig, FaultPlan, FaultRates, NodeCapacity, OpsEvent,
-        RetryPolicy, Runtime, RuntimeConfig,
+        AdmissionControl, ClusterConfig, FaultPlan, FaultRates, FleetConfig, MigrationConfig,
+        NodeCapacity, NodeFault, NodeFaultKind, NodeFaultPlan, NodeHealth, NodeSpec, NodeSummary,
+        OpsEvent, RetryPolicy, Runtime, RuntimeConfig,
     };
     pub use pulse_sim::policies::{
         FixedVariant, IdealOracle, IntelligentOracle, OpenWhiskFixed, PulsePolicy, RandomMix,

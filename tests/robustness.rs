@@ -550,6 +550,18 @@ fn assert_summaries_bit_identical(
     assert_eq!(a.pressure_downgrades, b.pressure_downgrades, "{name}");
     assert_eq!(a.pressure_minutes, b.pressure_minutes, "{name}");
     assert_eq!(a.fallback_minutes, b.fallback_minutes, "{name}");
+    // Fleet counters and the per-node breakdown.
+    assert_eq!(a.migrations, b.migrations, "{name}");
+    assert_eq!(a.migration_pause_ms, b.migration_pause_ms, "{name}");
+    assert_eq!(a.node_crashes, b.node_crashes, "{name}");
+    assert_eq!(a.node_partitions, b.node_partitions, "{name}");
+    assert_eq!(a.node_stragglers, b.node_stragglers, "{name}");
+    assert_eq!(a.node_recoveries, b.node_recoveries, "{name}");
+    assert_eq!(a.redispatched_requests, b.redispatched_requests, "{name}");
+    assert_eq!(a.node_loss_evictions, b.node_loss_evictions, "{name}");
+    assert_eq!(a.placement_failures, b.placement_failures, "{name}");
+    assert_eq!(a.node_shed_requests, b.node_shed_requests, "{name}");
+    assert_eq!(a.node_summaries, b.node_summaries, "{name}");
 }
 
 #[test]
@@ -651,6 +663,318 @@ fn null_sink_cluster_run_is_bit_identical_for_every_policy() {
         let traced = rt.run_with_cluster_traced(make().as_mut(), &plan, &cluster, &mut NullSink);
         assert_summaries_bit_identical(name, &plain, &traced);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level fault tolerance (the `pulse::runtime::fleet` layer).
+//
+// CI's fleet job re-runs these under several seeds via PULSE_CHAOS_SEED.
+// ---------------------------------------------------------------------------
+
+/// The smallest cold-start duration any zoo variant can draw (deterministic
+/// sampling); migrations must beat this to be worth anything.
+fn min_cold_ms(fams: &[ModelFamily]) -> u64 {
+    fams.iter()
+        .flat_map(|f| (0..=f.highest_id()).map(|v| (f.variant(v).cold_start_s * 1000.0) as u64))
+        .min()
+        .unwrap_or(0)
+}
+
+#[test]
+fn single_node_fleet_is_bitwise_identical_to_cluster_for_every_policy() {
+    use pulse::runtime::{
+        AdmissionControl, ClusterConfig, FaultPlan, FleetConfig, NodeCapacity, Runtime,
+        RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // A binding cluster (pressure + sheds) plus request-level faults: the
+    // fleet generalization must collapse to the cluster path exactly when
+    // given one nominal node and no node faults.
+    let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    let cluster = ClusterConfig {
+        capacity: NodeCapacity::mb(all_high * 0.3),
+        admission: AdmissionControl::bounded(16),
+    };
+    let plan = FaultPlan::uniform(0.1, 0.05, 0.02, seed);
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let via_cluster = rt.run_with_cluster(make().as_mut(), &plan, &cluster);
+        let via_fleet =
+            rt.run_with_fleet(make().as_mut(), &plan, &FleetConfig::from_cluster(cluster));
+        assert_summaries_bit_identical(name, &via_cluster, &via_fleet);
+        // The single node absorbs the whole fleet accounting.
+        assert_eq!(via_fleet.node_summaries.len(), 1, "{name}");
+        let n0 = &via_fleet.node_summaries[0];
+        assert_eq!(
+            n0.keepalive_cost_usd.to_bits(),
+            via_fleet.keepalive_cost_usd.to_bits(),
+            "{name}: node cost must equal total cost"
+        );
+        let node_mem: Vec<u64> = n0.memory_at_tick_mb.iter().map(|m| m.to_bits()).collect();
+        let total_mem: Vec<u64> = via_fleet
+            .memory_at_tick_mb
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(node_mem, total_mem, "{name}: node series must equal total");
+        assert_eq!(n0.minutes_down, 0, "{name}");
+        assert_eq!(via_fleet.migrations, 0, "{name}");
+        assert_eq!(via_fleet.node_crashes, 0, "{name}");
+        assert_eq!(via_fleet.redispatched_requests, 0, "{name}");
+        assert_eq!(via_fleet.placement_failures, 0, "{name}");
+    }
+}
+
+#[test]
+fn idle_unlimited_extra_nodes_are_bitwise_transparent() {
+    use pulse::runtime::{FaultPlan, FleetConfig, NodeCapacity, Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 150);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // With every node unlimited and nominal, the placer always resolves to
+    // node 0 (strictly-better-or-first-wins) — so extra empty nodes must
+    // not move a single bit of the accounting.
+    let fleet = FleetConfig::uniform(3, NodeCapacity::unlimited());
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let single = rt.run_with_faults(make().as_mut(), &FaultPlan::none());
+        let spread = rt.run_with_fleet(make().as_mut(), &FaultPlan::none(), &fleet);
+        assert_eq!(single.records, spread.records, "{name}: records diverged");
+        assert_eq!(
+            single.keepalive_cost_usd.to_bits(),
+            spread.keepalive_cost_usd.to_bits(),
+            "{name}: cost not bitwise equal"
+        );
+        assert_eq!(spread.node_summaries.len(), 3, "{name}");
+        for idle in &spread.node_summaries[1..] {
+            assert_eq!(idle.keepalive_cost_usd, 0.0, "{name}: idle node billed");
+            assert!(
+                idle.memory_at_tick_mb.iter().all(|&m| m == 0.0),
+                "{name}: idle node held memory"
+            );
+        }
+    }
+}
+
+#[test]
+fn rolling_node_failures_keep_every_policy_available() {
+    use pulse::runtime::{
+        FaultPlan, FleetConfig, NodeCapacity, NodeFaultPlan, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 240);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // Three capped nodes, one crashing at a time on a rolling schedule: the
+    // survivors absorb the displaced functions (pushing them near their
+    // caps), and the healed node takes migrations back.
+    let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    let fleet = FleetConfig::uniform(3, NodeCapacity::mb(all_high * 0.45))
+        .with_node_faults(NodeFaultPlan::rolling_crashes(3, 10, 6, 30, 240));
+    let cheap_bar = min_cold_ms(&fams);
+    let mut total_migrations = 0u64;
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let s = rt.run_with_fleet(make().as_mut(), &FaultPlan::none(), &fleet);
+        assert_eq!(s.requests(), trace.total_invocations(), "{name}");
+        assert!(
+            s.availability() >= 0.99,
+            "{name}: availability {} under rolling crashes",
+            s.availability()
+        );
+        assert!(s.node_crashes > 0, "{name}: plan must actually fire");
+        assert!(s.node_recoveries > 0, "{name}");
+        let down: u64 = s.node_summaries.iter().map(|n| n.minutes_down).sum();
+        assert!(down > 0, "{name}: downtime must be accounted");
+        // Migration bookkeeping balances, and the total pause charged is
+        // strictly cheaper than cold-starting the same containers.
+        let inflow: u64 = s.node_summaries.iter().map(|n| n.migrations_in).sum();
+        let outflow: u64 = s.node_summaries.iter().map(|n| n.migrations_out).sum();
+        assert_eq!(inflow, s.migrations, "{name}");
+        assert_eq!(outflow, s.migrations, "{name}");
+        assert!(
+            s.migration_pause_ms < (s.migrations + 1) * cheap_bar,
+            "{name}: migrations must be cheaper than cold starts"
+        );
+        total_migrations += s.migrations;
+    }
+    assert!(
+        total_migrations > 0,
+        "rolling crashes over capped nodes must trigger migrations"
+    );
+}
+
+#[test]
+fn correlated_outage_fails_over_or_fails_loud() {
+    use pulse::runtime::{
+        FaultPlan, FleetConfig, NodeCapacity, NodeFaultPlan, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 120);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // Two of three nodes partition simultaneously (an AZ outage): the
+    // survivor carries everything; with the whole fleet partitioned the
+    // failure must be loud (placement failures), never a hang.
+    let fleet = FleetConfig::uniform(3, NodeCapacity::unlimited())
+        .with_node_faults(NodeFaultPlan::correlated_outage(&[0, 1], 30, 20));
+    let s = rt.run_with_fleet(
+        &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+        &FaultPlan::none(),
+        &fleet,
+    );
+    assert_eq!(s.requests(), trace.total_invocations());
+    assert_eq!(s.node_partitions, 2);
+    assert!(
+        s.availability() >= 0.99,
+        "one node survived: {availability}",
+        availability = s.availability()
+    );
+    // Every request reached a terminal state (no lost work).
+    for r in &s.records {
+        assert!(r.done_ms >= r.arrival_ms);
+    }
+
+    let all_down = FleetConfig::uniform(2, NodeCapacity::unlimited())
+        .with_node_faults(NodeFaultPlan::correlated_outage(&[0, 1], 30, 20));
+    let dark = rt.run_with_fleet(
+        &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+        &FaultPlan::none(),
+        &all_down,
+    );
+    assert!(
+        dark.placement_failures > 0,
+        "a fully dark fleet must fail placements loudly"
+    );
+    assert!(dark.failed_requests() > 0);
+    for r in &dark.records {
+        assert!(r.done_ms >= r.arrival_ms, "no request may be left hanging");
+    }
+}
+
+#[test]
+fn stragglers_slow_requests_but_fail_nothing() {
+    use pulse::runtime::{
+        FaultPlan, FleetConfig, NodeCapacity, NodeFaultPlan, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 120);
+    let fams = zoo12();
+    let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+    let slow = FleetConfig::uniform(1, NodeCapacity::unlimited())
+        .with_node_faults(NodeFaultPlan::stragglers(1, 5, 110, 1000, 4.0, 120));
+    let s = rt.run_with_fleet(&mut OpenWhiskFixed::new(&fams), &FaultPlan::none(), &slow);
+    let clean = rt.run(&mut OpenWhiskFixed::new(&fams));
+    assert_eq!(s.node_stragglers, 1);
+    assert_eq!(s.failed_requests(), 0, "slow is not broken");
+    assert_eq!(s.requests(), clean.requests());
+    assert!(
+        s.latency_p99_ms() > clean.latency_p99_ms(),
+        "a 4x straggler must show up in the tail: {} vs {}",
+        s.latency_p99_ms(),
+        clean.latency_p99_ms()
+    );
+    // Billing is schedule-driven: stragglers never change cost.
+    assert_eq!(
+        s.keepalive_cost_usd.to_bits(),
+        clean.keepalive_cost_usd.to_bits()
+    );
+}
+
+#[test]
+fn null_sink_fleet_run_is_bit_identical_for_every_policy() {
+    use pulse::runtime::{
+        FaultPlan, FleetConfig, NodeCapacity, NodeFaultPlan, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // Node faults, migrations and request-level faults all firing: the sink
+    // hook sits on every new fleet path and must not perturb any of them.
+    let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    let fleet = FleetConfig::uniform(3, NodeCapacity::mb(all_high * 0.45))
+        .with_node_admission(64)
+        .with_node_faults(NodeFaultPlan::rolling_crashes(3, 10, 6, 30, 200));
+    let plan = FaultPlan::uniform(0.05, 0.02, 0.02, seed);
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let plain = rt.run_with_fleet(make().as_mut(), &plan, &fleet);
+        let traced = rt.run_with_fleet_traced(make().as_mut(), &plan, &fleet, &mut NullSink);
+        assert_summaries_bit_identical(name, &plain, &traced);
+    }
+}
+
+#[test]
+fn fleet_scenarios_replay_identically_under_the_chaos_seed() {
+    use pulse::runtime::{
+        FaultPlan, FleetConfig, NodeCapacity, NodeFaultPlan, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 150);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace,
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    let fleet = FleetConfig::heterogeneous(vec![
+        pulse::runtime::NodeSpec::nominal("big", NodeCapacity::gb(8.0)),
+        pulse::runtime::NodeSpec::nominal("slow", NodeCapacity::gb(4.0)).with_speed_factor(1.5),
+        pulse::runtime::NodeSpec::nominal("cheap", NodeCapacity::gb(4.0)).with_price_factor(0.5),
+    ])
+    .with_node_faults(NodeFaultPlan::rolling_crashes(3, 15, 5, 40, 150));
+    let plan = FaultPlan::uniform(0.1, 0.05, 0.05, seed);
+    let a = rt.run_with_fleet(
+        &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+        &plan,
+        &fleet,
+    );
+    let b = rt.run_with_fleet(
+        &mut PulsePolicy::new(fams.clone(), PulseConfig::default()),
+        &plan,
+        &fleet,
+    );
+    assert_summaries_bit_identical("pulse/fleet-replay", &a, &b);
+    assert_eq!(a.records, b.records);
 }
 
 #[test]

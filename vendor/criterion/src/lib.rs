@@ -227,6 +227,64 @@ where
         (Some(mean), None) => println!("bench {name}: mean {mean:?}"),
         (None, _) => println!("bench {name}: no measurement recorded"),
     }
+    if let (Some(mean), Ok(path)) = (b.last_mean, std::env::var("PULSE_BENCH_JSON")) {
+        append_json_point(&path, name, mean, samples, throughput);
+    }
+}
+
+/// Append one machine-readable measurement to the JSON Lines trajectory
+/// file named by the `PULSE_BENCH_JSON` environment variable (one object
+/// per line, so successive `cargo bench` runs accumulate a time series):
+///
+/// ```json
+/// {"bench":"fleet/rolling_crashes","mean_ns":812345,"samples":10,"elements_per_sec":443.1}
+/// ```
+///
+/// Failures to write are warnings, never bench failures.
+fn append_json_point(
+    path: &str,
+    name: &str,
+    mean: Duration,
+    samples: u32,
+    throughput: Option<Throughput>,
+) {
+    use std::io::Write;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let mut line = format!(
+        "{{\"bench\":\"{escaped}\",\"mean_ns\":{},\"samples\":{samples}",
+        mean.as_nanos()
+    );
+    let per_sec = |n: u64| {
+        if mean.as_secs_f64() > 0.0 {
+            n as f64 / mean.as_secs_f64()
+        } else {
+            0.0
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(",\"elements_per_sec\":{:.3}", per_sec(n)));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(",\"bytes_per_sec\":{:.3}", per_sec(n)));
+        }
+        None => {}
+    }
+    line.push('}');
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append bench point to {path}: {e}");
+    }
 }
 
 /// Define a benchmark group: either `criterion_group!(name, target, ...)` or
@@ -282,5 +340,37 @@ mod tests {
             b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_trajectory_points_append_and_escape() {
+        let path = std::env::temp_dir().join(format!(
+            "pulse-bench-traj-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let p = path.to_str().unwrap();
+        append_json_point(
+            p,
+            "grp/run \"a\"",
+            Duration::from_micros(1500),
+            10,
+            Some(Throughput::Elements(3000)),
+        );
+        append_json_point(p, "plain", Duration::from_nanos(250), 5, None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"bench\":\"grp/run \\\"a\\\"\",\"mean_ns\":1500000,\"samples\":10,\
+             \"elements_per_sec\":2000000.000}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"bench\":\"plain\",\"mean_ns\":250,\"samples\":5}"
+        );
     }
 }
