@@ -4,6 +4,9 @@
 //! pre-commit hook after the first pays, so the gap between the two bars is
 //! the cache's whole value proposition; the acceptance bar is warm >= 5x
 //! faster than cold on the real workspace.
+//!
+//! Run with `PULSE_BENCH_JSON=BENCH_audit.json cargo bench --bench audit`
+//! to append machine-readable points to the trajectory file.
 
 use std::path::PathBuf;
 

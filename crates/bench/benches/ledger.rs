@@ -2,6 +2,9 @@
 //! `pulse_core::schedule::ScheduleLedger` once per simulated minute —
 //! footprint metering over the whole fleet, downgrade/eviction application,
 //! and the per-invocation schedule refresh.
+//!
+//! Run with `PULSE_BENCH_JSON=BENCH_ledger.json cargo bench --bench ledger`
+//! to append machine-readable points to the trajectory file.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pulse_core::global::DowngradeAction;

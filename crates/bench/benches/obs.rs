@@ -3,6 +3,9 @@
 //! (events are built lazily and `NullSink::enabled()` is false — the hook
 //! is one branch). `JsonlSink` is benched for scale, not for parity: it
 //! pays for serialization by design.
+//!
+//! Run with `PULSE_BENCH_JSON=BENCH_obs.json cargo bench --bench obs` to
+//! append machine-readable points to the trajectory file.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pulse_core::types::PulseConfig;

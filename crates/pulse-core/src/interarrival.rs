@@ -131,6 +131,28 @@ impl InterArrivalModel {
         self.arrivals.push(t);
     }
 
+    /// The recorded invocation minutes, strictly ascending. Exposed for
+    /// checkpointing: together with [`Self::from_arrivals`] it round-trips
+    /// the model's full state.
+    pub fn arrivals(&self) -> &[Minute] {
+        &self.arrivals
+    }
+
+    /// Rebuild a model from a previously captured [`Self::arrivals`] slice.
+    ///
+    /// # Errors
+    /// Returns a description of the violation when the minutes are not
+    /// strictly ascending — the invariant [`Self::record`] maintains.
+    pub fn from_arrivals(arrivals: Vec<Minute>) -> Result<Self, String> {
+        if let Some(w) = arrivals.windows(2).find(|w| w[1] <= w[0]) {
+            return Err(format!(
+                "arrival minutes must be strictly ascending (got {} after {})",
+                w[1], w[0]
+            ));
+        }
+        Ok(Self { arrivals })
+    }
+
     /// Number of distinct invocation minutes recorded.
     pub fn len(&self) -> usize {
         self.arrivals.len()

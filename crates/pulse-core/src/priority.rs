@@ -29,6 +29,17 @@ impl PriorityStructure {
         }
     }
 
+    /// The raw downgrade counts, one per model. Exposed for checkpointing:
+    /// together with [`Self::from_counts`] it round-trips the structure.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a structure from a previously captured [`Self::counts`] slice.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
     /// Number of models tracked.
     pub fn len(&self) -> usize {
         self.counts.len()

@@ -28,6 +28,7 @@ pub mod exp_fleet;
 pub mod exp_nodes;
 pub mod exp_overload;
 pub mod exp_predictors;
+pub mod exp_recover;
 pub mod exp_scalability;
 pub mod exp_sensitivity;
 pub mod exp_table1;
@@ -66,6 +67,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "predictors",
     "nodes",
     "overload",
+    "recover",
 ];
 
 /// Run one experiment by name. Unknown names return an error string listing
@@ -98,6 +100,7 @@ pub fn run_experiment(name: &str, cfg: &ExpConfig) -> Result<String, String> {
         "predictors" => exp_predictors::run(cfg),
         "nodes" => exp_nodes::run(cfg),
         "overload" => exp_overload::run(cfg),
+        "recover" => exp_recover::run(cfg),
         other => {
             return Err(format!(
                 "unknown experiment {other:?}; valid: {}",

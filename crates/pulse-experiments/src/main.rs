@@ -9,11 +9,12 @@
 //! * `--full`: the paper-scale setup — 14-day trace, 1000 runs.
 //! * `--trace-out FILE`: write a structured JSONL event trace (see
 //!   `pulse-obs`) for the experiments that support it (`chaos`,
-//!   `overload`). The file is truncated once per invocation.
+//!   `overload`; `recover` writes a checkpointed journal instead). The
+//!   file is truncated once per invocation.
 //! * experiments: `table1 fig1 fig2 table2 fig4 fig5 fig6a fig6b fig7 fig8
 //!   fig9 fig10 fig11 fig12`, extensions such as `validate`, `chaos`
-//!   (fault-injection sweep) and `overload` (bounded admission + node
-//!   capacity + watchdog), or `all`.
+//!   (fault-injection sweep), `overload` (bounded admission + node
+//!   capacity + watchdog) and `recover` (crash-recovery matrix), or `all`.
 
 use pulse_experiments::{run_experiment, ExpConfig, EXPERIMENTS};
 

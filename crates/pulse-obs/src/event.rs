@@ -221,6 +221,23 @@ pub enum ObsEvent {
         /// Destination node.
         to_node: usize,
     },
+    /// A write-ahead journal epoch header. The journal opens with epoch 0;
+    /// every checkpoint closes the current epoch and the next header marks
+    /// the start of the tail that must be replayed on top of that snapshot.
+    JournalEpoch {
+        /// Epoch index, starting at 0.
+        epoch: u64,
+    },
+    /// A full engine snapshot embedded in the journal: the serialized
+    /// document produced by a session's `snapshot()` as one opaque string.
+    /// Restoring the snapshot and replaying the events after this record
+    /// reproduces the uninterrupted run bit-identically.
+    Checkpoint {
+        /// Checkpoint sequence number within the run, starting at 0.
+        seq: u64,
+        /// The serialized snapshot document.
+        snapshot: String,
+    },
 }
 
 impl ObsEvent {
@@ -241,6 +258,8 @@ impl ObsEvent {
             ObsEvent::NodeDown { .. } => "node_down",
             ObsEvent::NodeRecovered { .. } => "node_recovered",
             ObsEvent::Migrate { .. } => "migrate",
+            ObsEvent::JournalEpoch { .. } => "journal_epoch",
+            ObsEvent::Checkpoint { .. } => "checkpoint",
         }
     }
 
@@ -359,6 +378,13 @@ impl ObsEvent {
                     ",\"minute\":{minute},\"func\":{func},\"from_node\":{from_node},\"to_node\":{to_node}"
                 );
             }
+            ObsEvent::JournalEpoch { epoch } => {
+                let _ = write!(s, ",\"epoch\":{epoch}");
+            }
+            ObsEvent::Checkpoint { seq, snapshot } => {
+                let _ = write!(s, ",\"seq\":{seq},\"snapshot\":");
+                push_json_str(&mut s, snapshot);
+            }
         }
         s.push('}');
         s
@@ -441,6 +467,13 @@ impl ObsEvent {
                 func: fields.usize("func")?,
                 from_node: fields.usize("from_node")?,
                 to_node: fields.usize("to_node")?,
+            }),
+            "journal_epoch" => Ok(ObsEvent::JournalEpoch {
+                epoch: fields.u64("epoch")?,
+            }),
+            "checkpoint" => Ok(ObsEvent::Checkpoint {
+                seq: fields.u64("seq")?,
+                snapshot: fields.str("snapshot")?.to_string(),
             }),
             other => Err(ParseError::new(format!("unknown event type {other:?}"))),
         }
@@ -528,6 +561,12 @@ mod tests {
                 func: 5,
                 from_node: 2,
                 to_node: 0,
+            },
+            ObsEvent::JournalEpoch { epoch: 2 },
+            ObsEvent::Checkpoint {
+                seq: 1,
+                snapshot: "{\"type\":\"snapshot\",\"version\":1}\n{\"t\":0.30000000000000004}"
+                    .to_string(),
             },
         ]
     }

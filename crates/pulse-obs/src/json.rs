@@ -189,6 +189,7 @@ fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<T
 }
 
 /// Typed field lookups over a parsed object.
+#[derive(Debug)]
 pub(crate) struct Fields(pub(crate) Vec<(String, Token)>);
 
 impl Fields {

@@ -14,7 +14,12 @@
 //!   `obs-sim-time` audit rule enforces this);
 //! * [`CounterRegistry`] / [`HistogramRegistry`] — cheap named metrics with
 //!   commutative [`CounterRegistry::merge`], built for per-worker
-//!   aggregation in the parallel campaign runner.
+//!   aggregation in the parallel campaign runner;
+//! * [`JournalSink`] / [`replay_journal`] — the write-ahead journal for
+//!   crash-consistent checkpointing: epoch headers, embedded snapshot
+//!   records ([`RecordBuilder`]/[`Record`] is the open-schema flat-record
+//!   codec snapshots are written in), torn-tail-tolerant replay, and
+//!   [`first_divergence`] for pinpointing replay mismatches.
 //!
 //! The crate is deliberately free of dependencies (not even the vendored
 //! stand-ins): the sink check sits on every engine hot path, and the JSONL
@@ -35,11 +40,17 @@
 //! ```
 
 mod event;
+mod journal;
 mod json;
+mod record;
 mod registry;
 mod sink;
 
 pub use event::{ActionSource, NodeFaultClass, ObsEvent};
+pub use journal::{
+    first_divergence, replay_journal, Divergence, JournalError, JournalReplay, JournalSink,
+};
 pub use json::ParseError;
+pub use record::{Record, RecordBuilder};
 pub use registry::{CounterId, CounterRegistry, Histogram, HistogramId, HistogramRegistry};
 pub use sink::{emit, JsonlSink, MemorySink, NullSink, TraceSink};

@@ -162,6 +162,38 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The pending events as `(time_ms, seq, event)` triples sorted by the
+    /// heap's total order, for checkpointing. Together with
+    /// [`Self::next_seq`] and [`Self::from_parts`] this round-trips the
+    /// queue: the key multiset and sequence counter fully determine every
+    /// future pop.
+    pub fn snapshot_entries(&self) -> Vec<(u64, u64, Event)> {
+        let mut entries: Vec<(u64, u64, Event)> = self
+            .heap
+            .iter()
+            .map(|Reverse((t, s, e))| (*t, *s, e.0.clone()))
+            .collect();
+        entries.sort_by_key(|&(t, s, _)| (t, s));
+        entries
+    }
+
+    /// The sequence number the next [`Self::push`] will stamp.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rebuild a queue from a previously captured [`Self::snapshot_entries`]
+    /// list and [`Self::next_seq`] counter.
+    pub fn from_parts(entries: Vec<(u64, u64, Event)>, next_seq: u64) -> Self {
+        Self {
+            heap: entries
+                .into_iter()
+                .map(|(t, s, e)| Reverse((t, s, EventKeyed(e))))
+                .collect(),
+            seq: next_seq,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +243,28 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::Arrival { func: 1, req: 1 });
+        q.push(5, Event::Arrival { func: 2, req: 2 });
+        q.push(3, Event::MinuteTick { minute: 0 });
+        q.push(9, Event::NodeDown { node: 1, fault: 0 });
+        q.pop(); // drop the tick so seq and contents diverge
+        let entries = q.snapshot_entries();
+        assert_eq!(entries.len(), 3);
+        let mut rebuilt = EventQueue::from_parts(entries, q.next_seq());
+        rebuilt.push(5, Event::Arrival { func: 9, req: 9 });
+        q.push(5, Event::Arrival { func: 9, req: 9 });
+        loop {
+            let (a, b) = (q.pop(), rebuilt.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -84,6 +84,11 @@ use pulse_sim::policy::{KeepAlivePolicy, MinuteObservation};
 use pulse_trace::Trace;
 use std::collections::VecDeque;
 
+// Checkpoint/restore lives in a child module so it can reach the private run
+// state without widening any visibility (`src/snapshot.rs`, remapped here).
+#[path = "snapshot.rs"]
+mod snapshot;
+
 /// Runtime tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {

@@ -1,0 +1,1057 @@
+//! Crash-consistent checkpointing of the event-driven runtime.
+//!
+//! [`RuntimeSession::snapshot`] captures the *complete* resumable state of a
+//! run — pending event queue (keys and sequence counter), per-function
+//! container/queue state, the schedule ledger, per-request tables, RNG
+//! cursors of both the duration sampler and the fault injector, per-node
+//! fleet state, accumulated summary counters and the policy's learned state
+//! — as a versioned multi-line flat-record document.
+//! [`Runtime::restore_fleet_session`] rebuilds a session from it such that
+//! stepping the restored session to completion is **bit-identical** to the
+//! uninterrupted run, for any kill point.
+//!
+//! The snapshot never stores the workload, fault plan or fleet themselves;
+//! it stamps their fingerprints and the restore call must supply equal
+//! configurations (same trace, same seeds). Mismatches, version skew and
+//! corruption all fail soft with a typed
+//! [`RecoverError`](pulse_sim::recover::RecoverError).
+
+use super::{DurationSampler, FnState, NodeRt, RunState, Runtime, RuntimeSession};
+use crate::cluster::OpsEvent;
+use crate::container::{ContainerState, LiveContainer};
+use crate::event::{Event, EventQueue};
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::fleet::FleetConfig;
+use crate::metrics::{RequestRecord, RuntimeSummary};
+use crate::node::{NodeFaultKind, NodeHealth};
+use pulse_core::priority::PriorityStructure;
+use pulse_core::schedule::ScheduleLedger;
+use pulse_models::Profiler;
+use pulse_obs::{Record, RecordBuilder, TraceSink};
+use pulse_sim::policy::KeepAlivePolicy;
+use pulse_sim::recover::{
+    check_fingerprint, decode_ledger_row, encode_ledger, fingerprint_of, RecoverError,
+    SNAPSHOT_VERSION,
+};
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Encode one queued [`Event`] as `(kind code, 4 packed args)`.
+fn encode_event(e: &Event) -> (u64, [u64; 4]) {
+    match *e {
+        Event::Arrival { func, req } => (0, [func as u64, req as u64, 0, 0]),
+        Event::ProvisionDone { func, epoch } => (1, [func as u64, epoch, 0, 0]),
+        Event::ExecDone { func, req, gen } => (2, [func as u64, req as u64, gen, 0]),
+        Event::ProvisionFailed { func, epoch } => (3, [func as u64, epoch, 0, 0]),
+        Event::ExecFailed {
+            func,
+            req,
+            epoch,
+            gen,
+        } => (4, [func as u64, req as u64, epoch, gen]),
+        Event::RequestTimeout { func, req } => (5, [func as u64, req as u64, 0, 0]),
+        Event::RetryRequest { func, req } => (6, [func as u64, req as u64, 0, 0]),
+        Event::MinuteTick { minute } => (7, [minute, 0, 0, 0]),
+        Event::NodeDown { node, fault } => (8, [node as u64, fault as u64, 0, 0]),
+        Event::NodeRecovered { node, fault } => (9, [node as u64, fault as u64, 0, 0]),
+        Event::MigrationDone { func, epoch } => (10, [func as u64, epoch, 0, 0]),
+    }
+}
+
+/// Decode an event written by [`encode_event`].
+fn decode_event(kind: u64, a: [u64; 4]) -> Result<Event, RecoverError> {
+    let [x, y, z, w] = a;
+    Ok(match kind {
+        0 => Event::Arrival {
+            func: x as usize,
+            req: y as usize,
+        },
+        1 => Event::ProvisionDone {
+            func: x as usize,
+            epoch: y,
+        },
+        2 => Event::ExecDone {
+            func: x as usize,
+            req: y as usize,
+            gen: z,
+        },
+        3 => Event::ProvisionFailed {
+            func: x as usize,
+            epoch: y,
+        },
+        4 => Event::ExecFailed {
+            func: x as usize,
+            req: y as usize,
+            epoch: z,
+            gen: w,
+        },
+        5 => Event::RequestTimeout {
+            func: x as usize,
+            req: y as usize,
+        },
+        6 => Event::RetryRequest {
+            func: x as usize,
+            req: y as usize,
+        },
+        7 => Event::MinuteTick { minute: x },
+        8 => Event::NodeDown {
+            node: x as usize,
+            fault: y as usize,
+        },
+        9 => Event::NodeRecovered {
+            node: x as usize,
+            fault: y as usize,
+        },
+        10 => Event::MigrationDone {
+            func: x as usize,
+            epoch: y,
+        },
+        other => {
+            return Err(RecoverError::corrupt(format!(
+                "unknown event kind code {other}"
+            )))
+        }
+    })
+}
+
+/// Encode an [`OpsEvent`] as `(code, 4 packed u64 args, 1 f64 arg)`.
+fn encode_ops(e: &OpsEvent) -> (u64, [u64; 4], f64) {
+    match *e {
+        OpsEvent::PressureDowngrade {
+            minute,
+            func,
+            from,
+            to,
+        } => (0, [minute, func as u64, from as u64, to as u64], 0.0),
+        OpsEvent::Evicted { minute, func, from } => (1, [minute, func as u64, from as u64, 0], 0.0),
+        OpsEvent::Overloaded { at_ms, func, req } => (2, [at_ms, func as u64, req as u64, 0], 0.0),
+        OpsEvent::WatchdogFallback { minute } => (3, [minute, 0, 0, 0], 0.0),
+        OpsEvent::WatchdogRecover { minute } => (4, [minute, 0, 0, 0], 0.0),
+        OpsEvent::NodeDown { minute, node, kind } => {
+            let (k, slow) = encode_fault_kind(kind);
+            (5, [minute, node as u64, k, 0], slow)
+        }
+        OpsEvent::NodeRecovered { minute, node } => (6, [minute, node as u64, 0, 0], 0.0),
+        OpsEvent::Migrated {
+            minute,
+            func,
+            from_node,
+            to_node,
+        } => (
+            7,
+            [minute, func as u64, from_node as u64, to_node as u64],
+            0.0,
+        ),
+    }
+}
+
+/// Decode an ops event written by [`encode_ops`].
+fn decode_ops(code: u64, a: [u64; 4], x: f64) -> Result<OpsEvent, RecoverError> {
+    let [p, q, r, s] = a;
+    Ok(match code {
+        0 => OpsEvent::PressureDowngrade {
+            minute: p,
+            func: q as usize,
+            from: r as usize,
+            to: s as usize,
+        },
+        1 => OpsEvent::Evicted {
+            minute: p,
+            func: q as usize,
+            from: r as usize,
+        },
+        2 => OpsEvent::Overloaded {
+            at_ms: p,
+            func: q as usize,
+            req: r as usize,
+        },
+        3 => OpsEvent::WatchdogFallback { minute: p },
+        4 => OpsEvent::WatchdogRecover { minute: p },
+        5 => OpsEvent::NodeDown {
+            minute: p,
+            node: q as usize,
+            kind: decode_fault_kind(r, x)?,
+        },
+        6 => OpsEvent::NodeRecovered {
+            minute: p,
+            node: q as usize,
+        },
+        7 => OpsEvent::Migrated {
+            minute: p,
+            func: q as usize,
+            from_node: r as usize,
+            to_node: s as usize,
+        },
+        other => {
+            return Err(RecoverError::corrupt(format!(
+                "unknown ops event code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_fault_kind(kind: NodeFaultKind) -> (u64, f64) {
+    match kind {
+        NodeFaultKind::Crash => (0, 0.0),
+        NodeFaultKind::Partition => (1, 0.0),
+        NodeFaultKind::Degraded { slowdown } => (2, slowdown),
+    }
+}
+
+fn decode_fault_kind(code: u64, slowdown: f64) -> Result<NodeFaultKind, RecoverError> {
+    Ok(match code {
+        0 => NodeFaultKind::Crash,
+        1 => NodeFaultKind::Partition,
+        2 => NodeFaultKind::Degraded { slowdown },
+        other => {
+            return Err(RecoverError::corrupt(format!(
+                "unknown fault kind code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_health(h: &NodeHealth) -> (u64, f64) {
+    match *h {
+        NodeHealth::Up => (0, 0.0),
+        NodeHealth::Degraded { slowdown } => (1, slowdown),
+        NodeHealth::Crashed => (2, 0.0),
+        NodeHealth::Partitioned => (3, 0.0),
+    }
+}
+
+fn decode_health(code: u64, slowdown: f64) -> Result<NodeHealth, RecoverError> {
+    Ok(match code {
+        0 => NodeHealth::Up,
+        1 => NodeHealth::Degraded { slowdown },
+        2 => NodeHealth::Crashed,
+        3 => NodeHealth::Partitioned,
+        other => {
+            return Err(RecoverError::corrupt(format!(
+                "unknown node health code {other}"
+            )))
+        }
+    })
+}
+
+fn encode_container_state(s: ContainerState) -> u64 {
+    match s {
+        ContainerState::Provisioning => 0,
+        ContainerState::Warm => 1,
+        ContainerState::Executing => 2,
+        ContainerState::Reaped => 3,
+    }
+}
+
+fn decode_container_state(code: u64) -> Result<ContainerState, RecoverError> {
+    Ok(match code {
+        0 => ContainerState::Provisioning,
+        1 => ContainerState::Warm,
+        2 => ContainerState::Executing,
+        3 => ContainerState::Reaped,
+        other => {
+            return Err(RecoverError::corrupt(format!(
+                "unknown container state code {other}"
+            )))
+        }
+    })
+}
+
+fn summary_row(s: &RuntimeSummary) -> String {
+    RecordBuilder::new("summary")
+        .f64("cost", s.keepalive_cost_usd)
+        .f64_list("mem", &s.memory_at_tick_mb)
+        .u64("downgrades", s.downgrades)
+        .u64("prov_fail", s.provision_failures)
+        .u64("prov_retry", s.provision_retries)
+        .u64("vload_fail", s.variant_load_failures)
+        .u64("exec_crash", s.exec_crashes)
+        .u64("req_retry", s.request_retries)
+        .u64("degradations", s.degradations)
+        .u64("degraded_reqs", s.degraded_requests)
+        .f64("acc_penalty", s.accuracy_penalty_pct)
+        .u64("timeouts", s.timeouts)
+        .u64("reaped", s.reaped)
+        .u64("shed", s.shed_requests)
+        .u64("evictions", s.evictions)
+        .u64("pressure_down", s.pressure_downgrades)
+        .u64("pressure_min", s.pressure_minutes)
+        .u64("fallback_min", s.fallback_minutes)
+        .u64("migrations", s.migrations)
+        .u64("migration_pause", s.migration_pause_ms)
+        .u64("node_crashes", s.node_crashes)
+        .u64("node_partitions", s.node_partitions)
+        .u64("node_stragglers", s.node_stragglers)
+        .u64("node_recoveries", s.node_recoveries)
+        .u64("redispatched", s.redispatched_requests)
+        .u64("node_loss_evictions", s.node_loss_evictions)
+        .u64("placement_fail", s.placement_failures)
+        .u64("node_shed", s.node_shed_requests)
+        .finish()
+}
+
+fn decode_summary(rec: &Record) -> Result<RuntimeSummary, RecoverError> {
+    let c = RecoverError::corrupt;
+    Ok(RuntimeSummary {
+        records: Vec::new(),
+        keepalive_cost_usd: rec.f64("cost").map_err(c)?,
+        memory_at_tick_mb: rec.f64_list("mem").map_err(c)?,
+        downgrades: rec.u64("downgrades").map_err(c)?,
+        provision_failures: rec.u64("prov_fail").map_err(c)?,
+        provision_retries: rec.u64("prov_retry").map_err(c)?,
+        variant_load_failures: rec.u64("vload_fail").map_err(c)?,
+        exec_crashes: rec.u64("exec_crash").map_err(c)?,
+        request_retries: rec.u64("req_retry").map_err(c)?,
+        degradations: rec.u64("degradations").map_err(c)?,
+        degraded_requests: rec.u64("degraded_reqs").map_err(c)?,
+        accuracy_penalty_pct: rec.f64("acc_penalty").map_err(c)?,
+        timeouts: rec.u64("timeouts").map_err(c)?,
+        reaped: rec.u64("reaped").map_err(c)?,
+        shed_requests: rec.u64("shed").map_err(c)?,
+        evictions: rec.u64("evictions").map_err(c)?,
+        pressure_downgrades: rec.u64("pressure_down").map_err(c)?,
+        pressure_minutes: rec.u64("pressure_min").map_err(c)?,
+        fallback_minutes: rec.u64("fallback_min").map_err(c)?,
+        ops_events: Vec::new(),
+        migrations: rec.u64("migrations").map_err(c)?,
+        migration_pause_ms: rec.u64("migration_pause").map_err(c)?,
+        node_crashes: rec.u64("node_crashes").map_err(c)?,
+        node_partitions: rec.u64("node_partitions").map_err(c)?,
+        node_stragglers: rec.u64("node_stragglers").map_err(c)?,
+        node_recoveries: rec.u64("node_recoveries").map_err(c)?,
+        redispatched_requests: rec.u64("redispatched").map_err(c)?,
+        node_loss_evictions: rec.u64("node_loss_evictions").map_err(c)?,
+        placement_failures: rec.u64("placement_fail").map_err(c)?,
+        node_shed_requests: rec.u64("node_shed").map_err(c)?,
+        node_summaries: Vec::new(),
+    })
+}
+
+impl RuntimeSession<'_> {
+    /// Capture the full resumable state of this run as a versioned snapshot
+    /// document. Restoring it with [`Runtime::restore_fleet_session`] (same
+    /// workload/plan/fleet, a fresh same-seeded policy) and stepping to
+    /// completion is bit-identical to never having stopped — counters, cost,
+    /// per-request records, ops events and the emitted observability stream
+    /// all included. Fails with
+    /// [`RecoverError::NotCheckpointable`] when the policy cannot export its
+    /// state.
+    pub fn snapshot(&self) -> Result<String, RecoverError> {
+        let state =
+            self.policy
+                .checkpoint_state()
+                .ok_or_else(|| RecoverError::NotCheckpointable {
+                    policy: self.policy.name().to_string(),
+                })?;
+        let rs = &self.rs;
+        let mut doc = RecordBuilder::new("snapshot")
+            .u64("version", SNAPSHOT_VERSION)
+            .str("engine", "rt")
+            .u64("workload", self.rt.workload_fingerprint())
+            .u64("plan", fingerprint_of(rs.injector.plan()))
+            .u64("fleet", fingerprint_of(&self.fleet))
+            .str("policy", self.policy.name())
+            .bool("invoked", self.invoked_this_minute)
+            .bool("fallback", rs.prev_fallback)
+            .u64("minute_requests", rs.minute_requests)
+            .u64("minute_violations", rs.minute_violations)
+            .f64("last_billed", rs.last_billed_mb)
+            .u64("next_seq", rs.queue.next_seq())
+            .finish();
+        let push = |doc: &mut String, row: String| {
+            doc.push('\n');
+            doc.push_str(&row);
+        };
+
+        let sampler_words = rs.sampler.rng.as_ref().map(SmallRng::state);
+        push(
+            &mut doc,
+            RecordBuilder::new("rng")
+                .bool("sampler_set", sampler_words.is_some())
+                .u64_list(
+                    "sampler",
+                    sampler_words.as_ref().map_or(&[][..], |w| &w[..]),
+                )
+                .u64_list("injector", &rs.injector.rng_state())
+                .finish(),
+        );
+        push(
+            &mut doc,
+            RecordBuilder::new("policy").str("state", &state).finish(),
+        );
+        push(
+            &mut doc,
+            RecordBuilder::new("demand")
+                .f64_list("history", &self.demand_history)
+                .finish(),
+        );
+        push(&mut doc, summary_row(&rs.summary));
+
+        let (mut code, mut oa, mut ob, mut oc, mut od, mut ox) = (
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        for e in &rs.summary.ops_events {
+            let (k, [p, q, r, s], x) = encode_ops(e);
+            code.push(k);
+            oa.push(p);
+            ob.push(q);
+            oc.push(r);
+            od.push(s);
+            ox.push(x);
+        }
+        push(
+            &mut doc,
+            RecordBuilder::new("ops")
+                .u64_list("code", &code)
+                .u64_list("a", &oa)
+                .u64_list("b", &ob)
+                .u64_list("c", &oc)
+                .u64_list("d", &od)
+                .f64_list("x", &ox)
+                .finish(),
+        );
+
+        push(
+            &mut doc,
+            RecordBuilder::new("reqs")
+                .u64_list(
+                    "arrival",
+                    &rs.records.iter().map(|r| r.arrival_ms).collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "done",
+                    &rs.records.iter().map(|r| r.done_ms).collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "warm",
+                    &rs.records
+                        .iter()
+                        .map(|r| u64::from(r.warm))
+                        .collect::<Vec<_>>(),
+                )
+                .f64_list(
+                    "acc",
+                    &rs.records
+                        .iter()
+                        .map(|r| r.accuracy_pct)
+                        .collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "failed",
+                    &rs.records
+                        .iter()
+                        .map(|r| u64::from(r.failed))
+                        .collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "variant",
+                    &rs.req_warm_variant
+                        .iter()
+                        .map(|&v| v as u64)
+                        .collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "retries",
+                    &rs.req_retries
+                        .iter()
+                        .map(|&r| u64::from(r))
+                        .collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "terminal",
+                    &rs.req_done
+                        .iter()
+                        .map(|&d| u64::from(d))
+                        .collect::<Vec<_>>(),
+                )
+                .u64_list("gen", &rs.req_gen)
+                .finish(),
+        );
+
+        let entries = rs.queue.snapshot_entries();
+        let (mut qt, mut qs, mut qk, mut qa, mut qb, mut qc, mut qd) = (
+            Vec::with_capacity(entries.len()),
+            Vec::with_capacity(entries.len()),
+            Vec::with_capacity(entries.len()),
+            Vec::with_capacity(entries.len()),
+            Vec::with_capacity(entries.len()),
+            Vec::with_capacity(entries.len()),
+            Vec::with_capacity(entries.len()),
+        );
+        for (t, s, e) in &entries {
+            let (k, [p, q, r, w]) = encode_event(e);
+            qt.push(*t);
+            qs.push(*s);
+            qk.push(k);
+            qa.push(p);
+            qb.push(q);
+            qc.push(r);
+            qd.push(w);
+        }
+        push(
+            &mut doc,
+            RecordBuilder::new("queue")
+                .u64_list("t", &qt)
+                .u64_list("s", &qs)
+                .u64_list("kind", &qk)
+                .u64_list("a", &qa)
+                .u64_list("b", &qb)
+                .u64_list("c", &qc)
+                .u64_list("d", &qd)
+                .finish(),
+        );
+
+        for (f, st) in rs.fns.iter().enumerate() {
+            let mut row = RecordBuilder::new("fn")
+                .usize("func", f)
+                .usize("node", st.node)
+                .u64("in_flight", u64::from(st.in_flight))
+                .u64("epoch", st.epoch)
+                .u64("attempts", u64::from(st.provision_attempts))
+                .bool("sched_set", st.scheduled_minute.is_some())
+                .u64("sched", st.scheduled_minute.unwrap_or(0))
+                .u64_list(
+                    "waiting",
+                    &st.waiting.iter().map(|&r| r as u64).collect::<Vec<_>>(),
+                )
+                .u64_list(
+                    "executing",
+                    &st.executing.iter().map(|&r| r as u64).collect::<Vec<_>>(),
+                )
+                .bool("cont", st.container.is_some());
+            if let Some(cont) = &st.container {
+                row = row
+                    .u64("cvariant", cont.variant as u64)
+                    .u64("cstate", encode_container_state(cont.state))
+                    .u64("cbusy", u64::from(cont.busy))
+                    .u64("cwarm", cont.warm_since_ms)
+                    .u64("cepoch", cont.epoch);
+            }
+            push(&mut doc, row.finish());
+        }
+
+        for (k, nd) in rs.nodes.iter().enumerate() {
+            let (hc, slow) = encode_health(&nd.health);
+            push(
+                &mut doc,
+                RecordBuilder::new("node")
+                    .usize("idx", k)
+                    .u64("health", hc)
+                    .f64("slow", slow)
+                    .f64("cost", nd.cost_usd)
+                    .f64_list("billed", &nd.billed_series)
+                    .u64("down", nd.minutes_down)
+                    .u64("migr_in", nd.migrations_in)
+                    .u64("migr_out", nd.migrations_out)
+                    .u64_list("pressure", rs.pressure_priority[k].counts())
+                    .finish(),
+            );
+        }
+
+        encode_ledger(&mut doc, &rs.ledger);
+        Ok(doc)
+    }
+}
+
+impl Runtime {
+    /// Fingerprint of this runtime's workload identity (trace + families +
+    /// config) — stamped into snapshots and checked on restore.
+    fn workload_fingerprint(&self) -> u64 {
+        fingerprint_of(&(&self.trace, &self.families, &self.config))
+    }
+
+    /// Resume a fleet run killed after [`RuntimeSession::snapshot`]: rebuild
+    /// the session so that stepping it to completion is bit-identical to the
+    /// uninterrupted run. `plan` and `fleet` must equal the snapshotted
+    /// configuration (checked by fingerprint) and `policy` must be freshly
+    /// constructed with the same arguments; its learned state is re-injected
+    /// through [`KeepAlivePolicy::restore_state`]. Fails soft with a typed
+    /// [`RecoverError`] on skew, corruption, or any mismatch.
+    pub fn restore_fleet_session<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: FleetConfig,
+        snapshot: &str,
+    ) -> Result<RuntimeSession<'a>, RecoverError> {
+        self.restore_impl(policy, plan, fleet, snapshot, None)
+    }
+
+    /// [`Self::restore_fleet_session`] with a [`TraceSink`] attached: events
+    /// re-emitted by the resumed run continue the stream exactly where the
+    /// killed run's journal left off.
+    pub fn restore_fleet_session_traced<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: FleetConfig,
+        snapshot: &str,
+        sink: &'a mut dyn TraceSink,
+    ) -> Result<RuntimeSession<'a>, RecoverError> {
+        self.restore_impl(policy, plan, fleet, snapshot, Some(sink))
+    }
+
+    fn restore_impl<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        plan: &FaultPlan,
+        fleet: FleetConfig,
+        snapshot: &str,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<RuntimeSession<'a>, RecoverError> {
+        let c = |e: pulse_obs::ParseError| RecoverError::corrupt(e);
+        let n = self.families.len();
+        let mut lines = snapshot.lines().filter(|l| !l.trim().is_empty());
+        let head = lines
+            .next()
+            .ok_or_else(|| RecoverError::corrupt("empty snapshot"))?;
+        let head = Record::parse(head).map_err(c)?;
+        if head.kind() != "snapshot" {
+            return Err(RecoverError::corrupt(format!(
+                "expected a snapshot header, got {:?}",
+                head.kind()
+            )));
+        }
+        let version = head.u64("version").map_err(c)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(RecoverError::VersionSkew {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let engine = head.str("engine").map_err(c)?;
+        if engine != "rt" {
+            return Err(RecoverError::corrupt(format!(
+                "snapshot is for the {engine:?} engine, not \"rt\""
+            )));
+        }
+        check_fingerprint(
+            "workload",
+            head.u64("workload").map_err(c)?,
+            self.workload_fingerprint(),
+        )?;
+        check_fingerprint("plan", head.u64("plan").map_err(c)?, fingerprint_of(plan))?;
+        check_fingerprint(
+            "fleet",
+            head.u64("fleet").map_err(c)?,
+            fingerprint_of(&fleet),
+        )?;
+        let expected_policy = head.str("policy").map_err(c)?;
+        if expected_policy != policy.name() {
+            return Err(RecoverError::PolicyMismatch {
+                expected: expected_policy.to_string(),
+                found: policy.name().to_string(),
+            });
+        }
+
+        let mut sampler_rng = None;
+        let mut injector = None;
+        let mut policy_state = None;
+        let mut demand_history = None;
+        let mut summary = None;
+        let mut ops = None;
+        let mut reqs = None;
+        let mut queue = None;
+        let mut fns: Vec<Option<FnState>> = (0..n).map(|_| None).collect();
+        let mut nodes: Vec<Option<(NodeRt, PriorityStructure)>> =
+            (0..fleet.nodes.len()).map(|_| None).collect();
+        let mut ledger = ScheduleLedger::new(n);
+
+        for line in lines {
+            let rec = Record::parse(line).map_err(c)?;
+            match rec.kind() {
+                "rng" => {
+                    if rec.bool("sampler_set").map_err(c)? {
+                        let words: [u64; 4] = rec
+                            .u64_list("sampler")
+                            .map_err(c)?
+                            .try_into()
+                            .map_err(|_| RecoverError::corrupt("sampler cursor must be 4 words"))?;
+                        sampler_rng = Some(SmallRng::from_state(words));
+                    } else if self.config.stochastic_seed.is_some() {
+                        return Err(RecoverError::corrupt(
+                            "snapshot has no sampler cursor but the config is stochastic",
+                        ));
+                    }
+                    let words: [u64; 4] = rec
+                        .u64_list("injector")
+                        .map_err(c)?
+                        .try_into()
+                        .map_err(|_| RecoverError::corrupt("injector cursor must be 4 words"))?;
+                    injector = Some(FaultInjector::from_state(plan, words));
+                }
+                "policy" => policy_state = Some(rec.str("state").map_err(c)?.to_string()),
+                "demand" => demand_history = Some(rec.f64_list("history").map_err(c)?),
+                "summary" => summary = Some(decode_summary(&rec)?),
+                "ops" => {
+                    let code = rec.u64_list("code").map_err(c)?;
+                    let a = rec.u64_list("a").map_err(c)?;
+                    let b = rec.u64_list("b").map_err(c)?;
+                    let d2 = rec.u64_list("c").map_err(c)?;
+                    let d3 = rec.u64_list("d").map_err(c)?;
+                    let x = rec.f64_list("x").map_err(c)?;
+                    if [a.len(), b.len(), d2.len(), d3.len(), x.len()]
+                        .iter()
+                        .any(|&l| l != code.len())
+                    {
+                        return Err(RecoverError::corrupt("ops row lists disagree in length"));
+                    }
+                    let mut events = Vec::with_capacity(code.len());
+                    for i in 0..code.len() {
+                        events.push(decode_ops(code[i], [a[i], b[i], d2[i], d3[i]], x[i])?);
+                    }
+                    ops = Some(events);
+                }
+                "reqs" => reqs = Some(rec),
+                "queue" => queue = Some(rec),
+                "fn" => {
+                    let f = rec.usize("func").map_err(c)?;
+                    if f >= n {
+                        return Err(RecoverError::corrupt(format!(
+                            "fn row targets function {f} of {n}"
+                        )));
+                    }
+                    let container = if rec.bool("cont").map_err(c)? {
+                        Some(LiveContainer {
+                            variant: rec.u64("cvariant").map_err(c)? as usize,
+                            state: decode_container_state(rec.u64("cstate").map_err(c)?)?,
+                            busy: u32::try_from(rec.u64("cbusy").map_err(c)?)
+                                .map_err(RecoverError::corrupt)?,
+                            warm_since_ms: rec.u64("cwarm").map_err(c)?,
+                            epoch: rec.u64("cepoch").map_err(c)?,
+                        })
+                    } else {
+                        None
+                    };
+                    fns[f] = Some(FnState {
+                        container,
+                        waiting: rec
+                            .u64_list("waiting")
+                            .map_err(c)?
+                            .into_iter()
+                            .map(|r| r as usize)
+                            .collect::<VecDeque<usize>>(),
+                        in_flight: u32::try_from(rec.u64("in_flight").map_err(c)?)
+                            .map_err(RecoverError::corrupt)?,
+                        executing: rec
+                            .u64_list("executing")
+                            .map_err(c)?
+                            .into_iter()
+                            .map(|r| r as usize)
+                            .collect(),
+                        node: rec.usize("node").map_err(c)?,
+                        scheduled_minute: rec
+                            .bool("sched_set")
+                            .map_err(c)?
+                            .then(|| rec.u64("sched").map_err(c))
+                            .transpose()?,
+                        epoch: rec.u64("epoch").map_err(c)?,
+                        provision_attempts: u32::try_from(rec.u64("attempts").map_err(c)?)
+                            .map_err(RecoverError::corrupt)?,
+                    });
+                }
+                "node" => {
+                    let k = rec.usize("idx").map_err(c)?;
+                    if k >= fleet.nodes.len() {
+                        return Err(RecoverError::corrupt(format!(
+                            "node row targets node {k} of {}",
+                            fleet.nodes.len()
+                        )));
+                    }
+                    let pressure = rec.u64_list("pressure").map_err(c)?;
+                    if pressure.len() != n {
+                        return Err(RecoverError::corrupt(format!(
+                            "node {k} carries {} pressure counts for {n} functions",
+                            pressure.len()
+                        )));
+                    }
+                    let mut nd = NodeRt::new(fleet.nodes[k].clone());
+                    nd.health =
+                        decode_health(rec.u64("health").map_err(c)?, rec.f64("slow").map_err(c)?)?;
+                    nd.cost_usd = rec.f64("cost").map_err(c)?;
+                    nd.billed_series = rec.f64_list("billed").map_err(c)?;
+                    nd.minutes_down = rec.u64("down").map_err(c)?;
+                    nd.migrations_in = rec.u64("migr_in").map_err(c)?;
+                    nd.migrations_out = rec.u64("migr_out").map_err(c)?;
+                    nodes[k] = Some((nd, PriorityStructure::from_counts(pressure)));
+                }
+                "sched" => decode_ledger_row(&mut ledger, &rec)?,
+                other => {
+                    return Err(RecoverError::corrupt(format!(
+                        "unknown snapshot row kind {other:?}"
+                    )))
+                }
+            }
+        }
+
+        let injector =
+            injector.ok_or_else(|| RecoverError::corrupt("snapshot lacks an rng row"))?;
+        let state =
+            policy_state.ok_or_else(|| RecoverError::corrupt("snapshot lacks a policy row"))?;
+        let demand_history =
+            demand_history.ok_or_else(|| RecoverError::corrupt("snapshot lacks a demand row"))?;
+        let mut summary =
+            summary.ok_or_else(|| RecoverError::corrupt("snapshot lacks a summary row"))?;
+        summary.ops_events =
+            ops.ok_or_else(|| RecoverError::corrupt("snapshot lacks an ops row"))?;
+        let reqs = reqs.ok_or_else(|| RecoverError::corrupt("snapshot lacks a reqs row"))?;
+        let queue_rec = queue.ok_or_else(|| RecoverError::corrupt("snapshot lacks a queue row"))?;
+
+        let arrival = reqs.u64_list("arrival").map_err(c)?;
+        let done = reqs.u64_list("done").map_err(c)?;
+        let warm = reqs.u64_list("warm").map_err(c)?;
+        let acc = reqs.f64_list("acc").map_err(c)?;
+        let failed = reqs.u64_list("failed").map_err(c)?;
+        let variant = reqs.u64_list("variant").map_err(c)?;
+        let retries = reqs.u64_list("retries").map_err(c)?;
+        let terminal = reqs.u64_list("terminal").map_err(c)?;
+        let gen = reqs.u64_list("gen").map_err(c)?;
+        let len = arrival.len();
+        if [
+            done.len(),
+            warm.len(),
+            acc.len(),
+            failed.len(),
+            variant.len(),
+            retries.len(),
+            terminal.len(),
+            gen.len(),
+        ]
+        .iter()
+        .any(|&l| l != len)
+        {
+            return Err(RecoverError::corrupt("reqs row lists disagree in length"));
+        }
+        let records: Vec<RequestRecord> = (0..len)
+            .map(|i| RequestRecord {
+                arrival_ms: arrival[i],
+                done_ms: done[i],
+                warm: warm[i] != 0,
+                accuracy_pct: acc[i],
+                failed: failed[i] != 0,
+            })
+            .collect();
+        let req_retries: Vec<u32> = retries
+            .into_iter()
+            .map(u32::try_from)
+            .collect::<Result<_, _>>()
+            .map_err(RecoverError::corrupt)?;
+
+        let qt = queue_rec.u64_list("t").map_err(c)?;
+        let qs = queue_rec.u64_list("s").map_err(c)?;
+        let qk = queue_rec.u64_list("kind").map_err(c)?;
+        let qa = queue_rec.u64_list("a").map_err(c)?;
+        let qb = queue_rec.u64_list("b").map_err(c)?;
+        let qc = queue_rec.u64_list("c").map_err(c)?;
+        let qd = queue_rec.u64_list("d").map_err(c)?;
+        if [qs.len(), qk.len(), qa.len(), qb.len(), qc.len(), qd.len()]
+            .iter()
+            .any(|&l| l != qt.len())
+        {
+            return Err(RecoverError::corrupt("queue row lists disagree in length"));
+        }
+        let mut entries = Vec::with_capacity(qt.len());
+        for i in 0..qt.len() {
+            entries.push((
+                qt[i],
+                qs[i],
+                decode_event(qk[i], [qa[i], qb[i], qc[i], qd[i]])?,
+            ));
+        }
+        let queue = EventQueue::from_parts(entries, head.u64("next_seq").map_err(c)?);
+
+        let fns: Vec<FnState> = fns
+            .into_iter()
+            .enumerate()
+            .map(|(f, st)| {
+                st.ok_or_else(|| RecoverError::corrupt(format!("snapshot lacks the fn row of {f}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let (nodes, pressure_priority): (Vec<NodeRt>, Vec<PriorityStructure>) = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(k, nd)| {
+                nd.ok_or_else(|| {
+                    RecoverError::corrupt(format!("snapshot lacks the node row of {k}"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .unzip();
+        let pending = fns.iter().map(|st| st.waiting.len()).sum();
+
+        policy
+            .restore_state(&state)
+            .map_err(RecoverError::corrupt)?;
+
+        let rs = RunState {
+            queue,
+            fns,
+            ledger,
+            records,
+            req_warm_variant: variant.into_iter().map(|v| v as usize).collect(),
+            req_retries,
+            req_done: terminal.into_iter().map(|d| d != 0).collect(),
+            req_gen: gen,
+            summary,
+            sampler: DurationSampler {
+                rng: sampler_rng,
+                profiler: Profiler::default(),
+            },
+            injector,
+            cap: self.config.max_concurrency.unwrap_or(u32::MAX),
+            pending,
+            pressure_priority,
+            nodes,
+            minute_requests: head.u64("minute_requests").map_err(c)?,
+            minute_violations: head.u64("minute_violations").map_err(c)?,
+            last_billed_mb: head.f64("last_billed").map_err(c)?,
+            prev_fallback: head.bool("fallback").map_err(c)?,
+            sink,
+        };
+        Ok(RuntimeSession {
+            rt: self,
+            policy,
+            fleet,
+            rs,
+            demand_history,
+            invoked_this_minute: head.bool("invoked").map_err(c)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Runtime, RuntimeConfig};
+    use crate::cluster::NodeCapacity;
+    use crate::fault::FaultPlan;
+    use crate::fleet::FleetConfig;
+    use crate::node::NodeFaultPlan;
+    use pulse_core::types::PulseConfig;
+    use pulse_sim::assignment::round_robin_assignment;
+    use pulse_sim::policies::{OpenWhiskFixed, PulsePolicy};
+    use pulse_sim::recover::RecoverError;
+
+    const HORIZON: usize = 240;
+
+    fn fixture() -> (
+        Runtime,
+        Vec<pulse_models::ModelFamily>,
+        FaultPlan,
+        FleetConfig,
+    ) {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(23, HORIZON);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(5),
+                ..Default::default()
+            },
+        );
+        let plan = FaultPlan::uniform(0.05, 0.05, 0.03, 42);
+        let fleet = FleetConfig::uniform(3, NodeCapacity::gb(6.0))
+            .with_node_faults(NodeFaultPlan::rolling_crashes(3, 10, 6, 30, HORIZON as u64));
+        (rt, fams, plan, fleet)
+    }
+
+    fn pulse(fams: &[pulse_models::ModelFamily]) -> PulsePolicy {
+        PulsePolicy::new(fams.to_vec(), PulseConfig::default())
+    }
+
+    #[test]
+    fn kill_restore_resume_is_bit_identical_under_fleet_faults() {
+        let (rt, fams, plan, fleet) = fixture();
+        let mut whole_policy = pulse(&fams);
+        let whole = rt.run_with_fleet(&mut whole_policy, &plan, &fleet);
+
+        let mut probe_policy = pulse(&fams);
+        let mut probe = rt.fleet_session(&mut probe_policy, &plan, fleet.clone());
+        let mut total = 0usize;
+        while probe.step().is_some() {
+            total += 1;
+        }
+        drop(probe);
+
+        for kill_after in [total / 7, (total * 4) / 5] {
+            let mut p1 = pulse(&fams);
+            let mut sess = rt.fleet_session(&mut p1, &plan, fleet.clone());
+            for _ in 0..kill_after {
+                assert!(sess.step().is_some(), "kill point beyond the run");
+            }
+            let snap = sess.snapshot().unwrap();
+            drop(sess);
+
+            let mut p2 = pulse(&fams);
+            let mut resumed = rt
+                .restore_fleet_session(&mut p2, &plan, fleet.clone(), &snap)
+                .unwrap();
+            while resumed.step().is_some() {}
+            let resumed = resumed.finish();
+            assert_eq!(
+                whole.keepalive_cost_usd.to_bits(),
+                resumed.keepalive_cost_usd.to_bits(),
+                "cost diverged for kill point {kill_after}"
+            );
+            assert_eq!(
+                format!("{whole:?}"),
+                format!("{resumed:?}"),
+                "summary diverged for kill point {kill_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_fails_soft_on_skew_mismatch_and_garbage() {
+        let (rt, fams, plan, fleet) = fixture();
+        let mut p = pulse(&fams);
+        let mut sess = rt.fleet_session(&mut p, &plan, fleet.clone());
+        for _ in 0..200 {
+            sess.step();
+        }
+        let snap = sess.snapshot().unwrap();
+        drop(sess);
+
+        let skewed = snap.replacen("\"version\":1", "\"version\":9", 1);
+        let mut p2 = pulse(&fams);
+        assert!(matches!(
+            rt.restore_fleet_session(&mut p2, &plan, fleet.clone(), &skewed),
+            Err(RecoverError::VersionSkew { found: 9, .. })
+        ));
+
+        let mut other = OpenWhiskFixed::new(&fams);
+        assert!(matches!(
+            rt.restore_fleet_session(&mut other, &plan, fleet.clone(), &snap),
+            Err(RecoverError::PolicyMismatch { .. })
+        ));
+
+        let mut p3 = pulse(&fams);
+        let other_plan = FaultPlan::uniform(0.05, 0.05, 0.03, 43);
+        assert!(matches!(
+            rt.restore_fleet_session(&mut p3, &other_plan, fleet.clone(), &snap),
+            Err(RecoverError::ConfigMismatch { what: "plan", .. })
+        ));
+
+        let mut p4 = pulse(&fams);
+        let other_fleet = FleetConfig::uniform(2, NodeCapacity::gb(6.0));
+        assert!(matches!(
+            rt.restore_fleet_session(&mut p4, &plan, other_fleet, &snap),
+            Err(RecoverError::ConfigMismatch { what: "fleet", .. })
+        ));
+
+        for garbage in ["", "nonsense", "{\"type\":\"snapshot\"}"] {
+            let mut p5 = pulse(&fams);
+            assert!(
+                rt.restore_fleet_session(&mut p5, &plan, fleet.clone(), garbage)
+                    .is_err(),
+                "garbage {garbage:?} must fail soft"
+            );
+        }
+    }
+}

@@ -15,11 +15,15 @@
 
 use crate::metrics::RunMetrics;
 use crate::policy::KeepAlivePolicy;
+use crate::recover::{
+    check_fingerprint, decode_ledger_row, decode_metrics, encode_ledger, encode_metrics,
+    fingerprint_of, RecoverError, SNAPSHOT_VERSION,
+};
 use pulse_core::global::DowngradeAction;
 use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
 use pulse_core::types::Minute;
 use pulse_models::{CostModel, ModelFamily};
-use pulse_obs::{emit, ActionSource, ObsEvent, TraceSink};
+use pulse_obs::{emit, ActionSource, ObsEvent, Record, RecordBuilder, TraceSink};
 use pulse_trace::Trace;
 
 /// Trace-driven serverless platform simulator.
@@ -120,6 +124,128 @@ impl Simulator {
         while session.step_minute().is_some() {}
         session.finish()
     }
+
+    /// Fingerprint of this simulator's workload identity (trace + families
+    /// + cost model) — stamped into snapshots and checked on restore.
+    fn workload_fingerprint(&self) -> u64 {
+        fingerprint_of(&(&self.trace, &self.families, &self.cost))
+    }
+
+    /// Resume a run killed after [`SimSession::snapshot`]: rebuild the
+    /// session so that stepping it to completion is bit-identical to the
+    /// uninterrupted run. `policy` must be freshly constructed with the same
+    /// arguments as the snapshotted one (same seeds/config); its learned
+    /// state is re-injected through
+    /// [`KeepAlivePolicy::restore_state`]. Fails soft with a typed
+    /// [`RecoverError`] on version skew, corruption, or a workload/policy
+    /// mismatch.
+    pub fn restore_session<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        snapshot: &str,
+    ) -> Result<SimSession<'a>, RecoverError> {
+        self.restore_session_impl(policy, snapshot, None)
+    }
+
+    /// [`Self::restore_session`] with a [`TraceSink`] attached: events
+    /// re-emitted by the resumed run continue the stream exactly where the
+    /// killed run's journal left off.
+    pub fn restore_session_traced<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        snapshot: &str,
+        sink: &'a mut dyn TraceSink,
+    ) -> Result<SimSession<'a>, RecoverError> {
+        self.restore_session_impl(policy, snapshot, Some(sink))
+    }
+
+    fn restore_session_impl<'a>(
+        &'a self,
+        policy: &'a mut dyn KeepAlivePolicy,
+        snapshot: &str,
+        sink: Option<&'a mut dyn TraceSink>,
+    ) -> Result<SimSession<'a>, RecoverError> {
+        let c = |e: pulse_obs::ParseError| RecoverError::corrupt(e);
+        let mut lines = snapshot.lines().filter(|l| !l.trim().is_empty());
+        let head = lines
+            .next()
+            .ok_or_else(|| RecoverError::corrupt("empty snapshot"))?;
+        let head = Record::parse(head).map_err(c)?;
+        if head.kind() != "snapshot" {
+            return Err(RecoverError::corrupt(format!(
+                "expected a snapshot header, got {:?}",
+                head.kind()
+            )));
+        }
+        let version = head.u64("version").map_err(c)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(RecoverError::VersionSkew {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let engine = head.str("engine").map_err(c)?;
+        if engine != "sim" {
+            return Err(RecoverError::corrupt(format!(
+                "snapshot is for the {engine:?} engine, not \"sim\""
+            )));
+        }
+        check_fingerprint(
+            "workload",
+            head.u64("workload").map_err(c)?,
+            self.workload_fingerprint(),
+        )?;
+        let expected_policy = head.str("policy").map_err(c)?;
+        if expected_policy != policy.name() {
+            return Err(RecoverError::PolicyMismatch {
+                expected: expected_policy.to_string(),
+                found: policy.name().to_string(),
+            });
+        }
+
+        let mut metrics = None;
+        let mut demand_history = None;
+        let mut ledger = ScheduleLedger::new(self.families.len());
+        let mut policy_state = None;
+        for line in lines {
+            let rec = Record::parse(line).map_err(c)?;
+            match rec.kind() {
+                "metrics" => metrics = Some(decode_metrics(&rec)?),
+                "demand" => {
+                    demand_history = Some(rec.f64_list("history").map_err(c)?);
+                }
+                "policy" => policy_state = Some(rec.str("state").map_err(c)?.to_string()),
+                "sched" => decode_ledger_row(&mut ledger, &rec)?,
+                other => {
+                    return Err(RecoverError::corrupt(format!(
+                        "unknown snapshot row kind {other:?}"
+                    )))
+                }
+            }
+        }
+        let metrics =
+            metrics.ok_or_else(|| RecoverError::corrupt("snapshot lacks a metrics row"))?;
+        let demand_history =
+            demand_history.ok_or_else(|| RecoverError::corrupt("snapshot lacks a demand row"))?;
+        let state =
+            policy_state.ok_or_else(|| RecoverError::corrupt("snapshot lacks a policy row"))?;
+        policy
+            .restore_state(&state)
+            .map_err(RecoverError::corrupt)?;
+
+        Ok(SimSession {
+            sim: self,
+            policy,
+            metrics,
+            ledger,
+            demand_history,
+            invoked_last_minute: head.bool("invoked").map_err(c)?,
+            next: head.u64("next").map_err(c)?,
+            minutes: self.trace.minutes() as Minute,
+            sink,
+            prev_fallback: head.bool("fallback").map_err(c)?,
+        })
+    }
 }
 
 /// An in-flight minute-engine run: the trace is consumed one minute per
@@ -183,6 +309,42 @@ impl SimSession<'_> {
     /// Drive the run to completion and return the metrics ([`Simulator::run`]).
     pub fn finish(self) -> RunMetrics {
         self.metrics
+    }
+
+    /// Capture the full resumable state of this run as a versioned snapshot
+    /// document. Restoring it with [`Simulator::restore_session`] (same
+    /// workload, a fresh same-seeded policy) and stepping to completion is
+    /// bit-identical to never having stopped. Fails with
+    /// [`RecoverError::NotCheckpointable`] when the policy cannot export its
+    /// state.
+    pub fn snapshot(&self) -> Result<String, RecoverError> {
+        let state =
+            self.policy
+                .checkpoint_state()
+                .ok_or_else(|| RecoverError::NotCheckpointable {
+                    policy: self.policy.name().to_string(),
+                })?;
+        let mut doc = RecordBuilder::new("snapshot")
+            .u64("version", SNAPSHOT_VERSION)
+            .str("engine", "sim")
+            .u64("workload", self.sim.workload_fingerprint())
+            .str("policy", self.policy.name())
+            .u64("next", self.next)
+            .bool("invoked", self.invoked_last_minute)
+            .bool("fallback", self.prev_fallback)
+            .finish();
+        doc.push('\n');
+        doc.push_str(&encode_metrics(&self.metrics));
+        doc.push('\n');
+        doc.push_str(
+            &RecordBuilder::new("demand")
+                .f64_list("history", &self.demand_history)
+                .finish(),
+        );
+        doc.push('\n');
+        doc.push_str(&RecordBuilder::new("policy").str("state", &state).finish());
+        encode_ledger(&mut doc, &self.ledger);
+        Ok(doc)
     }
 
     /// Stage 1: cross-function adjustment on the pre-invocation alive set,
@@ -632,6 +794,91 @@ mod tests {
         for ev in mem.events() {
             assert_eq!(&ObsEvent::from_json(&ev.to_json()).unwrap(), ev);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_resume_is_bit_identical() {
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(23, 800);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let whole = sim.run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+
+        let mut killed = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        let mut session = sim.session(&mut killed);
+        for _ in 0..317 {
+            session.step_minute();
+        }
+        let snap = session.snapshot().unwrap();
+        drop(session); // the "kill"
+
+        let mut fresh = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        let mut resumed = sim.restore_session(&mut fresh, &snap).unwrap();
+        assert_eq!(resumed.next_minute(), 317);
+        while resumed.step_minute().is_some() {}
+        let m = resumed.finish();
+        assert_eq!(
+            m.keepalive_cost_usd.to_bits(),
+            whole.keepalive_cost_usd.to_bits()
+        );
+        assert_eq!(m.service_time_s.to_bits(), whole.service_time_s.to_bits());
+        assert_eq!(
+            m.accuracy_sum_pct.to_bits(),
+            whole.accuracy_sum_pct.to_bits()
+        );
+        assert_eq!(m.cold_starts, whole.cold_starts);
+        assert_eq!(m.warm_starts, whole.warm_starts);
+        assert_eq!(m.downgrades, whole.downgrades);
+        assert_eq!(m.memory_series_mb, whole.memory_series_mb);
+        assert_eq!(m.cost_series_usd, whole.cost_series_usd);
+    }
+
+    #[test]
+    fn restore_fails_soft_on_skew_mismatch_and_garbage() {
+        use crate::recover::RecoverError;
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(5, 120);
+        let fams: Vec<ModelFamily> = (0..12).map(|i| zoo::standard()[i % 5].clone()).collect();
+        let sim = Simulator::new(trace, fams.clone());
+        let mut p = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        let mut session = sim.session(&mut p);
+        for _ in 0..40 {
+            session.step_minute();
+        }
+        let snap = session.snapshot().unwrap();
+        drop(session);
+
+        // Version skew is detected before anything else is trusted.
+        let skewed = snap.replacen("\"version\":1", "\"version\":9", 1);
+        let mut q = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        assert!(matches!(
+            sim.restore_session(&mut q, &skewed),
+            Err(RecoverError::VersionSkew { found: 9, .. })
+        ));
+        // The wrong policy is a typed mismatch.
+        let mut ow = OpenWhiskFixed::new(&fams);
+        assert!(matches!(
+            sim.restore_session(&mut ow, &snap),
+            Err(RecoverError::PolicyMismatch { .. })
+        ));
+        // A different workload is a fingerprint mismatch.
+        let other = Simulator::new(
+            pulse_trace::synth::azure_like_12_with_horizon(6, 120),
+            fams.clone(),
+        );
+        let mut q = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        assert!(matches!(
+            other.restore_session(&mut q, &snap),
+            Err(RecoverError::ConfigMismatch {
+                what: "workload",
+                ..
+            })
+        ));
+        // Garbage never panics.
+        let mut q = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        assert!(sim.restore_session(&mut q, "").is_err());
+        assert!(sim.restore_session(&mut q, "not json").is_err());
+        assert!(sim
+            .restore_session(&mut q, "{\"type\":\"snapshot\",\"version\":1}")
+            .is_err());
     }
 
     #[test]

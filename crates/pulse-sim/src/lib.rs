@@ -44,17 +44,22 @@
 //!   mean/σ aggregation;
 //! * [`watchdog`] — a guardrailed wrapper over any policy that falls back to
 //!   the fixed 10-minute baseline (with hysteresis) when the policy's
-//!   SLO-violation rate or keep-alive overspend goes bad.
+//!   SLO-violation rate or keep-alive overspend goes bad;
+//! * [`recover`] — crash-consistent checkpointing: versioned snapshots
+//!   ([`SimSession::snapshot`] / [`Simulator::restore_session`]) with typed
+//!   soft-failure errors, shared with the event-driven runtime.
 
 pub mod assignment;
 pub mod engine;
 pub mod metrics;
 pub mod policies;
 pub mod policy;
+pub mod recover;
 pub mod runner;
 pub mod watchdog;
 
 pub use engine::{SimSession, Simulator};
 pub use metrics::RunMetrics;
 pub use policy::{KeepAlivePolicy, MinuteObservation};
+pub use recover::{RecoverError, SNAPSHOT_VERSION};
 pub use watchdog::{Watchdog, WatchdogConfig};

@@ -77,6 +77,26 @@ pub trait KeepAlivePolicy: Send {
     fn in_fallback(&self) -> bool {
         false
     }
+
+    /// Serialize the policy's mutable state for checkpointing, or `None`
+    /// when the policy does not support checkpoint/restore (the default).
+    /// Stateless policies return an empty string. The format is
+    /// policy-private: it only needs to round-trip through
+    /// [`Self::restore_state`] on a policy rebuilt with the same constructor
+    /// arguments (including seeds).
+    fn checkpoint_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restore state captured by [`Self::checkpoint_state`] into a policy
+    /// rebuilt with the same constructor arguments.
+    ///
+    /// # Errors
+    /// Returns a description of the problem when the policy does not support
+    /// checkpointing (the default) or the state does not fit this policy.
+    fn restore_state(&mut self, _state: &str) -> Result<(), String> {
+        Err(format!("policy {:?} is not checkpointable", self.name()))
+    }
 }
 
 /// Boxed policies forward everything, so wrappers generic over
@@ -118,6 +138,14 @@ impl<P: KeepAlivePolicy + ?Sized> KeepAlivePolicy for Box<P> {
 
     fn in_fallback(&self) -> bool {
         (**self).in_fallback()
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        (**self).checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        (**self).restore_state(state)
     }
 }
 

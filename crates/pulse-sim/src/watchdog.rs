@@ -32,6 +32,7 @@ use pulse_core::global::{AliveModel, DowngradeAction};
 use pulse_core::individual::KeepAliveSchedule;
 use pulse_core::types::{FuncId, Minute};
 use pulse_models::{ModelFamily, VariantId};
+use pulse_obs::{Record, RecordBuilder};
 use std::collections::VecDeque;
 
 /// Guardrails and hysteresis for [`Watchdog`].
@@ -254,6 +255,87 @@ impl<P: KeepAlivePolicy> KeepAlivePolicy for Watchdog<P> {
 
     fn in_fallback(&self) -> bool {
         self.in_fallback
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let inner = self.inner.checkpoint_state()?;
+        let mut win_requests = Vec::with_capacity(self.window.len());
+        let mut win_violations = Vec::with_capacity(self.window.len());
+        let mut win_keepalive = Vec::with_capacity(self.window.len());
+        for &(r, v, mb) in &self.window {
+            win_requests.push(r);
+            win_violations.push(v);
+            win_keepalive.push(mb);
+        }
+        let tr_minutes: Vec<u64> = self.transitions.iter().map(|t| t.minute).collect();
+        let tr_fallback: Vec<u64> = self
+            .transitions
+            .iter()
+            .map(|t| u64::from(t.to_fallback))
+            .collect();
+        Some(
+            RecordBuilder::new("watchdog")
+                .u64_list("win_requests", &win_requests)
+                .u64_list("win_violations", &win_violations)
+                .f64_list("win_keepalive_mb", &win_keepalive)
+                .u64("sum_requests", self.sum_requests)
+                .u64("sum_violations", self.sum_violations)
+                .f64("sum_keepalive_mb", self.sum_keepalive_mb)
+                .u64("streak_breached", u64::from(self.streak_breached))
+                .u64("streak_healthy", u64::from(self.streak_healthy))
+                .bool("in_fallback", self.in_fallback)
+                .u64("fallback_minutes", self.fallback_minutes)
+                .u64_list("transition_minutes", &tr_minutes)
+                .u64_list("transition_to_fallback", &tr_fallback)
+                .str("inner", &inner)
+                .finish(),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let rec = Record::parse(state).map_err(|e| e.to_string())?;
+        if rec.kind() != "watchdog" {
+            return Err(format!("expected watchdog state, got {:?}", rec.kind()));
+        }
+        let err = |e: pulse_obs::ParseError| e.to_string();
+        let win_requests = rec.u64_list("win_requests").map_err(err)?;
+        let win_violations = rec.u64_list("win_violations").map_err(err)?;
+        let win_keepalive = rec.f64_list("win_keepalive_mb").map_err(err)?;
+        if win_requests.len() != win_violations.len() || win_requests.len() != win_keepalive.len() {
+            return Err("watchdog window series lengths differ".to_string());
+        }
+        let tr_minutes = rec.u64_list("transition_minutes").map_err(err)?;
+        let tr_fallback = rec.u64_list("transition_to_fallback").map_err(err)?;
+        if tr_minutes.len() != tr_fallback.len() {
+            return Err("watchdog transition series lengths differ".to_string());
+        }
+        let streak_breached = u32::try_from(rec.u64("streak_breached").map_err(err)?)
+            .map_err(|_| "streak_breached overflows u32".to_string())?;
+        let streak_healthy = u32::try_from(rec.u64("streak_healthy").map_err(err)?)
+            .map_err(|_| "streak_healthy overflows u32".to_string())?;
+        self.inner.restore_state(rec.str("inner").map_err(err)?)?;
+        self.window = win_requests
+            .iter()
+            .zip(&win_violations)
+            .zip(&win_keepalive)
+            .map(|((&r, &v), &mb)| (r, v, mb))
+            .collect();
+        self.sum_requests = rec.u64("sum_requests").map_err(err)?;
+        self.sum_violations = rec.u64("sum_violations").map_err(err)?;
+        self.sum_keepalive_mb = rec.f64("sum_keepalive_mb").map_err(err)?;
+        self.streak_breached = streak_breached;
+        self.streak_healthy = streak_healthy;
+        self.in_fallback = rec.bool("in_fallback").map_err(err)?;
+        self.fallback_minutes = rec.u64("fallback_minutes").map_err(err)?;
+        self.transitions = tr_minutes
+            .iter()
+            .zip(&tr_fallback)
+            .map(|(&minute, &fb)| WatchdogTransition {
+                minute,
+                to_fallback: fb != 0,
+            })
+            .collect();
+        Ok(())
     }
 }
 

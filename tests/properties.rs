@@ -206,3 +206,160 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Crash-recovery properties: snapshot at *any* point, restore, resume —
+// bit-identical to the uninterrupted run for arbitrary workloads and fault
+// plans; corrupt or stale snapshots fail with typed errors, never a panic.
+// ---------------------------------------------------------------------------
+
+/// Build an arbitrary small trace + matching families from proptest counts.
+fn arb_workload(counts: &[Vec<u32>]) -> (pulse::trace::Trace, Vec<pulse::models::ModelFamily>) {
+    use pulse::prelude::*;
+    let len = counts.iter().map(|c| c.len()).min().unwrap_or(0);
+    let functions: Vec<FunctionTrace> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| FunctionTrace::new(format!("f{i}"), c[..len].to_vec()))
+        .collect();
+    let trace = Trace::new(functions);
+    let z = zoo::standard();
+    let fams: Vec<_> = (0..trace.n_functions())
+        .map(|i| z[i % z.len()].clone())
+        .collect();
+    (trace, fams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Minute engine: kill at an arbitrary minute of an arbitrary workload,
+    /// restore, resume — equal to never stopping.
+    #[test]
+    fn sim_snapshot_at_any_minute_resumes_identically(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0u32..3, 40..90), 1..4
+        ),
+        kill_frac in 0.0f64..1.0,
+    ) {
+        use pulse::prelude::*;
+        let (trace, fams) = arb_workload(&counts);
+        let minutes = trace.minutes() as u64;
+        let kill = ((minutes as f64 * kill_frac) as u64).min(minutes.saturating_sub(1));
+        let sim = Simulator::new(trace, fams.clone());
+        let make = || PulsePolicy::new(fams.clone(), pulse::core::PulseConfig::default());
+
+        let whole = sim.run(&mut make());
+        let mut p1 = make();
+        let mut sess = sim.session(&mut p1);
+        while sess.next_minute() < kill && sess.step_minute().is_some() {}
+        let snap = sess.snapshot().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        drop(sess);
+        let mut p2 = make();
+        let mut resumed = sim
+            .restore_session(&mut p2, &snap)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        while resumed.step_minute().is_some() {}
+        let resumed = resumed.finish();
+        prop_assert_eq!(&whole, &resumed);
+        prop_assert_eq!(
+            whole.keepalive_cost_usd.to_bits(),
+            resumed.keepalive_cost_usd.to_bits()
+        );
+    }
+
+    /// Event-driven runtime: kill after an arbitrary number of events under
+    /// an arbitrary fault plan (both RNG cursors live), restore, resume —
+    /// equal to never stopping.
+    #[test]
+    fn runtime_snapshot_at_any_event_resumes_identically(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0u32..3, 40..80), 1..3
+        ),
+        kill_events in 0usize..600,
+        prov in 0.0f64..0.3,
+        crash in 0.0f64..0.2,
+        fault_seed in any::<u64>(),
+    ) {
+        use pulse::prelude::*;
+        use pulse::runtime::{ClusterConfig, FaultPlan, FleetConfig, Runtime, RuntimeConfig};
+        let (trace, fams) = arb_workload(&counts);
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                stochastic_seed: Some(fault_seed ^ 0x5eed),
+                ..RuntimeConfig::default()
+            },
+        );
+        let plan = FaultPlan::uniform(prov, prov / 2.0, crash, fault_seed);
+        let fleet = FleetConfig::from_cluster(ClusterConfig::unlimited());
+        let make = || PulsePolicy::new(fams.clone(), pulse::core::PulseConfig::default());
+
+        let mut whole_p = make();
+        let whole = rt.run_with_fleet(&mut whole_p, &plan, &fleet);
+        let mut p1 = make();
+        let mut sess = rt.fleet_session(&mut p1, &plan, fleet.clone());
+        for _ in 0..kill_events {
+            if sess.step().is_none() {
+                break;
+            }
+        }
+        let snap = sess.snapshot().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        drop(sess);
+        let mut p2 = make();
+        let mut resumed = rt
+            .restore_fleet_session(&mut p2, &plan, fleet.clone(), &snap)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        while resumed.step().is_some() {}
+        let resumed = resumed.finish();
+        prop_assert_eq!(&whole.records, &resumed.records);
+        prop_assert_eq!(format!("{whole:?}"), format!("{resumed:?}"));
+    }
+}
+
+proptest! {
+    /// Arbitrary garbage — and arbitrary corruptions of a valid snapshot —
+    /// are rejected with a typed error on both engines; restore never
+    /// panics.
+    #[test]
+    fn corrupt_snapshots_fail_soft_never_panic(
+        garbage_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        cut_frac in 0.0f64..1.0,
+        splice_bytes in proptest::collection::vec(32u8..127, 0..30),
+    ) {
+        use pulse::prelude::*;
+        use pulse::runtime::{ClusterConfig, FaultPlan, FleetConfig, Runtime, RuntimeConfig};
+        let trace = Trace::new(vec![FunctionTrace::new("f", vec![1, 0, 2, 0, 1, 0, 0, 1])]);
+        let fams = vec![zoo::bert()];
+        let sim = Simulator::new(trace.clone(), fams.clone());
+        let make = || PulsePolicy::new(fams.clone(), pulse::core::PulseConfig::default());
+        let mut p = make();
+        let mut sess = sim.session(&mut p);
+        for _ in 0..4 {
+            sess.step_minute();
+        }
+        let snap = sess.snapshot().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        drop(sess);
+        let garbage = String::from_utf8_lossy(&garbage_bytes).into_owned();
+        let splice = String::from_utf8_lossy(&splice_bytes).into_owned();
+
+        // Corrupt the valid snapshot: truncate at an arbitrary char
+        // boundary and splice arbitrary printable bytes in.
+        let cut = ((snap.len() as f64) * cut_frac) as usize;
+        let cut = (0..=cut).rev().find(|&i| snap.is_char_boundary(i)).unwrap_or(0);
+        let corrupted = format!("{}{}", &snap[..cut], splice);
+
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let fleet = FleetConfig::from_cluster(ClusterConfig::unlimited());
+        for doc in [garbage.as_str(), corrupted.as_str()] {
+            // Either a typed error, or (for corruptions that happen to stay
+            // well-formed, e.g. a truncation splicing into a valid prefix)
+            // a successful restore — but never a panic.
+            let mut p = make();
+            let _ = sim.restore_session(&mut p, doc);
+            let mut p = make();
+            let _ = rt.restore_fleet_session(&mut p, &FaultPlan::none(), fleet.clone(), doc);
+        }
+    }
+}

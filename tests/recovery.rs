@@ -1,0 +1,436 @@
+//! Crash-consistent recovery: kill at any point → restore → resume must be
+//! bit-identical to the uninterrupted run, for every policy, on both
+//! engines, including the multi-node fleet path under node faults.
+//!
+//! CI's recovery job re-runs these under several seeds via PULSE_CHAOS_SEED.
+
+#![allow(clippy::float_cmp)] // bit-identity tests compare exact values
+
+use pulse::core::types::PulseConfig;
+use pulse::prelude::*;
+use pulse::sim::assignment::round_robin_assignment;
+use pulse::sim::RecoverError;
+
+fn zoo12() -> Vec<ModelFamily> {
+    round_robin_assignment(&pulse::models::zoo::standard(), 12)
+}
+
+/// Seed for the recovery scenarios; CI sweeps it, local runs default to 7.
+fn chaos_seed() -> u64 {
+    std::env::var("PULSE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Builds a fresh instance of a named policy (same factories as the
+/// robustness suite): restore requires a same-constructed policy, whose
+/// learned state the snapshot then re-injects.
+type PolicyFactory = Box<dyn Fn() -> Box<dyn KeepAlivePolicy>>;
+
+fn policy_factories(fams: &[ModelFamily], trace: &Trace) -> Vec<(&'static str, PolicyFactory)> {
+    use pulse::sim::policies::{
+        CapacityPulse, CapacityRandom, FixedVariant, IdealOracle, IntelligentOracle,
+        OpenWhiskFixed, PulsePolicy, RandomMix,
+    };
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let fams = fams.to_vec();
+    vec![
+        ("openwhisk", {
+            let f = fams.clone();
+            Box::new(move || Box::new(OpenWhiskFixed::new(&f)) as Box<dyn KeepAlivePolicy>)
+                as PolicyFactory
+        }),
+        ("pulse", {
+            let f = fams.clone();
+            Box::new(move || Box::new(PulsePolicy::new(f.clone(), PulseConfig::default())))
+        }),
+        ("intelligent", {
+            let (f, t) = (fams.clone(), trace.clone());
+            Box::new(move || Box::new(IntelligentOracle::new(&f, t.clone())))
+        }),
+        ("ideal", {
+            let (f, t) = (fams.clone(), trace.clone());
+            Box::new(move || Box::new(IdealOracle::new(&f, t.clone())))
+        }),
+        ("random-mix", {
+            let f = fams.clone();
+            Box::new(move || {
+                let mut rng = SmallRng::seed_from_u64(11);
+                Box::new(RandomMix::new(&f, &mut rng))
+            })
+        }),
+        ("fixed-low", {
+            let f = fams.clone();
+            Box::new(move || Box::new(FixedVariant::all_low(&f)))
+        }),
+        ("capacity-pulse", {
+            let f = fams.clone();
+            Box::new(move || {
+                Box::new(CapacityPulse::new(
+                    f.clone(),
+                    PulseConfig::default(),
+                    4000.0,
+                ))
+            })
+        }),
+        ("capacity-random", {
+            let f = fams.clone();
+            Box::new(move || {
+                Box::new(CapacityRandom::new(
+                    OpenWhiskFixed::new(&f),
+                    f.clone(),
+                    4000.0,
+                    13,
+                ))
+            })
+        }),
+    ]
+}
+
+/// Field-by-field bitwise comparison of two runtime summaries (the same
+/// contract the robustness suite pins for sink transparency).
+fn assert_summaries_bit_identical(
+    name: &str,
+    a: &pulse::runtime::RuntimeSummary,
+    b: &pulse::runtime::RuntimeSummary,
+) {
+    assert_eq!(a.records, b.records, "{name}: records diverged");
+    assert_eq!(
+        a.keepalive_cost_usd.to_bits(),
+        b.keepalive_cost_usd.to_bits(),
+        "{name}: cost not bitwise equal"
+    );
+    let am: Vec<u64> = a.memory_at_tick_mb.iter().map(|m| m.to_bits()).collect();
+    let bm: Vec<u64> = b.memory_at_tick_mb.iter().map(|m| m.to_bits()).collect();
+    assert_eq!(am, bm, "{name}: memory series diverged");
+    assert_eq!(
+        a.accuracy_penalty_pct.to_bits(),
+        b.accuracy_penalty_pct.to_bits(),
+        "{name}"
+    );
+    assert_eq!(a.downgrades, b.downgrades, "{name}");
+    assert_eq!(a.provision_failures, b.provision_failures, "{name}");
+    assert_eq!(a.provision_retries, b.provision_retries, "{name}");
+    assert_eq!(a.exec_crashes, b.exec_crashes, "{name}");
+    assert_eq!(a.request_retries, b.request_retries, "{name}");
+    assert_eq!(a.degradations, b.degradations, "{name}");
+    assert_eq!(a.timeouts, b.timeouts, "{name}");
+    assert_eq!(a.reaped, b.reaped, "{name}");
+    assert_eq!(a.shed_requests, b.shed_requests, "{name}");
+    assert_eq!(a.evictions, b.evictions, "{name}");
+    assert_eq!(a.pressure_downgrades, b.pressure_downgrades, "{name}");
+    assert_eq!(a.pressure_minutes, b.pressure_minutes, "{name}");
+    assert_eq!(a.fallback_minutes, b.fallback_minutes, "{name}");
+    assert_eq!(a.ops_events, b.ops_events, "{name}: ops events diverged");
+    assert_eq!(a.migrations, b.migrations, "{name}");
+    assert_eq!(a.migration_pause_ms, b.migration_pause_ms, "{name}");
+    assert_eq!(a.node_crashes, b.node_crashes, "{name}");
+    assert_eq!(a.node_partitions, b.node_partitions, "{name}");
+    assert_eq!(a.node_stragglers, b.node_stragglers, "{name}");
+    assert_eq!(a.node_recoveries, b.node_recoveries, "{name}");
+    assert_eq!(a.redispatched_requests, b.redispatched_requests, "{name}");
+    assert_eq!(a.node_loss_evictions, b.node_loss_evictions, "{name}");
+    assert_eq!(a.placement_failures, b.placement_failures, "{name}");
+    assert_eq!(a.node_shed_requests, b.node_shed_requests, "{name}");
+    assert_eq!(a.node_summaries, b.node_summaries, "{name}");
+}
+
+#[test]
+fn sim_kill_restore_resume_is_bit_identical_for_every_policy() {
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let whole = sim.run(make().as_mut());
+        for kill_minute in [1u64, 67, 199] {
+            let mut p1 = make();
+            let mut sess = sim.session(p1.as_mut());
+            while sess.next_minute() < kill_minute && sess.step_minute().is_some() {}
+            let snap = sess
+                .snapshot()
+                .unwrap_or_else(|e| panic!("{name}: snapshot at {kill_minute}: {e}"));
+            drop(sess);
+
+            let mut p2 = make();
+            let mut resumed = sim
+                .restore_session(p2.as_mut(), &snap)
+                .unwrap_or_else(|e| panic!("{name}: restore at {kill_minute}: {e}"));
+            while resumed.step_minute().is_some() {}
+            let resumed = resumed.finish();
+            assert_eq!(
+                whole, resumed,
+                "{name}: metrics diverged at kill {kill_minute}"
+            );
+            assert_eq!(
+                whole.keepalive_cost_usd.to_bits(),
+                resumed.keepalive_cost_usd.to_bits(),
+                "{name}: cost not bitwise equal at kill {kill_minute}"
+            );
+            let wm: Vec<u64> = whole.memory_series_mb.iter().map(|m| m.to_bits()).collect();
+            let rm: Vec<u64> = resumed
+                .memory_series_mb
+                .iter()
+                .map(|m| m.to_bits())
+                .collect();
+            assert_eq!(
+                wm, rm,
+                "{name}: memory series diverged at kill {kill_minute}"
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_kill_restore_resume_is_bit_identical_for_every_policy() {
+    use pulse::runtime::{ClusterConfig, FaultPlan, FleetConfig, Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 150);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // Request-level faults + stochastic durations: both RNG cursors must
+    // survive the kill. The cluster-compatible single-node path.
+    let plan = FaultPlan::uniform(0.1, 0.05, 0.02, seed).with_timeout_ms(120_000);
+    let fleet = FleetConfig::from_cluster(ClusterConfig::unlimited());
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let whole = rt.run_with_fleet(make().as_mut(), &plan, &fleet);
+        // Kill mid-minute, at an arbitrary event boundary.
+        for kill_events in [1usize, 1000] {
+            let mut p1 = make();
+            let mut sess = rt.fleet_session(p1.as_mut(), &plan, fleet.clone());
+            for _ in 0..kill_events {
+                if sess.step().is_none() {
+                    break;
+                }
+            }
+            let snap = sess
+                .snapshot()
+                .unwrap_or_else(|e| panic!("{name}: snapshot: {e}"));
+            drop(sess);
+
+            let mut p2 = make();
+            let mut resumed = rt
+                .restore_fleet_session(p2.as_mut(), &plan, fleet.clone(), &snap)
+                .unwrap_or_else(|e| panic!("{name}: restore: {e}"));
+            while resumed.step().is_some() {}
+            assert_summaries_bit_identical(name, &whole, &resumed.finish());
+        }
+    }
+}
+
+#[test]
+fn fleet_kill_restore_resume_is_bit_identical_for_every_policy() {
+    use pulse::runtime::{
+        FaultPlan, FleetConfig, NodeCapacity, NodeFaultPlan, Runtime, RuntimeConfig,
+    };
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 200);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    // The full stack at once: capped nodes, rolling node crashes (warm
+    // migrations, redispatch), bounded per-node admission, request-level
+    // faults. A kill must lose none of it.
+    let all_high: f64 = fams.iter().map(|f| f.highest().memory_mb).sum();
+    let fleet = FleetConfig::uniform(3, NodeCapacity::mb(all_high * 0.45))
+        .with_node_admission(64)
+        .with_node_faults(NodeFaultPlan::rolling_crashes(3, 10, 6, 30, 200));
+    let plan = FaultPlan::uniform(0.05, 0.02, 0.02, seed);
+    for (name, make) in &policy_factories(&fams, &trace) {
+        let whole = rt.run_with_fleet(make().as_mut(), &plan, &fleet);
+        let mut p1 = make();
+        let mut sess = rt.fleet_session(p1.as_mut(), &plan, fleet.clone());
+        for _ in 0..2500 {
+            if sess.step().is_none() {
+                break;
+            }
+        }
+        let snap = sess
+            .snapshot()
+            .unwrap_or_else(|e| panic!("{name}: snapshot: {e}"));
+        drop(sess);
+
+        let mut p2 = make();
+        let mut resumed = rt
+            .restore_fleet_session(p2.as_mut(), &plan, fleet.clone(), &snap)
+            .unwrap_or_else(|e| panic!("{name}: restore: {e}"));
+        while resumed.step().is_some() {}
+        assert_summaries_bit_identical(name, &whole, &resumed.finish());
+    }
+}
+
+#[test]
+fn watchdog_wrapped_policy_recovers_bit_identically() {
+    use pulse::runtime::{FaultPlan, FleetConfig, NodeCapacity, Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 150);
+    let fams = zoo12();
+    let rt = Runtime::new(
+        trace.clone(),
+        fams.clone(),
+        RuntimeConfig {
+            stochastic_seed: Some(seed),
+            ..RuntimeConfig::default()
+        },
+    );
+    let plan = FaultPlan::uniform(0.2, 0.1, 0.05, seed).with_timeout_ms(120_000);
+    let fleet = FleetConfig::uniform(1, NodeCapacity::unlimited());
+    let make = || {
+        Watchdog::new(
+            Box::new(pulse::sim::policies::PulsePolicy::new(
+                fams.clone(),
+                PulseConfig::default(),
+            )),
+            &fams,
+            WatchdogConfig::default(),
+        )
+    };
+    let mut whole_p = make();
+    let whole = rt.run_with_fleet(&mut whole_p, &plan, &fleet);
+
+    let mut p1 = make();
+    let mut sess = rt.fleet_session(&mut p1, &plan, fleet.clone());
+    for _ in 0..1500 {
+        if sess.step().is_none() {
+            break;
+        }
+    }
+    let snap = sess.snapshot().expect("watchdog snapshot");
+    drop(sess);
+
+    let mut p2 = make();
+    let mut resumed = rt
+        .restore_fleet_session(&mut p2, &plan, fleet.clone(), &snap)
+        .expect("watchdog restore");
+    while resumed.step().is_some() {}
+    assert_summaries_bit_identical("watchdog(pulse)", &whole, &resumed.finish());
+}
+
+#[test]
+fn journal_replay_recovers_both_engines_after_torn_write() {
+    use pulse::obs::{first_divergence, replay_journal, JournalSink, MemorySink};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 120);
+    let fams = zoo12();
+    let sim = Simulator::new(trace.clone(), fams.clone());
+
+    // Journaled run: checkpoint at minute 40, keep tracing, killed at
+    // minute 90 with a torn final line.
+    let mut policy = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+    let mut journal = JournalSink::new(Vec::new());
+    let mut sess = sim.session_traced(&mut policy, &mut journal);
+    while sess.next_minute() < 40 && sess.step_minute().is_some() {}
+    let snap = sess.snapshot().expect("checkpoint snapshot");
+    drop(sess);
+    journal.checkpoint(&snap);
+    let mut sess = sim
+        .restore_session_traced(&mut policy, &snap, &mut journal)
+        .expect("continue after checkpoint");
+    while sess.next_minute() < 90 && sess.step_minute().is_some() {}
+    drop(sess);
+    let mut text = String::from_utf8(journal.into_inner()).expect("journal is utf-8");
+    text.push_str("{\"type\":\"bill\",\"mi"); // torn final write
+
+    let replay = replay_journal(&text).expect("torn tail must not fail replay");
+    assert!(replay.torn_tail);
+    let (_, ckpt) = replay.last_checkpoint.as_ref().expect("checkpoint present");
+
+    // Recover: restore the checkpoint, resume, and demand the re-emitted
+    // events reproduce the journal tail exactly.
+    let mut fresh = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+    let mut resume_sink = MemorySink::new();
+    let mut resumed = sim
+        .restore_session_traced(&mut fresh, ckpt, &mut resume_sink)
+        .expect("recovery restore");
+    while resumed.step_minute().is_some() {}
+    let resumed = resumed.finish();
+
+    let whole = sim.run(&mut pulse::sim::policies::PulsePolicy::new(
+        fams.clone(),
+        PulseConfig::default(),
+    ));
+    assert_eq!(whole, resumed, "recovered run diverged from uninterrupted");
+
+    let events = resume_sink.events();
+    assert!(
+        events.len() >= replay.tail.len(),
+        "resumed run emitted too few events"
+    );
+    assert_eq!(
+        first_divergence(&replay.tail, &events[..replay.tail.len()]),
+        None,
+        "journal tail not reproduced"
+    );
+}
+
+#[test]
+fn snapshot_failures_are_typed_and_soft_on_both_engines() {
+    use pulse::runtime::{ClusterConfig, FaultPlan, FleetConfig, Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 60);
+    let fams = zoo12();
+
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    let mut policy = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+    let mut sess = sim.session(&mut policy);
+    for _ in 0..20 {
+        sess.step_minute();
+    }
+    let snap = sess.snapshot().expect("snapshot");
+    drop(sess);
+
+    // Version skew.
+    let skewed = snap.replacen("\"version\":1", "\"version\":77", 1);
+    let mut p = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+    assert!(matches!(
+        sim.restore_session(&mut p, &skewed),
+        Err(RecoverError::VersionSkew { found: 77, .. })
+    ));
+    // Wrong policy.
+    let mut other = pulse::sim::policies::OpenWhiskFixed::new(&fams);
+    assert!(matches!(
+        sim.restore_session(&mut other, &snap),
+        Err(RecoverError::PolicyMismatch { .. })
+    ));
+    // Wrong engine: a sim snapshot offered to the runtime (and the runtime
+    // stamps its own fingerprints, so even the header is rejected typed).
+    let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+    let fleet = FleetConfig::from_cluster(ClusterConfig::unlimited());
+    let mut p = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+    assert!(rt
+        .restore_fleet_session(&mut p, &FaultPlan::none(), fleet.clone(), &snap)
+        .is_err());
+    // Garbage never panics.
+    for garbage in [
+        "",
+        "\n\n",
+        "not json",
+        "{\"type\":\"snapshot\"}",
+        "{\"type\":\"x\"}",
+    ] {
+        let mut p = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+        assert!(sim.restore_session(&mut p, garbage).is_err(), "{garbage:?}");
+        let mut p = pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+        assert!(
+            rt.restore_fleet_session(&mut p, &FaultPlan::none(), fleet.clone(), garbage)
+                .is_err(),
+            "{garbage:?}"
+        );
+    }
+}
