@@ -1,8 +1,16 @@
 //! Figure 9a: per-peak decision overhead — PULSE's greedy downgrade loop vs
-//! the exact branch-and-bound MILP on identical peak instances.
+//! the exact branch-and-bound MILP on identical peak instances, plus the
+//! heap-vs-scan victim-selection comparison at fleet scale.
+//!
+//! Run with `PULSE_BENCH_JSON=BENCH_policy_overhead.json cargo bench --bench
+//! policy_overhead` to append machine-readable points to the trajectory
+//! file (the vendored criterion records every bench when the variable is
+//! set).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pulse_core::global::{flatten_peak, AliveModel};
+use pulse_core::global::{
+    flatten_peak, flatten_peak_scan, flatten_peak_scratch, AliveModel, FlattenScratch,
+};
 use pulse_core::priority::PriorityStructure;
 use pulse_milp::MilpDowngrader;
 use pulse_models::{zoo, ModelFamily};
@@ -42,6 +50,31 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("milp_dp", n), &n, |b, _| {
             let pr = PriorityStructure::new(n);
             b.iter(|| MilpDowngrader.solve_dp(&alive, &fams, &pr, target))
+        });
+    }
+    group.finish();
+
+    // Victim selection at fleet scale: the re-score-every-model scan vs the
+    // epoch-lazy priority heap (both produce bit-identical actions; the
+    // heap pays `O(log n)` per eviction instead of `O(n)`).
+    let mut group = c.benchmark_group("flatten_victim_selection");
+    for &n in &[12usize, 100, 1000] {
+        let (fams, alive, total) = peak_instance(n);
+        let target = total * 0.5;
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = alive.clone();
+                let mut pr = PriorityStructure::new(n);
+                flatten_peak_scan(&mut a, &fams, &mut pr, total, target)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, _| {
+            let mut scratch = FlattenScratch::default();
+            b.iter(|| {
+                let mut a = alive.clone();
+                let mut pr = PriorityStructure::new(n);
+                flatten_peak_scratch(&mut scratch, &mut a, &fams, &mut pr, total, target)
+            })
         });
     }
     group.finish();

@@ -18,6 +18,7 @@ pub mod atomic_ordering;
 pub mod float_cmp;
 pub mod float_reduce;
 pub mod hashmap_iter;
+pub mod ledger_sweep;
 pub mod no_cast;
 pub mod no_unwrap;
 pub mod obs_event_coverage;
@@ -37,7 +38,7 @@ use crate::source::SourceFile;
 /// behavior changes: the incremental cache stores this in its header and
 /// discards itself wholesale on mismatch, so stale diagnostics can never
 /// survive a rule change.
-pub const RULES_VERSION: u32 = 3;
+pub const RULES_VERSION: u32 = 4;
 
 /// Which crates a rule applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(pub_docs::PubDocs),
         Box::new(probability_usage::ProbabilityUsage),
         Box::new(variant_sentinel::VariantSentinel),
+        Box::new(ledger_sweep::LedgerSweep),
         Box::new(hashmap_iter::HashMapIterOrder),
         Box::new(unseeded_rng::UnseededRng),
         Box::new(float_reduce::FloatReduceOrder),

@@ -12,7 +12,7 @@
 //!    platform to apply (cross-function optimization).
 
 use crate::convert::window_to_len;
-use crate::global::{flatten_peak, AliveModel, FlattenOutcome};
+use crate::global::{flatten_peak_scratch, AliveModel, FlattenOutcome, FlattenScratch};
 use crate::individual::{IndividualOptimizer, KeepAliveSchedule};
 use crate::interarrival::{GapProbabilities, InterArrivalModel};
 use crate::peak::PeakDetector;
@@ -57,6 +57,10 @@ pub struct PulseEngine {
     detector: PeakDetector,
     optimizer: IndividualOptimizer,
     config: PulseConfig,
+    /// Reused by [`Self::check_and_flatten`] so repeated peaks allocate no
+    /// per-pass victim-selection state. Pure scratch: carries no state
+    /// across calls, so it is deliberately absent from export/import.
+    scratch: FlattenScratch,
 }
 
 impl PulseEngine {
@@ -93,6 +97,7 @@ impl PulseEngine {
             detector: PeakDetector::new(config.km_threshold, window_to_len(config.local_window)),
             optimizer: IndividualOptimizer::new(config.keepalive_minutes),
             config,
+            scratch: FlattenScratch::default(),
         })
     }
 
@@ -249,7 +254,8 @@ impl PulseEngine {
             return None;
         }
         let target = self.detector.flatten_target(prior);
-        Some(flatten_peak(
+        Some(flatten_peak_scratch(
+            &mut self.scratch,
             alive,
             &self.families,
             &mut self.priority,

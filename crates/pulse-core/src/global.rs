@@ -8,6 +8,19 @@
 //! ("warm starts with models having lower accuracy, or even cold starts").
 //! Every downgrade bumps the model's priority counter, which shields it from
 //! future downgrades via the normalized `Pr` component.
+//!
+//! # Victim selection
+//!
+//! The production path ([`flatten_peak`]) selects each victim from a
+//! min-heap keyed by utility, `O(log n)` per action, instead of re-scoring
+//! every alive model per iteration. Because a priority bump can move
+//! Equation 1's min/max count bounds — which shifts *every* normalized
+//! priority — the heap is epoch-based: a bump that leaves the bounds
+//! unchanged re-keys only the touched entry
+//! ([`PriorityStructure::normalized_single`]), while a bump that moves them
+//! rebuilds the heap wholesale. Both regimes compute bit-identical scores to
+//! the linear-scan reference ([`flatten_peak_scan`]), so the chosen victims,
+//! actions, and final memory are bit-identical too (tests pin this).
 
 use crate::priority::PriorityStructure;
 use crate::probability::Probability;
@@ -15,6 +28,8 @@ use crate::types::FuncId;
 use crate::utility::utility_value;
 use pulse_models::{ModelFamily, VariantId};
 use serde::{Deserialize, Serialize};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One model currently kept alive at the peak minute, as seen by the global
 /// optimizer.
@@ -92,22 +107,281 @@ pub fn flatten_peak(
     current_kam_mb: f64,
     target_kam_mb: f64,
 ) -> FlattenOutcome {
+    let mut scratch = FlattenScratch::default();
+    flatten_peak_scratch(
+        &mut scratch,
+        alive,
+        families,
+        priority,
+        current_kam_mb,
+        target_kam_mb,
+    )
+}
+
+/// The paper's `Uv = Ai + Pr + Ip` victim score. Shared by the heap loop
+/// and the scan reference so both compute bit-identical values.
+fn utility_score(m: &AliveModel, fam: &ModelFamily, pr: f64) -> f64 {
+    utility_value(
+        fam.accuracy_improvement(m.variant),
+        // Normalized priorities are in [0, 1] by construction.
+        Probability::from_invariant(pr),
+        // Ip is a caller-filled field; saturate out-of-range input.
+        Probability::saturating(m.invocation_probability),
+    )
+}
+
+/// Reference implementation of [`flatten_peak`]: the original
+/// re-score-every-alive-model linear scan, `O(n)` per action. Kept public so
+/// tests and benches can pin the heap-based production path against it
+/// bit-for-bit.
+pub fn flatten_peak_scan(
+    alive: &mut Vec<AliveModel>,
+    families: &[ModelFamily],
+    priority: &mut PriorityStructure,
+    current_kam_mb: f64,
+    target_kam_mb: f64,
+) -> FlattenOutcome {
     flatten_peak_with(
         alive,
         families,
         priority,
         current_kam_mb,
         target_kam_mb,
-        |m, fam, pr| {
-            utility_value(
-                fam.accuracy_improvement(m.variant),
-                // Normalized priorities are in [0, 1] by construction.
-                Probability::from_invariant(pr),
-                // Ip is a caller-filled field; saturate out-of-range input.
-                Probability::saturating(m.invocation_probability),
-            )
-        },
+        utility_score,
     )
+}
+
+/// One heap entry: the utility score of the model at position `pos` of the
+/// alive set, stamped for lazy invalidation. Ordered by `(score, pos)` under
+/// `total_cmp` so the min entry is exactly the scan's "first minimum".
+#[derive(Debug, Clone, Copy)]
+struct VictimEntry {
+    score: f64,
+    pos: usize,
+    stamp: u64,
+}
+
+impl Ord for VictimEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(self.pos.cmp(&other.pos))
+    }
+}
+impl PartialOrd for VictimEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for VictimEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for VictimEntry {}
+
+/// Reusable state of the heap-based downgrade loop
+/// ([`flatten_peak_scratch`]): the victim heap, the maintained normalized
+/// priorities, per-position stamps, and the count histogram tracking
+/// Equation 1's bounds. Engines own one and reuse it across peaks so the
+/// hot path allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct FlattenScratch {
+    heap: BinaryHeap<Reverse<VictimEntry>>,
+    pr: Vec<f64>,
+    stamps: Vec<u64>,
+    seen: Vec<bool>,
+    hist: BTreeMap<u64, usize>,
+}
+
+/// `(min, max)` keys of the count histogram (callers never consult it
+/// empty; zeros are a defensive fallback).
+fn hist_bounds(hist: &BTreeMap<u64, usize>) -> (u64, u64) {
+    let lo = hist.keys().next().copied().unwrap_or(0);
+    let hi = hist.keys().next_back().copied().unwrap_or(0);
+    (lo, hi)
+}
+
+/// Whether every alive entry names a distinct function tracked by the
+/// priority structure — the precondition for single-entry re-keys.
+fn funcs_unique(seen: &mut Vec<bool>, alive: &[AliveModel], n_models: usize) -> bool {
+    seen.clear();
+    seen.resize(n_models, false);
+    for m in alive {
+        let Some(mark) = seen.get_mut(m.func) else {
+            return false;
+        };
+        if std::mem::replace(mark, true) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Give position `pos` a fresh stamp (invalidating any queued entry for it)
+/// and queue its current score.
+fn requeue(
+    scratch: &mut FlattenScratch,
+    alive: &[AliveModel],
+    families: &[ModelFamily],
+    pos: usize,
+    tick: &mut u64,
+) {
+    *tick += 1;
+    scratch.stamps[pos] = *tick;
+    let m = &alive[pos];
+    scratch.heap.push(Reverse(VictimEntry {
+        score: utility_score(m, &families[m.func], scratch.pr[m.func]),
+        pos,
+        stamp: *tick,
+    }));
+}
+
+/// Rebuild the heap and stamps wholesale from the current alive set and
+/// normalized priorities (a new epoch).
+fn rebuild_heap(
+    scratch: &mut FlattenScratch,
+    alive: &[AliveModel],
+    families: &[ModelFamily],
+    tick: &mut u64,
+) {
+    *tick += 1;
+    scratch.heap.clear();
+    scratch.stamps.clear();
+    scratch.stamps.resize(alive.len(), *tick);
+    for (pos, m) in alive.iter().enumerate() {
+        scratch.heap.push(Reverse(VictimEntry {
+            score: utility_score(m, &families[m.func], scratch.pr[m.func]),
+            pos,
+            stamp: *tick,
+        }));
+    }
+}
+
+/// Pop entries until one describes a live position with a current stamp.
+fn pop_victim(
+    scratch: &mut FlattenScratch,
+    alive: &[AliveModel],
+) -> Option<(usize, FuncId, VariantId)> {
+    while let Some(Reverse(e)) = scratch.heap.pop() {
+        if e.pos < alive.len() && e.stamp == scratch.stamps[e.pos] {
+            let m = &alive[e.pos];
+            return Some((e.pos, m.func, m.variant));
+        }
+    }
+    None
+}
+
+/// [`flatten_peak`] with a caller-owned [`FlattenScratch`], so repeated
+/// flattening passes reuse the heap and buffers. This is the production
+/// `O(log n)`-per-action path; its victims, actions, and bookkeeping are
+/// bit-identical to [`flatten_peak_scan`]. Alive sets with duplicate or
+/// untracked function ids (never produced by the engines) fall back to the
+/// scan, whose semantics under those inputs are the contract.
+pub fn flatten_peak_scratch(
+    scratch: &mut FlattenScratch,
+    alive: &mut Vec<AliveModel>,
+    families: &[ModelFamily],
+    priority: &mut PriorityStructure,
+    current_kam_mb: f64,
+    target_kam_mb: f64,
+) -> FlattenOutcome {
+    if !funcs_unique(&mut scratch.seen, alive, priority.len()) {
+        return flatten_peak_scan(alive, families, priority, current_kam_mb, target_kam_mb);
+    }
+    let mut kam = current_kam_mb;
+    let mut actions = Vec::new();
+    let mut built = false;
+    let mut stale_bounds = false;
+    let mut tick: u64 = 0;
+    let mut bounds = (0u64, 0u64);
+
+    while kam > target_kam_mb && !alive.is_empty() {
+        if !built {
+            built = true;
+            scratch.hist.clear();
+            for &c in priority.counts() {
+                *scratch.hist.entry(c).or_insert(0) += 1;
+            }
+            bounds = hist_bounds(&scratch.hist);
+            scratch.pr = priority.normalized();
+            rebuild_heap(scratch, alive, families, &mut tick);
+        } else if stale_bounds {
+            stale_bounds = false;
+            scratch.pr = priority.normalized();
+            rebuild_heap(scratch, alive, families, &mut tick);
+        }
+
+        let Some((idx, func, from)) = pop_victim(scratch, alive) else {
+            break; // unreachable: every live position has a queued entry
+        };
+        let fam = &families[func];
+        let evicted = if from > 0 {
+            let freed = fam.variant(from).memory_mb - fam.variant(from - 1).memory_mb;
+            // Algorithm 2 invariant: ladders are ordered by memory, so a
+            // one-rung downgrade never *adds* memory.
+            debug_assert!(freed >= 0.0, "downgrade must not grow memory: {freed}");
+            alive[idx].variant = from - 1;
+            kam -= freed;
+            actions.push(DowngradeAction::Downgrade {
+                func,
+                from,
+                to: from - 1,
+            });
+            false
+        } else {
+            kam -= fam.variant(0).memory_mb;
+            alive.swap_remove(idx);
+            scratch.stamps.swap_remove(idx);
+            actions.push(DowngradeAction::Evict { func, from });
+            true
+        };
+        // "Update Priority Structure with +1 for m".
+        priority.bump(func);
+
+        // Maintain the count histogram; if the bump moved Equation 1's
+        // bounds, every normalized priority may have shifted — flag a
+        // wholesale rebuild. Otherwise only this function's priority (and
+        // the touched position's score) changed: O(log n) re-key.
+        let new_count = priority.count(func);
+        let old_count = new_count - 1;
+        if let Some(n) = scratch.hist.get_mut(&old_count) {
+            *n -= 1;
+            if *n == 0 {
+                scratch.hist.remove(&old_count);
+            }
+        }
+        *scratch.hist.entry(new_count).or_insert(0) += 1;
+        let new_bounds = hist_bounds(&scratch.hist);
+        if new_bounds == bounds {
+            scratch.pr[func] = priority.normalized_single(func, bounds.0, bounds.1);
+            // Position `idx` now holds either the downgraded victim (new
+            // variant, new priority) or the tail element `swap_remove` moved
+            // in (new position): either way it needs a fresh stamp + entry.
+            if !evicted || idx < alive.len() {
+                requeue(scratch, alive, families, idx, &mut tick);
+            }
+        } else {
+            bounds = new_bounds;
+            stale_bounds = true;
+        }
+    }
+
+    // Algorithm 2 postcondition: the loop only exits at the target or with
+    // every container evicted; bookkeeping must agree.
+    debug_assert!(
+        kam <= target_kam_mb || alive.is_empty(),
+        "flatten loop exited above target with models still alive"
+    );
+    debug_assert!(
+        kam <= current_kam_mb,
+        "flattening must not increase keep-alive memory"
+    );
+    FlattenOutcome {
+        actions,
+        final_kam_mb: kam,
+        flattened: kam <= target_kam_mb,
+    }
 }
 
 /// [`flatten_peak`] with a caller-supplied victim-scoring function — the
@@ -188,6 +462,7 @@ pub fn flatten_peak_with(
 
 #[cfg(test)]
 #[allow(clippy::float_cmp)] // tests compare exact constructed values
+#[allow(clippy::cast_possible_truncation, clippy::needless_range_loop)] // test-local sizes
 mod tests {
     use super::*;
     use pulse_models::zoo;
@@ -347,6 +622,159 @@ mod tests {
         assert!(alive.is_empty());
         assert!(!out.flattened); // memory is 0 but target is negative
         assert!(out.final_kam_mb.abs() < 1e-9);
+    }
+
+    /// Deterministic LCG so heap-vs-scan equivalence can cover many random
+    /// configurations without a rand dependency in pulse-core.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            self.0 >> 33
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+        fn unit(&mut self) -> f64 {
+            self.below(1_000_000) as f64 / 1_000_000.0
+        }
+    }
+
+    fn assert_outcomes_identical(a: &FlattenOutcome, b: &FlattenOutcome) {
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.final_kam_mb.to_bits(), b.final_kam_mb.to_bits());
+        assert_eq!(a.flattened, b.flattened);
+    }
+
+    /// The heap-based production path must be bit-identical to the linear
+    /// scan — victims, actions, final memory, and priority bumps — across
+    /// random fleets, alive subsets, Ip values, pre-seeded priorities, and
+    /// targets (including unsatisfiable ones that drain the alive set).
+    #[test]
+    fn heap_path_matches_scan_reference_bitwise() {
+        let zoo_all = [
+            zoo::gpt(),
+            zoo::yolo(),
+            zoo::bert(),
+            zoo::densenet(),
+            zoo::resnet(),
+        ];
+        let mut rng = Lcg(0xf1a7 ^ 0x9e37_79b9_7f4a_7c15);
+        let mut scratch = FlattenScratch::default();
+        for case in 0..300u64 {
+            let n = 1 + rng.below(12) as usize;
+            let fams: Vec<ModelFamily> =
+                (0..n).map(|f| zoo_all[f % zoo_all.len()].clone()).collect();
+            let mut pr_scan = PriorityStructure::new(n);
+            for m in 0..n {
+                for _ in 0..rng.below(4) {
+                    pr_scan.bump(m);
+                }
+            }
+            let mut alive_scan: Vec<AliveModel> = Vec::new();
+            for func in 0..n {
+                if rng.below(4) == 0 {
+                    continue;
+                }
+                let variant = rng.below(fams[func].n_variants() as u64) as usize;
+                alive_scan.push(AliveModel {
+                    func,
+                    variant,
+                    invocation_probability: rng.unit(),
+                });
+            }
+            let kam = total_mem(&alive_scan, &fams);
+            // Mostly partial targets, sometimes unsatisfiable ones.
+            let target = match rng.below(5) {
+                0 => -1.0,
+                f => kam * (f as f64 / 5.0),
+            };
+            let mut pr_heap = pr_scan.clone();
+            let mut alive_heap = alive_scan.clone();
+            let scan = flatten_peak_scan(&mut alive_scan, &fams, &mut pr_scan, kam, target);
+            let heap = flatten_peak_scratch(
+                &mut scratch,
+                &mut alive_heap,
+                &fams,
+                &mut pr_heap,
+                kam,
+                target,
+            );
+            assert_outcomes_identical(&scan, &heap);
+            assert_eq!(alive_scan, alive_heap, "case {case}");
+            assert_eq!(pr_scan, pr_heap, "case {case}");
+        }
+    }
+
+    /// Repeated peaks against an evolving priority structure reuse one
+    /// scratch — the engine's usage pattern — and must stay pinned to the
+    /// scan across the whole sequence, not just for a cold scratch.
+    #[test]
+    fn scratch_reuse_across_peaks_stays_pinned_to_scan() {
+        let fams = families();
+        let mut pr_scan = PriorityStructure::new(fams.len());
+        let mut pr_heap = PriorityStructure::new(fams.len());
+        let mut scratch = FlattenScratch::default();
+        let mut rng = Lcg(42);
+        for peak in 0..50u64 {
+            let mut alive_scan: Vec<AliveModel> = alive_all_highest(&fams);
+            for m in &mut alive_scan {
+                m.invocation_probability = rng.unit();
+            }
+            let mut alive_heap = alive_scan.clone();
+            let kam = total_mem(&alive_scan, &fams);
+            let target = kam * (rng.below(10) as f64 / 10.0);
+            let scan = flatten_peak_scan(&mut alive_scan, &fams, &mut pr_scan, kam, target);
+            let heap = flatten_peak_scratch(
+                &mut scratch,
+                &mut alive_heap,
+                &fams,
+                &mut pr_heap,
+                kam,
+                target,
+            );
+            assert_outcomes_identical(&scan, &heap);
+            assert_eq!(pr_scan, pr_heap, "peak {peak}");
+        }
+    }
+
+    /// Duplicate function ids are outside the engines' contract; the heap
+    /// path must detect them and produce the scan's semantics anyway.
+    #[test]
+    fn duplicate_funcs_fall_back_to_scan_semantics() {
+        let fams = families();
+        let dup = |ip: f64| {
+            vec![
+                AliveModel {
+                    func: 1,
+                    variant: 2,
+                    invocation_probability: ip,
+                },
+                AliveModel {
+                    func: 1,
+                    variant: 1,
+                    invocation_probability: 0.0,
+                },
+                AliveModel {
+                    func: 0,
+                    variant: 2,
+                    invocation_probability: 0.0,
+                },
+            ]
+        };
+        let mut alive_scan = dup(0.4);
+        let mut alive_heap = dup(0.4);
+        let mut pr_scan = PriorityStructure::new(fams.len());
+        let mut pr_heap = PriorityStructure::new(fams.len());
+        let kam = total_mem(&alive_scan, &fams);
+        let scan = flatten_peak_scan(&mut alive_scan, &fams, &mut pr_scan, kam, kam * 0.3);
+        let heap = flatten_peak(&mut alive_heap, &fams, &mut pr_heap, kam, kam * 0.3);
+        assert_outcomes_identical(&scan, &heap);
+        assert_eq!(alive_scan, alive_heap);
+        assert_eq!(pr_scan, pr_heap);
     }
 
     #[test]

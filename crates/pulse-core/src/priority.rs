@@ -75,10 +75,39 @@ impl PriorityStructure {
     pub fn normalized_of(&self, m: usize) -> f64 {
         self.normalized()[m]
     }
+
+    /// Count bounds `(min, max)` across all models — the inputs to Equation
+    /// 1's normalization. `None` when tracking no models. `O(n)`; the
+    /// heap-based downgrade loop computes this once and maintains it
+    /// incrementally across bumps.
+    pub fn count_bounds(&self) -> Option<(u64, u64)> {
+        let lo = self.counts.iter().copied().min()?;
+        let hi = self.counts.iter().copied().max()?;
+        Some((lo, hi))
+    }
+
+    /// Equation 1 normalization of one model given precomputed count
+    /// bounds: bit-identical to `self.normalized()[m]` whenever `lo`/`hi`
+    /// equal [`Self::count_bounds`] (counts convert to f64 exactly, and a
+    /// float min/max fold over exact values equals the converted integer
+    /// bounds). This is the `O(1)` re-key the heap-based downgrade loop
+    /// uses when a bump leaves the bounds unchanged.
+    #[allow(clippy::float_cmp)] // exact u64-derived values; Equation 1's degenerate-range test
+    pub fn normalized_single(&self, m: usize, lo: u64, hi: u64) -> f64 {
+        let x = u64_to_f64(self.counts[m]);
+        let lo = u64_to_f64(lo);
+        let hi = u64_to_f64(hi);
+        if hi == lo {
+            x - lo
+        } else {
+            (x - lo) / (hi - lo)
+        }
+    }
 }
 
 #[cfg(test)]
 #[allow(clippy::float_cmp)] // tests compare exact constructed values
+#[allow(clippy::cast_possible_truncation, clippy::needless_range_loop)] // test-local sizes
 mod tests {
     use super::*;
 
@@ -131,6 +160,35 @@ mod tests {
         let p = PriorityStructure::new(0);
         assert!(p.is_empty());
         assert!(p.normalized().is_empty());
+    }
+
+    #[test]
+    fn normalized_single_matches_full_normalization_bitwise() {
+        let mut p = PriorityStructure::new(6);
+        assert_eq!(PriorityStructure::new(0).count_bounds(), None);
+        // Exercise the all-equal, two-level, and spread-out regimes.
+        for (m, k) in [(0, 7), (1, 3), (3, 11), (4, 11), (5, 1)] {
+            for _ in 0..k {
+                p.bump(m);
+            }
+        }
+        for stage in 0..3 {
+            let (lo, hi) = p.count_bounds().unwrap();
+            let full = p.normalized();
+            for m in 0..p.len() {
+                assert_eq!(
+                    p.normalized_single(m, lo, hi).to_bits(),
+                    full[m].to_bits(),
+                    "stage {stage} model {m}"
+                );
+            }
+            p.bump(2); // second stage lifts the min, third the all-equal case
+            for m in 0..p.len() {
+                while p.count(m) < p.count(3) {
+                    p.bump(m);
+                }
+            }
+        }
     }
 
     #[test]

@@ -75,9 +75,9 @@ use crate::fleet::FleetConfig;
 use crate::metrics::{NodeSummary, RequestRecord, RuntimeSummary};
 use crate::node::{NodeFaultKind, NodeHealth, NodeSpec};
 use crate::MS_PER_MINUTE;
-use pulse_core::global::{flatten_peak, DowngradeAction};
+use pulse_core::global::{flatten_peak_scratch, AliveModel, DowngradeAction, FlattenScratch};
 use pulse_core::priority::PriorityStructure;
-use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
+use pulse_core::schedule::{begins_keepalive_period, MinuteFootprint, ScheduleLedger};
 use pulse_models::{CostModel, ModelFamily, VariantId};
 use pulse_obs::{emit, ActionSource, ObsEvent, TraceSink};
 use pulse_sim::policy::{KeepAlivePolicy, MinuteObservation};
@@ -807,7 +807,7 @@ impl Runtime {
                     provision_attempts: 0,
                 })
                 .collect(),
-            ledger: ScheduleLedger::new(n),
+            ledger: ScheduleLedger::for_families(&self.families),
             records: Vec::new(),
             req_warm_variant: Vec::new(),
             req_retries: Vec::new(),
@@ -905,6 +905,9 @@ impl Runtime {
             rs,
             demand_history: Vec::with_capacity(minutes as usize),
             invoked_this_minute: false,
+            fp: MinuteFootprint::default(),
+            alive_scratch: Vec::new(),
+            flatten_scratch: FlattenScratch::default(),
         }
     }
 }
@@ -918,6 +921,15 @@ pub struct RuntimeSession<'a> {
     rs: RunState<'a>,
     demand_history: Vec<f64>,
     invoked_this_minute: bool,
+    /// Session-owned footprint buffer, kept in sync with the ledger's dirty
+    /// set each tick (no per-minute `Vec` churn on the hot path).
+    fp: MinuteFootprint,
+    /// Session-owned copy of the alive set handed to the policy (which may
+    /// mutate it arbitrarily while selecting victims).
+    alive_scratch: Vec<AliveModel>,
+    /// Victim-heap scratch for the capacity enforcer. Pure scratch: carries
+    /// no state across calls, so it is deliberately absent from checkpoints.
+    flatten_scratch: FlattenScratch,
 }
 
 impl RuntimeSession<'_> {
@@ -1008,6 +1020,10 @@ impl RuntimeSession<'_> {
         self.stage_rebalance(now, minute);
         self.stage_enforce_capacity(minute);
         self.stage_materialize_and_bill(now, minute);
+        // Minutes strictly before this one are fully billed; drop their
+        // per-minute index state. Mid-minute events still read minute
+        // `minute` (arrivals query `alive_variant_at`), which stays live.
+        self.rs.ledger.retire_minutes_before(minute);
     }
 
     /// Tick stage 1: close out the previous minute for the policy's
@@ -1046,13 +1062,19 @@ impl RuntimeSession<'_> {
     /// schedule demand, applied to this minute of the ledger only.
     fn stage_adjust(&mut self, minute: u64) {
         let invoked_last_minute = std::mem::take(&mut self.invoked_this_minute);
-        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
-        let mut alive = footprint.alive;
-        let kam = footprint.total_mb;
+        self.rs
+            .ledger
+            .fill_minute_footprint(&self.rt.families, minute, &mut self.fp);
+        self.alive_scratch.clone_from(&self.fp.alive);
+        let kam = self.fp.total_mb;
         let first_minute = begins_keepalive_period(invoked_last_minute, kam, &self.demand_history);
-        let actions =
-            self.policy
-                .adjust_minute(minute, &self.demand_history, first_minute, kam, &mut alive);
+        let actions = self.policy.adjust_minute(
+            minute,
+            &self.demand_history,
+            first_minute,
+            kam,
+            &mut self.alive_scratch,
+        );
         self.demand_history.push(kam);
         self.rs.summary.downgrades += actions.len() as u64;
         // Apply action-by-action (the exact loop `apply_actions` runs) so
@@ -1135,7 +1157,14 @@ impl RuntimeSession<'_> {
         if self.rs.nodes.len() < 2 {
             return;
         }
-        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
+        // Re-sync the session footprint with whatever the adjustment and
+        // node-health stages dirtied, then detach it so the loop below can
+        // borrow `self.rs` mutably (migrations never touch the ledger, so
+        // the snapshot stays valid for the whole stage).
+        self.rs
+            .ledger
+            .patch_minute_footprint(&self.rt.families, minute, &mut self.fp);
+        let footprint = std::mem::take(&mut self.fp);
         let pause = self.fleet.migration.pause_ms;
         for k in 0..self.rs.nodes.len() {
             let Some(cap) = self.rs.nodes[k].spec.capacity.keepalive_mb else {
@@ -1202,6 +1231,7 @@ impl RuntimeSession<'_> {
                 });
             }
         }
+        self.fp = footprint;
     }
 
     /// Tick stage 5: per-node capacity enforcement — when a node's
@@ -1219,7 +1249,13 @@ impl RuntimeSession<'_> {
         {
             return;
         }
-        let footprint = self.rs.ledger.minute_footprint(&self.rt.families, minute);
+        // Catch up on any dirt left by the earlier stages (policy actions,
+        // node-loss evictions); rebalance migrations never touch the ledger,
+        // so after this patch the footprint is exactly this minute's plan.
+        self.rs
+            .ledger
+            .patch_minute_footprint(&self.rt.families, minute, &mut self.fp);
+        let footprint = std::mem::take(&mut self.fp);
         let mut pressured = false;
         // Nodes partition functions, so flattening node k's plan never
         // touches a model counted for node k+1 — the shared footprint
@@ -1248,7 +1284,8 @@ impl RuntimeSession<'_> {
                 continue;
             }
             pressured = true;
-            let outcome = flatten_peak(
+            let outcome = flatten_peak_scratch(
+                &mut self.flatten_scratch,
                 &mut planned,
                 &self.rt.families,
                 &mut self.rs.pressure_priority[k],
@@ -1257,6 +1294,7 @@ impl RuntimeSession<'_> {
             );
             self.apply_pressure_actions(minute, &outcome.actions);
         }
+        self.fp = footprint;
         if pressured {
             self.rs.summary.pressure_minutes += 1;
         }

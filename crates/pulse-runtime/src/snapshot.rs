@@ -24,8 +24,9 @@ use crate::fault::{FaultInjector, FaultPlan};
 use crate::fleet::FleetConfig;
 use crate::metrics::{RequestRecord, RuntimeSummary};
 use crate::node::{NodeFaultKind, NodeHealth};
+use pulse_core::global::FlattenScratch;
 use pulse_core::priority::PriorityStructure;
-use pulse_core::schedule::ScheduleLedger;
+use pulse_core::schedule::{MinuteFootprint, ScheduleLedger};
 use pulse_models::Profiler;
 use pulse_obs::{Record, RecordBuilder, TraceSink};
 use pulse_sim::policy::KeepAlivePolicy;
@@ -660,7 +661,10 @@ impl Runtime {
         let mut fns: Vec<Option<FnState>> = (0..n).map(|_| None).collect();
         let mut nodes: Vec<Option<(NodeRt, PriorityStructure)>> =
             (0..fleet.nodes.len()).map(|_| None).collect();
-        let mut ledger = ScheduleLedger::new(n);
+        // `for_families` so the rebuilt ledger carries the same incremental
+        // index as a fresh session's; decoded rows repopulate it via
+        // `replace`, deterministically rebuilding every cached total.
+        let mut ledger = ScheduleLedger::for_families(&self.families);
 
         for line in lines {
             let rec = Record::parse(line).map_err(c)?;
@@ -921,6 +925,9 @@ impl Runtime {
             rs,
             demand_history,
             invoked_this_minute: head.bool("invoked").map_err(c)?,
+            fp: MinuteFootprint::default(),
+            alive_scratch: Vec::new(),
+            flatten_scratch: FlattenScratch::default(),
         })
     }
 }

@@ -19,8 +19,8 @@ use crate::recover::{
     check_fingerprint, decode_ledger_row, decode_metrics, encode_ledger, encode_metrics,
     fingerprint_of, RecoverError, SNAPSHOT_VERSION,
 };
-use pulse_core::global::DowngradeAction;
-use pulse_core::schedule::{begins_keepalive_period, ScheduleLedger};
+use pulse_core::global::{AliveModel, DowngradeAction};
+use pulse_core::schedule::{begins_keepalive_period, MinuteFootprint, ScheduleLedger};
 use pulse_core::types::Minute;
 use pulse_models::{CostModel, ModelFamily};
 use pulse_obs::{emit, ActionSource, ObsEvent, Record, RecordBuilder, TraceSink};
@@ -96,7 +96,9 @@ impl Simulator {
             sim: self,
             metrics: RunMetrics::new(policy.name(), minutes),
             policy,
-            ledger: ScheduleLedger::new(self.families.len()),
+            ledger: ScheduleLedger::for_families(&self.families),
+            fp: MinuteFootprint::default(),
+            alive_scratch: Vec::new(),
             demand_history: Vec::with_capacity(minutes),
             invoked_last_minute: false,
             next: 0,
@@ -205,7 +207,7 @@ impl Simulator {
 
         let mut metrics = None;
         let mut demand_history = None;
-        let mut ledger = ScheduleLedger::new(self.families.len());
+        let mut ledger = ScheduleLedger::for_families(&self.families);
         let mut policy_state = None;
         for line in lines {
             let rec = Record::parse(line).map_err(c)?;
@@ -238,6 +240,8 @@ impl Simulator {
             policy,
             metrics,
             ledger,
+            fp: MinuteFootprint::default(),
+            alive_scratch: Vec::new(),
             demand_history,
             invoked_last_minute: head.bool("invoked").map_err(c)?,
             next: head.u64("next").map_err(c)?,
@@ -256,6 +260,12 @@ pub struct SimSession<'a> {
     policy: &'a mut dyn KeepAlivePolicy,
     metrics: RunMetrics,
     ledger: ScheduleLedger,
+    /// Session-owned footprint buffer, refilled in place each minute by
+    /// [`ScheduleLedger::fill_minute_footprint`] (no per-minute Vec churn).
+    fp: MinuteFootprint,
+    /// Session-owned copy of the alive set handed to the policy (which may
+    /// mutate it arbitrarily while selecting victims).
+    alive_scratch: Vec<AliveModel>,
     // `demand_history` records what the schedules *asked* to keep alive each
     // minute (pre-adjustment) and drives the policy's peak detection —
     // feeding post-flattening values back into the prior would drag the
@@ -303,6 +313,9 @@ impl SimSession<'_> {
         let kam = self.stage_adjust(t);
         let (requests, cold) = self.stage_serve(t);
         self.stage_bill_and_observe(t, kam, requests, cold);
+        // Minute `t` is fully billed: drop its index state so the ledger
+        // tracks only the live keep-alive horizon.
+        self.ledger.retire_minutes_before(self.next);
         Some(t)
     }
 
@@ -353,9 +366,10 @@ impl SimSession<'_> {
     /// produced by invocations at `t` begin at `t + 1`, and cold-start
     /// execution memory is in-use, not keep-alive.)
     fn stage_adjust(&mut self, t: Minute) -> f64 {
-        let footprint = self.ledger.minute_footprint(&self.sim.families, t);
-        let mut alive = footprint.alive;
-        let current_kam = footprint.total_mb;
+        self.ledger
+            .fill_minute_footprint(&self.sim.families, t, &mut self.fp);
+        self.alive_scratch.clone_from(&self.fp.alive);
+        let current_kam = self.fp.total_mb;
         let first_minute =
             begins_keepalive_period(self.invoked_last_minute, current_kam, &self.demand_history);
         let actions = self.policy.adjust_minute(
@@ -363,7 +377,7 @@ impl SimSession<'_> {
             &self.demand_history,
             first_minute,
             current_kam,
-            &mut alive,
+            &mut self.alive_scratch,
         );
         self.demand_history.push(current_kam);
         self.metrics.downgrades += actions.len() as u64;
@@ -397,7 +411,10 @@ impl SimSession<'_> {
             applied,
             keepalive_mb: current_kam,
         });
-        self.ledger.keep_alive_mb_at(&self.sim.families, t)
+        // Post-action re-meter: the incremental pin re-sums only this
+        // minute's (mutated) alive set, bit-identical to the legacy
+        // `keep_alive_mb_at` full sweep.
+        self.ledger.metered_kam_mb(&self.sim.families, t)
     }
 
     /// Stage 2: serve the minute's invocations; warm starts ride the alive

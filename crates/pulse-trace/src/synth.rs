@@ -446,6 +446,109 @@ pub fn azure_like_12_with_horizon(seed: u64, minutes: usize) -> Trace {
     azure_like_12_config(minutes).generate(seed)
 }
 
+/// A fleet-scale generalization of [`azure_like_12`]: `n` functions cycling
+/// through the 12 standard archetypes, with timing parameters stretched a
+/// little on every pass so later cycles are not statistical clones of the
+/// first, plus the two standard global peaks. On a peak-free horizon the
+/// first 12 functions of `azure_like_n(n, seed)` carry exactly the
+/// per-minute series of `azure_like_12(seed)` — the fleet is a strict
+/// superset of the paper-scale workload (peak injection draws fresh noise,
+/// so full-horizon runs agree in shape rather than bitwise).
+pub fn azure_like_n(n: usize, seed: u64) -> Trace {
+    azure_like_n_with_horizon(n, seed, TWO_WEEKS_MINUTES)
+}
+
+/// [`azure_like_n`] with a custom horizon — the knob the fleet-scale
+/// benchmarks use to keep generation time proportional to the scenario.
+pub fn azure_like_n_with_horizon(n: usize, seed: u64, minutes: usize) -> Trace {
+    azure_like_n_config(n, minutes).generate(seed)
+}
+
+/// The declarative description of [`azure_like_n`].
+pub fn azure_like_n_config(n: usize, minutes: usize) -> SynthConfig {
+    assert!(n >= 1, "a fleet needs at least one function");
+    let base = standard_archetypes();
+    let mut cfg = SynthConfig::new(minutes);
+    for i in 0..n {
+        let (name, a) = base[i % base.len()];
+        let cycle = (i / base.len()) as u32;
+        cfg = cfg.function(format!("{name}-{i}"), vary_archetype(a, cycle));
+    }
+    cfg.peak(PeakSpec {
+        start: PEAK1_START,
+        len: PEAK_LEN,
+        intensity: 2.0,
+    })
+    .peak(PeakSpec {
+        start: PEAK2_START,
+        len: PEAK_LEN,
+        intensity: 2.0,
+    })
+}
+
+/// Deterministically perturb an archetype's timing parameters for cycle `k`
+/// of the fleet generator (cycle 0 is the archetype verbatim). Stretches
+/// keep every invariant the generators assert (periods ≥ 1, `alpha` > 1).
+fn vary_archetype(a: Archetype, k: u32) -> Archetype {
+    if k == 0 {
+        return a;
+    }
+    // 1.0, 1.15, 1.30, … 1.90, then wrapping — bounded so rates stay sane.
+    let stretch = 1.0 + 0.15 * f64::from(k % 7);
+    let widen = |m: u32| -> u32 { ((f64::from(m) * stretch).round() as u32).max(1) };
+    match a {
+        Archetype::SteadyPeriodic {
+            period_min,
+            jitter_min,
+        } => Archetype::SteadyPeriodic {
+            period_min: widen(period_min),
+            jitter_min,
+        },
+        Archetype::Bursty {
+            quiet_min,
+            burst_len_min,
+            burst_rate,
+        } => Archetype::Bursty {
+            quiet_min: widen(quiet_min),
+            burst_len_min,
+            burst_rate: burst_rate / stretch,
+        },
+        Archetype::DailyCycle {
+            peak_minute,
+            width_min,
+            per_day,
+        } => Archetype::DailyCycle {
+            // Shift the activity bump around the clock, one hour per cycle.
+            peak_minute: (peak_minute + k * 60) % crate::MINUTES_PER_DAY as u32,
+            width_min,
+            per_day: per_day / stretch,
+        },
+        Archetype::DriftingPeriod {
+            start_period,
+            end_period,
+        } => Archetype::DriftingPeriod {
+            start_period: widen(start_period),
+            end_period: widen(end_period),
+        },
+        Archetype::HeavyTailed { min_gap, alpha } => Archetype::HeavyTailed {
+            min_gap: min_gap * stretch,
+            alpha,
+        },
+        Archetype::Poisson { rate } => Archetype::Poisson {
+            rate: rate / stretch,
+        },
+        Archetype::OnOff {
+            on_min,
+            off_min,
+            period_in_on,
+        } => Archetype::OnOff {
+            on_min,
+            off_min: widen(off_min),
+            period_in_on: widen(period_in_on),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,5 +787,52 @@ mod tests {
     #[should_panic(expected = "at least one function")]
     fn synth_config_empty_rejected() {
         SynthConfig::new(100).generate(1);
+    }
+
+    #[test]
+    fn azure_like_n_extends_the_standard_workload() {
+        let twelve = azure_like_12_with_horizon(7, 2000);
+        let forty = azure_like_n_with_horizon(40, 7, 2000);
+        assert_eq!(forty.n_functions(), 40);
+        // The first 12 functions are the paper-scale workload verbatim.
+        for f in 0..12 {
+            assert_eq!(
+                twelve.functions()[f].per_minute,
+                forty.functions()[f].per_minute,
+                "function {f} diverged from azure_like_12"
+            );
+        }
+        // Later cycles are stretched, not clones of the first cycle (a
+        // single pair may coincide when rounding restores the period, so
+        // assert over the whole cycle).
+        assert!((0..12)
+            .any(|f| forty.functions()[f].per_minute != forty.functions()[f + 12].per_minute));
+        for f in forty.functions() {
+            assert!(f.total_invocations() > 0, "{} is silent", f.name);
+        }
+    }
+
+    #[test]
+    fn azure_like_n_is_deterministic() {
+        assert_eq!(
+            azure_like_n_with_horizon(100, 3, 500),
+            azure_like_n_with_horizon(100, 3, 500)
+        );
+        assert_ne!(
+            azure_like_n_with_horizon(100, 3, 500),
+            azure_like_n_with_horizon(100, 4, 500)
+        );
+    }
+
+    #[test]
+    fn vary_archetype_keeps_generator_invariants() {
+        // Every standard archetype must still generate under heavy cycling.
+        let mut r = rng();
+        for k in 0..20 {
+            for (_, a) in standard_archetypes() {
+                let counts = vary_archetype(a, k).generate(600, &mut r);
+                assert_eq!(counts.len(), 600);
+            }
+        }
     }
 }

@@ -363,3 +363,95 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incrementally-maintained ledger answers every billing and
+    /// footprint query bit-identically to a from-scratch ascending full
+    /// sweep, after arbitrary interleaved schedule mutations — the contract
+    /// both engines' hot paths rely on.
+    #[test]
+    fn incremental_ledger_matches_full_sweep_bitwise(
+        ops in proptest::collection::vec(
+            (0usize..8, 0u64..40, 0u8..5, 0usize..4), 1..60),
+        probe_minute in 0u64..45,
+    ) {
+        use pulse::core::individual::KeepAliveSchedule;
+        use pulse::core::schedule::{MinuteFootprint, ScheduleLedger};
+
+        let z = zoo::standard();
+        let fams: Vec<_> = (0..8).map(|i| z[i % z.len()].clone()).collect();
+
+        // The same mutation stream drives an index-backed ledger and a
+        // plain one that only knows the legacy full sweep.
+        let mut inc = ScheduleLedger::for_families(&fams);
+        let mut full = ScheduleLedger::new(fams.len());
+        prop_assert!(inc.is_incremental());
+        prop_assert!(!full.is_incremental());
+
+        // One footprint is kept current with `patch` across the whole
+        // stream, exactly like the engines' session-owned buffer.
+        let patched_minute = 20u64;
+        let mut patched = MinuteFootprint::default();
+        inc.fill_minute_footprint(&fams, patched_minute, &mut patched);
+
+        for &(f, t, kind, v) in &ops {
+            let variant = v % fams[f].n_variants();
+            match kind {
+                0 | 1 => {
+                    let s = KeepAliveSchedule::constant(t, variant, 8);
+                    inc.replace(f, s.clone());
+                    full.replace(f, s);
+                }
+                2 => {
+                    prop_assert_eq!(
+                        inc.apply_downgrade(f, t, variant),
+                        full.apply_downgrade(f, t, variant)
+                    );
+                }
+                3 => {
+                    prop_assert_eq!(inc.apply_eviction(f, t), full.apply_eviction(f, t));
+                }
+                _ => {
+                    inc.clear(f);
+                    full.clear(f);
+                }
+            }
+
+            // Billing totals: bitwise equal at the mutated minute, a random
+            // probe, and the patched minute (covers empty minutes, whose
+            // legacy sweep identity is -0.0).
+            for m in [t, t + 3, probe_minute, patched_minute] {
+                prop_assert_eq!(
+                    inc.metered_kam_mb(&fams, m).to_bits(),
+                    full.keep_alive_mb_at(&fams, m).to_bits(),
+                    "minute {}",
+                    m
+                );
+            }
+
+            // The delta-patched footprint mirrors a from-scratch sweep.
+            inc.patch_minute_footprint(&fams, patched_minute, &mut patched);
+            let swept = full.minute_footprint(&fams, patched_minute);
+            prop_assert_eq!(&patched.alive, &swept.alive);
+            prop_assert_eq!(patched.total_mb.to_bits(), swept.total_mb.to_bits());
+        }
+
+        // Retiring billed minutes must not change any answer: minutes past
+        // the retirement point stay indexed, earlier ones fall back to the
+        // sweep — both bitwise equal to the plain ledger.
+        inc.retire_minutes_before(probe_minute);
+        for m in [0, probe_minute, probe_minute + 5] {
+            prop_assert_eq!(
+                inc.metered_kam_mb(&fams, m).to_bits(),
+                full.keep_alive_mb_at(&fams, m).to_bits()
+            );
+        }
+        let mut refilled = MinuteFootprint::default();
+        inc.fill_minute_footprint(&fams, probe_minute, &mut refilled);
+        let swept = full.minute_footprint(&fams, probe_minute);
+        prop_assert_eq!(&refilled.alive, &swept.alive);
+        prop_assert_eq!(refilled.total_mb.to_bits(), swept.total_mb.to_bits());
+    }
+}

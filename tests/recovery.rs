@@ -434,3 +434,90 @@ fn snapshot_failures_are_typed_and_soft_on_both_engines() {
         );
     }
 }
+
+/// Assert that two ledgers (one possibly carrying a warm incremental cache,
+/// one freshly rebuilt by restore) answer every metered and footprint query
+/// bit-identically to each other *and* to the legacy full sweep.
+fn assert_ledgers_equivalent(
+    fams: &[ModelFamily],
+    live: &pulse::core::schedule::ScheduleLedger,
+    restored: &pulse::core::schedule::ScheduleLedger,
+    horizon: u64,
+    what: &str,
+) {
+    use pulse::core::schedule::MinuteFootprint;
+    assert!(live.is_incremental(), "{what}: live ledger lost its index");
+    assert!(
+        restored.is_incremental(),
+        "{what}: restore dropped the incremental index"
+    );
+    let mut a = live.clone();
+    let mut b = restored.clone();
+    let mut fa = MinuteFootprint::default();
+    let mut fb = MinuteFootprint::default();
+    for t in 0..horizon {
+        let sweep = live.keep_alive_mb_at(fams, t);
+        assert_eq!(
+            a.metered_kam_mb(fams, t).to_bits(),
+            sweep.to_bits(),
+            "{what}: live metered != sweep at minute {t}"
+        );
+        assert_eq!(
+            b.metered_kam_mb(fams, t).to_bits(),
+            sweep.to_bits(),
+            "{what}: restored metered != sweep at minute {t}"
+        );
+        a.fill_minute_footprint(fams, t, &mut fa);
+        b.fill_minute_footprint(fams, t, &mut fb);
+        assert_eq!(fa.alive, fb.alive, "{what}: alive sets differ at {t}");
+        assert_eq!(
+            fa.total_mb.to_bits(),
+            fb.total_mb.to_bits(),
+            "{what}: footprint totals differ at minute {t}"
+        );
+    }
+}
+
+/// Restore rebuilds the ledger's incremental cache (dirty sets, running
+/// totals) deterministically: after a mid-run snapshot, the restored
+/// session's cached reads are bit-identical to the uninterrupted session's
+/// and to the legacy full sweep, on both engines.
+#[test]
+fn restored_ledger_rebuilds_incremental_cache_deterministically() {
+    use pulse::runtime::{ClusterConfig, FaultPlan, FleetConfig, Runtime, RuntimeConfig};
+    let seed = chaos_seed();
+    let trace = pulse::trace::synth::azure_like_12_with_horizon(seed, 120);
+    let fams = zoo12();
+    let make = || pulse::sim::policies::PulsePolicy::new(fams.clone(), PulseConfig::default());
+
+    // Sim engine: kill at minute 60.
+    let sim = Simulator::new(trace.clone(), fams.clone());
+    let mut p1 = make();
+    let mut sess = sim.session(&mut p1);
+    while sess.next_minute() < 60 && sess.step_minute().is_some() {}
+    let snap = sess.snapshot().expect("sim snapshot");
+    let live = sess.ledger().clone();
+    drop(sess);
+    let mut p2 = make();
+    let restored = sim.restore_session(&mut p2, &snap).expect("sim restore");
+    assert_ledgers_equivalent(&fams, &live, &restored.ledger().clone(), 130, "sim");
+
+    // Runtime engine: kill mid-stream after a fixed number of events.
+    let rt = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default());
+    let fleet = FleetConfig::from_cluster(ClusterConfig::unlimited());
+    let mut p1 = make();
+    let mut sess = rt.fleet_session(&mut p1, &FaultPlan::none(), fleet.clone());
+    for _ in 0..500 {
+        if sess.step().is_none() {
+            break;
+        }
+    }
+    let snap = sess.snapshot().expect("runtime snapshot");
+    let live = sess.ledger().clone();
+    drop(sess);
+    let mut p2 = make();
+    let restored = rt
+        .restore_fleet_session(&mut p2, &FaultPlan::none(), fleet, &snap)
+        .expect("runtime restore");
+    assert_ledgers_equivalent(&fams, &live, &restored.ledger().clone(), 130, "runtime");
+}
