@@ -6,6 +6,35 @@ use pulse_sim::metrics::Aggregate;
 use pulse_sim::runner::{self, MultiRunConfig, PolicyFactory};
 use pulse_trace::{synth, Trace};
 
+/// Scale knobs for the live serving experiment (`serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Target arrival rate, requests per virtual second (`--rps`).
+    pub rps: u64,
+    /// Virtual seconds of generated load (`--duration`).
+    pub seconds: u64,
+}
+
+impl Default for ServeOptions {
+    /// CI-friendly scale: finishes in about a second even in debug builds.
+    fn default() -> Self {
+        Self {
+            rps: 20_000,
+            seconds: 2,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// The single-box demo scale behind `pulse-exp serve --demo`.
+    pub fn demo() -> Self {
+        Self {
+            rps: 200_000,
+            seconds: 10,
+        }
+    }
+}
+
 /// Experiment-wide configuration.
 #[derive(Debug, Clone)]
 pub struct ExpConfig {
@@ -19,6 +48,8 @@ pub struct ExpConfig {
     /// truncates the file once at startup; experiments append, so a
     /// multi-experiment invocation shares one stream.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Live serving scale (`serve` experiment only).
+    pub serve: ServeOptions,
 }
 
 impl ExpConfig {
@@ -29,6 +60,7 @@ impl ExpConfig {
             horizon: 4 * pulse_trace::MINUTES_PER_DAY,
             n_runs: 30,
             trace_out: None,
+            serve: ServeOptions::default(),
         }
     }
 
@@ -39,6 +71,7 @@ impl ExpConfig {
             horizon: pulse_trace::TWO_WEEKS_MINUTES,
             n_runs: 1000,
             trace_out: None,
+            serve: ServeOptions::default(),
         }
     }
 

@@ -382,6 +382,7 @@ mod tests {
             horizon: 1500,
             n_runs: 2,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

@@ -157,6 +157,7 @@ mod tests {
             horizon: 300,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

@@ -73,6 +73,7 @@ mod tests {
             horizon: 2000,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         };
         let out = run(&cfg);
         assert!(out.contains("steady-2m"));

@@ -166,6 +166,7 @@ mod tests {
             horizon: 1500,
             n_runs: 6,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

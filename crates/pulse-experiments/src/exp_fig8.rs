@@ -107,6 +107,7 @@ mod tests {
             horizon: 1500,
             n_runs: 4,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

@@ -136,6 +136,7 @@ mod tests {
             horizon: 1200,
             n_runs: 4,
             trace_out: None,
+            serve: Default::default(),
         };
         let (pulse_acc, milp_acc) = accuracy_comparison(&cfg);
         // The paper's Figure 9b: MILP ends up with lower accuracy. Allow a
@@ -153,6 +154,7 @@ mod tests {
             horizon: 1000,
             n_runs: 4,
             trace_out: None,
+            serve: Default::default(),
         };
         let out = run(&cfg);
         assert!(out.contains("Figure 9a"));

@@ -200,6 +200,7 @@ mod tests {
             horizon: 300,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

@@ -126,6 +126,7 @@ mod tests {
             horizon: 1200,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

@@ -216,6 +216,7 @@ mod tests {
             horizon: 300,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

@@ -121,6 +121,7 @@ mod tests {
             horizon: 700,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         };
         let out = run(&cfg);
         assert!(out.contains("fft-topk"));

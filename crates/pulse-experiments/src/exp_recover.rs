@@ -376,6 +376,7 @@ mod tests {
             horizon: 240,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

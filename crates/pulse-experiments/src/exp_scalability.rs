@@ -100,6 +100,7 @@ mod tests {
             horizon: 700,
             n_runs: 2,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

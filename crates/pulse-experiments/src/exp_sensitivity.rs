@@ -118,6 +118,7 @@ mod tests {
             horizon: 1200,
             n_runs: 4,
             trace_out: None,
+            serve: Default::default(),
         }
     }
 

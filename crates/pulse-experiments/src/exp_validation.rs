@@ -94,6 +94,7 @@ mod tests {
             horizon: 600,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         };
         let trace = cfg.trace();
         let fams = round_robin_assignment(&cfg.zoo(), trace.n_functions());
@@ -114,6 +115,7 @@ mod tests {
             horizon: 500,
             n_runs: 1,
             trace_out: None,
+            serve: Default::default(),
         };
         let out = run(&cfg);
         assert!(out.contains("minute-sim"));

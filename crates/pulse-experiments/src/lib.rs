@@ -31,13 +31,14 @@ pub mod exp_predictors;
 pub mod exp_recover;
 pub mod exp_scalability;
 pub mod exp_sensitivity;
+pub mod exp_serve;
 pub mod exp_table1;
 pub mod exp_tables23;
 pub mod exp_validation;
 pub mod milp_policy;
 pub mod report;
 
-pub use common::ExpConfig;
+pub use common::{ExpConfig, ServeOptions};
 
 /// All experiment names accepted by the CLI, in presentation order.
 pub const EXPERIMENTS: &[&str] = &[
@@ -68,6 +69,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "nodes",
     "overload",
     "recover",
+    "serve",
 ];
 
 /// Run one experiment by name. Unknown names return an error string listing
@@ -101,6 +103,7 @@ pub fn run_experiment(name: &str, cfg: &ExpConfig) -> Result<String, String> {
         "nodes" => exp_nodes::run(cfg),
         "overload" => exp_overload::run(cfg),
         "recover" => exp_recover::run(cfg),
+        "serve" => exp_serve::run(cfg),
         other => {
             return Err(format!(
                 "unknown experiment {other:?}; valid: {}",
@@ -123,10 +126,9 @@ mod tests {
     #[test]
     fn table_aliases_work() {
         let cfg = ExpConfig {
-            seed: 42,
             horizon: 1200,
             n_runs: 2,
-            trace_out: None,
+            ..ExpConfig::quick()
         };
         assert!(run_experiment("table3", &cfg).is_ok());
     }

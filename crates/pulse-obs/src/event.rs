@@ -1,10 +1,14 @@
 //! The typed event taxonomy both engines emit.
 //!
-//! Every event carries *simulation* time only — a minute index for
+//! Every *engine* event carries *simulation* time only — a minute index for
 //! tick-pipeline events or a millisecond offset for the event-driven
 //! runtime's request-level events. No wall clock anywhere: traces from the
 //! same seed are byte-identical across machines and reruns (the
-//! `obs-sim-time` audit rule pins this).
+//! `obs-sim-time` audit rule pins this). The one deliberate exception is
+//! the `serve_*` family: those are *harness-side* telemetry from the
+//! online serving front door (pulse-serve), whose whole point is wall-clock
+//! throughput and decision latency. They are never emitted by an engine
+//! replay, so engine-trace determinism is untouched.
 //!
 //! The JSONL encoding is one flat object per line with a `"type"`
 //! discriminator, e.g.:
@@ -228,6 +232,54 @@ pub enum ObsEvent {
         /// Epoch index, starting at 0.
         epoch: u64,
     },
+    /// The online serving front door opened (pulse-serve). Harness-side
+    /// telemetry: emitted once per serve run, before any request is
+    /// admitted.
+    ServeStart {
+        /// Virtual horizon of the run, minutes.
+        minutes: u64,
+        /// Functions behind the front door.
+        functions: usize,
+        /// Load/transport mode label, e.g. `"live"`, `"replay"`, `"demo"`.
+        mode: String,
+    },
+    /// The bounded ingress channel filled up and the front door shed
+    /// arrivals without queueing them (transport-level backpressure, before
+    /// the engine's admission control ever sees the requests).
+    ServeBackpressure {
+        /// Virtual time of the observation, ms since serve start.
+        at_ms: u64,
+        /// Arrivals dropped at the front door since the last report.
+        dropped: u64,
+    },
+    /// One virtual minute of online serving completed.
+    ServeTick {
+        /// The completed minute.
+        minute: u64,
+        /// Requests admitted into the engine so far.
+        admitted: u64,
+        /// Requests shed so far (front door + engine admission).
+        shed: u64,
+        /// Events still pending in the engine queue at the tick.
+        queue_depth: usize,
+    },
+    /// End-of-run serving report: volume, backpressure, and the
+    /// decision-latency distribution (nanoseconds, from the pulse-obs
+    /// histogram over per-`step` wall time).
+    ServeSummary {
+        /// Total requests admitted into the engine.
+        admitted: u64,
+        /// Total requests shed.
+        shed: u64,
+        /// Median per-decision latency, ns.
+        p50_decision_ns: u64,
+        /// Tail per-decision latency, ns.
+        p99_decision_ns: u64,
+        /// Wall-clock duration of the run, ms.
+        wall_ms: u64,
+        /// Sustained admitted-request throughput, requests per wall second.
+        rps: f64,
+    },
     /// A full engine snapshot embedded in the journal: the serialized
     /// document produced by a session's `snapshot()` as one opaque string.
     /// Restoring the snapshot and replaying the events after this record
@@ -258,6 +310,10 @@ impl ObsEvent {
             ObsEvent::NodeDown { .. } => "node_down",
             ObsEvent::NodeRecovered { .. } => "node_recovered",
             ObsEvent::Migrate { .. } => "migrate",
+            ObsEvent::ServeStart { .. } => "serve_start",
+            ObsEvent::ServeBackpressure { .. } => "serve_backpressure",
+            ObsEvent::ServeTick { .. } => "serve_tick",
+            ObsEvent::ServeSummary { .. } => "serve_summary",
             ObsEvent::JournalEpoch { .. } => "journal_epoch",
             ObsEvent::Checkpoint { .. } => "checkpoint",
         }
@@ -378,6 +434,45 @@ impl ObsEvent {
                     ",\"minute\":{minute},\"func\":{func},\"from_node\":{from_node},\"to_node\":{to_node}"
                 );
             }
+            ObsEvent::ServeStart {
+                minutes,
+                functions,
+                mode,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"minutes\":{minutes},\"functions\":{functions},\"mode\":"
+                );
+                push_json_str(&mut s, mode);
+            }
+            ObsEvent::ServeBackpressure { at_ms, dropped } => {
+                let _ = write!(s, ",\"at_ms\":{at_ms},\"dropped\":{dropped}");
+            }
+            ObsEvent::ServeTick {
+                minute,
+                admitted,
+                shed,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"minute\":{minute},\"admitted\":{admitted},\"shed\":{shed},\"queue_depth\":{queue_depth}"
+                );
+            }
+            ObsEvent::ServeSummary {
+                admitted,
+                shed,
+                p50_decision_ns,
+                p99_decision_ns,
+                wall_ms,
+                rps,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"admitted\":{admitted},\"shed\":{shed},\"p50_decision_ns\":{p50_decision_ns},\"p99_decision_ns\":{p99_decision_ns},\"wall_ms\":{wall_ms},\"rps\":"
+                );
+                push_f64(&mut s, *rps);
+            }
             ObsEvent::JournalEpoch { epoch } => {
                 let _ = write!(s, ",\"epoch\":{epoch}");
             }
@@ -467,6 +562,29 @@ impl ObsEvent {
                 func: fields.usize("func")?,
                 from_node: fields.usize("from_node")?,
                 to_node: fields.usize("to_node")?,
+            }),
+            "serve_start" => Ok(ObsEvent::ServeStart {
+                minutes: fields.u64("minutes")?,
+                functions: fields.usize("functions")?,
+                mode: fields.str("mode")?.to_string(),
+            }),
+            "serve_backpressure" => Ok(ObsEvent::ServeBackpressure {
+                at_ms: fields.u64("at_ms")?,
+                dropped: fields.u64("dropped")?,
+            }),
+            "serve_tick" => Ok(ObsEvent::ServeTick {
+                minute: fields.u64("minute")?,
+                admitted: fields.u64("admitted")?,
+                shed: fields.u64("shed")?,
+                queue_depth: fields.usize("queue_depth")?,
+            }),
+            "serve_summary" => Ok(ObsEvent::ServeSummary {
+                admitted: fields.u64("admitted")?,
+                shed: fields.u64("shed")?,
+                p50_decision_ns: fields.u64("p50_decision_ns")?,
+                p99_decision_ns: fields.u64("p99_decision_ns")?,
+                wall_ms: fields.u64("wall_ms")?,
+                rps: fields.f64("rps")?,
             }),
             "journal_epoch" => Ok(ObsEvent::JournalEpoch {
                 epoch: fields.u64("epoch")?,
@@ -561,6 +679,29 @@ mod tests {
                 func: 5,
                 from_node: 2,
                 to_node: 0,
+            },
+            ObsEvent::ServeStart {
+                minutes: 10,
+                functions: 12,
+                mode: "demo \"open-loop\"".to_string(),
+            },
+            ObsEvent::ServeBackpressure {
+                at_ms: 61_250,
+                dropped: 4_096,
+            },
+            ObsEvent::ServeTick {
+                minute: 1,
+                admitted: 6_000_000,
+                shed: 12_345,
+                queue_depth: 42,
+            },
+            ObsEvent::ServeSummary {
+                admitted: 60_000_000,
+                shed: 54_321,
+                p50_decision_ns: 511,
+                p99_decision_ns: 1_023,
+                wall_ms: 30_000,
+                rps: 198_765.25,
             },
             ObsEvent::JournalEpoch { epoch: 2 },
             ObsEvent::Checkpoint {

@@ -240,8 +240,16 @@ impl RuntimeSummary {
     }
 
     /// Latency percentile `p` in `[0, 100]` over successful requests; 0.0
-    /// when no request completed.
+    /// when no request completed. An out-of-range `p` is a caller bug
+    /// (asserted in debug builds) and is clamped into range in release so
+    /// the helper's silent index-clamp can never be reached with a
+    /// nonsensical rank.
     pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        debug_assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
+        );
+        let p = p.clamp(0.0, 100.0);
         let xs = self.latencies();
         if xs.is_empty() {
             return 0.0;
@@ -309,6 +317,32 @@ mod tests {
         let s = summary();
         assert!(s.latency_p50_ms() <= s.latency_p99_ms());
         assert!(s.latency_p50_ms() >= 200.0);
+    }
+
+    #[test]
+    fn out_of_range_percentile_is_rejected_or_clamped() {
+        let s = summary();
+        for p in [-1.0, 150.0] {
+            if cfg!(debug_assertions) {
+                // Debug builds call the bug out.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    s.latency_percentile_ms(p)
+                }));
+                assert!(r.is_err(), "p={p} must trip the debug assertion");
+            } else {
+                // Release builds clamp to the nearest valid rank.
+                let clamped = s.latency_percentile_ms(p);
+                let expected = s.latency_percentile_ms(p.clamp(0.0, 100.0));
+                assert_eq!(clamped.to_bits(), expected.to_bits(), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_percentiles_are_valid() {
+        let s = summary();
+        assert_eq!(s.latency_percentile_ms(0.0), 200.0);
+        assert_eq!(s.latency_percentile_ms(100.0), 1000.0);
     }
 
     #[test]

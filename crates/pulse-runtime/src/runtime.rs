@@ -215,6 +215,18 @@ fn scale_ms(ms: u64, factor: f64) -> u64 {
     }
 }
 
+/// Millisecond timestamps at which `count` same-minute invocations of a
+/// function are admitted: spread evenly across the minute with a fixed
+/// stride, offset ≥ 1 ms so the minute tick always precedes them. This is
+/// the *only* trace-to-timestamp expansion in the repo — [`Runtime`] seeds
+/// its sessions with it, and external admitters (the `pulse-serve` load
+/// generator) reuse it so a binned trace and its expanded stream describe
+/// the same run bit-for-bit.
+pub fn arrival_times_in_minute(minute: u64, count: u64) -> impl Iterator<Item = u64> {
+    let stride = (MS_PER_MINUTE - 2).checked_div(count).unwrap_or(0);
+    (0..count).map(move |k| minute * MS_PER_MINUTE + 1 + k * stride)
+}
+
 /// The mutable machinery of one execution: event queue, per-function and
 /// per-request state, samplers, and the summary being accumulated. Grouping
 /// it lets the fault handlers be methods instead of 10-argument functions.
@@ -519,6 +531,16 @@ impl RunState<'_> {
             return; // aborted by a node crash; the re-dispatch owns it now
         }
         self.summary.exec_crashes += 1;
+        // A live-generation crash event implies an execution this function
+        // started and never completed, so the slot count must be positive —
+        // a zero here means a completion was double-counted somewhere
+        // (crash-abort paths bump `req_gen`, so their stale events return
+        // above). Assert in debug; saturate in release so a production run
+        // degrades to a slot leak instead of a panic.
+        debug_assert!(
+            self.fns[func].in_flight > 0,
+            "exec-crash completion for function {func} (request {req}) with no in-flight work — duplicate completion?"
+        );
         self.fns[func].in_flight = self.fns[func].in_flight.saturating_sub(1);
         if let Some(pos) = self.fns[func].executing.iter().position(|&r| r == req) {
             self.fns[func].executing.swap_remove(pos);
@@ -866,12 +888,7 @@ impl Runtime {
         for m in 0..minutes {
             for f in 0..n {
                 let count = self.trace.function(f).at(m) as u64;
-                if count == 0 {
-                    continue;
-                }
-                let stride = (MS_PER_MINUTE - 2) / count;
-                for k in 0..count {
-                    let at = m * MS_PER_MINUTE + 1 + k * stride;
+                for at in arrival_times_in_minute(m, count) {
                     let req = rs.records.len();
                     rs.records.push(RequestRecord {
                         arrival_ms: at,
@@ -948,6 +965,59 @@ impl RuntimeSession<'_> {
     /// through one minute's events without processing the next minute tick.
     pub fn peek_time(&self) -> Option<u64> {
         self.rs.queue.peek_time()
+    }
+
+    /// Arrivals shed by admission control so far (tiers 1 and 2). The live
+    /// serving front door reports this mid-run, per minute tick, without
+    /// waiting for [`Self::finish`].
+    pub fn shed_so_far(&self) -> u64 {
+        self.rs.summary.shed_requests
+    }
+
+    /// Admit one externally sourced request for `func` at absolute time
+    /// `at_ms`, returning its request id. The request joins the same
+    /// machinery trace-seeded arrivals use: it is a queued
+    /// [`Event::Arrival`] processed by [`Self::step`], subject to admission
+    /// control, warm/cold dispatch and the policy's schedule refresh — and,
+    /// when the fault plan configures a per-request SLO budget, a matching
+    /// [`Event::RequestTimeout`] is scheduled alongside it.
+    ///
+    /// This is the online-serving hook: a session built over an all-zero
+    /// trace has only minute ticks queued, and a caller (e.g.
+    /// `pulse-serve`) feeds arrivals in as they happen. Admitting the full
+    /// stream up front in `(minute, func, k)` order with
+    /// [`arrival_times_in_minute`] timestamps reproduces the exact event
+    /// sequence numbers of a trace-seeded run, which is what makes the
+    /// simulated-clock serve mode bit-identical to
+    /// [`Runtime::run_with_cluster`] on the binned trace (with a request
+    /// timeout configured, timeout timers interleave with later admissions
+    /// instead of following the whole arrival block, so exact-tie ordering
+    /// may differ there).
+    pub fn admit_at(&mut self, at_ms: u64, func: usize) -> usize {
+        assert!(
+            func < self.rt.families.len(),
+            "admit_at targets function {func} but the runtime has {}",
+            self.rt.families.len()
+        );
+        let rs = &mut self.rs;
+        let req = rs.records.len();
+        rs.records.push(RequestRecord {
+            arrival_ms: at_ms,
+            done_ms: at_ms,
+            warm: false,
+            accuracy_pct: 0.0,
+            failed: false,
+        });
+        rs.req_warm_variant.push(0);
+        rs.req_retries.push(0);
+        rs.req_done.push(false);
+        rs.req_gen.push(0);
+        rs.queue.push(at_ms, Event::Arrival { func, req });
+        if let Some(t) = rs.injector.plan().request_timeout_ms {
+            rs.queue
+                .push(at_ms.saturating_add(t), Event::RequestTimeout { func, req });
+        }
+        req
     }
 
     /// Process the next event. A minute tick runs the full pipeline
@@ -2316,5 +2386,139 @@ mod tests {
         assert_eq!(a.timeouts, b.timeouts);
         assert_eq!(a.reaped, b.reaped);
         assert_eq!(a.keepalive_cost_usd, b.keepalive_cost_usd);
+    }
+
+    #[test]
+    fn arrival_times_match_the_trace_seeded_layout() {
+        // Offsets start 1 ms after the tick and never spill into the next
+        // minute, matching the seeding loop this helper was lifted from.
+        assert_eq!(arrival_times_in_minute(0, 0).count(), 0);
+        assert_eq!(arrival_times_in_minute(0, 1).collect::<Vec<_>>(), vec![1]);
+        let ts: Vec<u64> = arrival_times_in_minute(3, 4).collect();
+        assert_eq!(ts.len(), 4);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        assert!(ts
+            .iter()
+            .all(|&t| { t > 3 * MS_PER_MINUTE && t < 4 * MS_PER_MINUTE }));
+        // Heavy minutes stay in-minute too.
+        let dense: Vec<u64> = arrival_times_in_minute(1, 100_000).collect();
+        assert!(dense
+            .iter()
+            .all(|&t| (MS_PER_MINUTE + 1..2 * MS_PER_MINUTE).contains(&t)));
+    }
+
+    #[test]
+    fn admitted_stream_is_bit_identical_to_trace_seeded_run() {
+        // A zero-trace session fed the expanded stream up front must be the
+        // trace-seeded run, event sequence numbers and all.
+        let trace = pulse_trace::synth::azure_like_12_with_horizon(11, 180);
+        let fams = round_robin_assignment(&pulse_models::zoo::standard(), 12);
+        let seeded = Runtime::new(trace.clone(), fams.clone(), RuntimeConfig::default())
+            .run(&mut PulsePolicy::new(fams.clone(), PulseConfig::default()));
+
+        let zeros = Trace::new(
+            trace
+                .functions()
+                .iter()
+                .map(|f| FunctionTrace::new(f.name.clone(), vec![0; trace.minutes()]))
+                .collect(),
+        );
+        let rt = Runtime::new(zeros, fams.clone(), RuntimeConfig::default());
+        let mut policy = PulsePolicy::new(fams.clone(), PulseConfig::default());
+        let mut session = rt.session(&mut policy, &FaultPlan::none(), ClusterConfig::unlimited());
+        for m in 0..trace.minutes() as u64 {
+            for f in 0..trace.n_functions() {
+                for at in arrival_times_in_minute(m, trace.function(f).at(m) as u64) {
+                    session.admit_at(at, f);
+                }
+            }
+        }
+        while session.step().is_some() {}
+        let admitted = session.finish();
+        assert_eq!(admitted.records, seeded.records);
+        assert_eq!(
+            admitted.keepalive_cost_usd.to_bits(),
+            seeded.keepalive_cost_usd.to_bits()
+        );
+        assert_eq!(admitted.memory_at_tick_mb, seeded.memory_at_tick_mb);
+    }
+
+    #[test]
+    fn admit_at_schedules_the_timeout_timer() {
+        let (trace, fams) = one_func(&[0; 5]);
+        let plan = FaultPlan::none().with_timeout_ms(10);
+        let rt = Runtime::new(trace, fams.clone(), RuntimeConfig::default());
+        let mut policy = OpenWhiskFixed::new(&fams);
+        let mut session = rt.session(&mut policy, &plan, ClusterConfig::unlimited());
+        let before = session.pending_events();
+        session.admit_at(1, 0);
+        assert_eq!(session.pending_events(), before + 2, "arrival + timeout");
+        while session.step().is_some() {}
+        let s = session.finish();
+        // A cold start cannot finish inside a 10 ms budget.
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.failed_requests(), 1);
+    }
+
+    #[test]
+    fn node_crash_abort_ignores_the_stale_crash_completion() {
+        // Regression for the in-flight accounting: serialize a long backlog
+        // through one container (cap 1) with every execution fated to crash,
+        // then crash the node at minute 1 while an execution is in flight.
+        // The node crash zeroes `in_flight` and bumps the request's
+        // generation, so the already-queued ExecFailed for that execution is
+        // a *duplicate* completion — it must be dropped by the generation
+        // check before the (debug-asserted) decrement, and the run must
+        // complete with the accounting intact.
+        // Seed 4 is pinned: the fault RNG's crash points leave request 8's
+        // crashing execution straddling the minute-1 tick, so the node crash
+        // aborts it (`redispatched_requests` below witnesses the abort).
+        let (trace, fams) = one_func(&[40, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let plan = FaultPlan {
+            seed: 4,
+            default_rates: FaultRates {
+                provision_failure: 0.0,
+                variant_load_failure: 0.0,
+                exec_crash: 1.0,
+                min_faulty_variant: None,
+            },
+            retry: RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
+            ..FaultPlan::none()
+        };
+        let fleet = FleetConfig::single(NodeSpec::nominal(
+            "n0",
+            crate::cluster::NodeCapacity::unlimited(),
+        ))
+        .with_node_faults(crate::node::NodeFaultPlan::none().with(
+            crate::node::NodeFault {
+                node: 0,
+                kind: NodeFaultKind::Crash,
+                at_minute: 1,
+                duration_minutes: 1,
+            },
+        ));
+        let rt = Runtime::new(
+            trace,
+            fams.clone(),
+            RuntimeConfig {
+                max_concurrency: Some(1),
+                ..Default::default()
+            },
+        );
+        let s = rt.run_with_fleet(&mut OpenWhiskFixed::new(&fams), &plan, &fleet);
+        assert_eq!(s.requests(), 40);
+        assert!(s.exec_crashes > 0, "executions crashed before the node did");
+        assert!(
+            s.redispatched_requests > 0,
+            "the node crash aborted in-flight work"
+        );
+        // Every request reached a terminal state exactly once.
+        assert_eq!(
+            s.records.iter().filter(|r| r.failed).count() as u64,
+            s.failed_requests()
+        );
     }
 }

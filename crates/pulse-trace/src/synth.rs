@@ -75,6 +75,22 @@ pub enum Archetype {
         /// Cadence while active, minutes.
         period_in_on: u32,
     },
+    /// Self-exciting (discrete-time Hawkes) arrivals: every invocation
+    /// raises the near-future rate, producing the clustered bursts that
+    /// stress gap-probability keep-alive policies hardest. Minute `t` draws
+    /// `Poisson(base_rate + carry)` where the carry accumulates
+    /// `excitation` per past invocation and shrinks geometrically by
+    /// `decay` each minute.
+    SelfExciting {
+        /// Background (immigrant) rate per minute.
+        base_rate: f64,
+        /// Intensity added per invocation, before decay.
+        excitation: f64,
+        /// Per-minute geometric memory factor, in `[0, 1)`. The expected
+        /// offspring count per event is `excitation * decay / (1 - decay)`;
+        /// generation asserts it below 1 so the process stays subcritical.
+        decay: f64,
+    },
 }
 
 impl Archetype {
@@ -185,13 +201,34 @@ impl Archetype {
                     }
                 }
             }
+            Archetype::SelfExciting {
+                base_rate,
+                excitation,
+                decay,
+            } => {
+                assert!(base_rate >= 0.0 && excitation >= 0.0);
+                assert!((0.0..1.0).contains(&decay));
+                assert!(
+                    excitation * decay / (1.0 - decay) < 1.0,
+                    "supercritical Hawkes parameters: expected offspring per \
+                     event must stay below 1"
+                );
+                let mut carry = 0.0f64;
+                for c in counts.iter_mut() {
+                    let k = poisson(base_rate + carry, rng);
+                    *c += k;
+                    carry = (carry + excitation * f64::from(k)) * decay;
+                }
+            }
         }
         counts
     }
 }
 
-/// Knuth's Poisson sampler (fine for the per-minute rates used here).
-fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
+/// Knuth's Poisson sampler (fine for the per-minute rates used here; for
+/// the serving load generator's very high rates see pulse-serve's
+/// normal-approximation fast path).
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -546,6 +583,17 @@ fn vary_archetype(a: Archetype, k: u32) -> Archetype {
             off_min: widen(off_min),
             period_in_on: widen(period_in_on),
         },
+        Archetype::SelfExciting {
+            base_rate,
+            excitation,
+            decay,
+        } => Archetype::SelfExciting {
+            // Thinning the background rate keeps the branching ratio — and
+            // therefore subcriticality — untouched.
+            base_rate: base_rate / stretch,
+            excitation,
+            decay,
+        },
     }
 }
 
@@ -822,6 +870,88 @@ mod tests {
             azure_like_n_with_horizon(100, 3, 500),
             azure_like_n_with_horizon(100, 4, 500)
         );
+    }
+
+    #[test]
+    fn self_exciting_is_overdispersed() {
+        // A Hawkes stream must be burstier than a Poisson stream of the
+        // same volume: its variance-to-mean ratio (Fano factor) exceeds the
+        // Poisson value of 1 by a wide margin at these parameters.
+        let a = Archetype::SelfExciting {
+            base_rate: 0.05,
+            excitation: 0.9,
+            decay: 0.5,
+        };
+        let counts = a.generate(50_000, &mut rng());
+        let n = counts.len() as f64;
+        let mean = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / n;
+        let var = counts
+            .iter()
+            .map(|&c| (f64::from(c) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean > 0.0);
+        assert!(var / mean > 1.5, "fano={}", var / mean);
+    }
+
+    #[test]
+    fn self_exciting_events_cluster_after_events() {
+        // Conditioning on an active minute, the next minute is busier than
+        // the unconditional average — the signature of self-excitation.
+        let a = Archetype::SelfExciting {
+            base_rate: 0.05,
+            excitation: 0.9,
+            decay: 0.5,
+        };
+        let counts = a.generate(50_000, &mut rng());
+        let mean = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64;
+        let (mut after_sum, mut after_n) = (0.0, 0u32);
+        for w in counts.windows(2) {
+            if w[0] > 0 {
+                after_sum += f64::from(w[1]);
+                after_n += 1;
+            }
+        }
+        assert!(after_n > 0);
+        assert!(
+            after_sum / f64::from(after_n) > 2.0 * mean,
+            "after-event mean {} vs unconditional {mean}",
+            after_sum / f64::from(after_n)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "supercritical")]
+    fn supercritical_hawkes_rejected() {
+        Archetype::SelfExciting {
+            base_rate: 0.1,
+            excitation: 3.0,
+            decay: 0.9,
+        }
+        .generate(10, &mut rng());
+    }
+
+    #[test]
+    fn vary_archetype_thins_self_exciting_background() {
+        let a = Archetype::SelfExciting {
+            base_rate: 0.2,
+            excitation: 0.5,
+            decay: 0.5,
+        };
+        match vary_archetype(a, 1) {
+            Archetype::SelfExciting {
+                base_rate,
+                excitation,
+                decay,
+            } => {
+                assert!(base_rate < 0.2);
+                assert_eq!(excitation, 0.5);
+                assert_eq!(decay, 0.5);
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+        // Varied parameters still generate (subcriticality preserved).
+        assert_eq!(vary_archetype(a, 5).generate(600, &mut rng()).len(), 600);
     }
 
     #[test]

@@ -11,6 +11,7 @@ fn cfg() -> ExpConfig {
         horizon: 2000,
         n_runs: 8,
         trace_out: None,
+        serve: Default::default(),
     }
 }
 
@@ -92,6 +93,7 @@ fn claim_fig8_integration_cuts_costs() {
         horizon: 1500,
         n_runs: 4,
         trace_out: None,
+        serve: Default::default(),
     });
     let get = |n: &str| rows.iter().find(|(name, ..)| name == n).cloned().unwrap();
     let (_, wild_cost, ..) = get("wild");
@@ -111,6 +113,7 @@ fn experiment_pipeline_is_deterministic() {
         horizon: 900,
         n_runs: 6,
         trace_out: None,
+        serve: Default::default(),
     };
     let a = pulse_experiments::run_experiment("fig6a", &cfg).unwrap();
     let b = pulse_experiments::run_experiment("fig6a", &cfg).unwrap();
@@ -131,6 +134,7 @@ fn claim_fig9_milp_slower_and_not_more_accurate() {
         horizon: 1200,
         n_runs: 2,
         trace_out: None,
+        serve: Default::default(),
     });
     assert!(milp_acc <= pulse_acc + 1.0);
 }
